@@ -1,0 +1,91 @@
+// Command axioms runs the executable equational-axiom suite (§VI of the
+// paper: verification of compressed-space operations) against a chosen
+// compressor configuration and randomized inputs, printing one line per
+// axiom. Exit status is non-zero if any axiom is violated.
+//
+//	axioms -block 8,8 -float float32 -index int16 -trials 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/scalar"
+	"repro/internal/transform"
+)
+
+func main() {
+	blockStr := flag.String("block", "8,8", "block shape")
+	floatStr := flag.String("float", "float32", "float type")
+	indexStr := flag.String("index", "int16", "index type")
+	trStr := flag.String("transform", "dct", "transform")
+	shapeStr := flag.String("shape", "", "test array shape (default 4× the block shape)")
+	trials := flag.Int("trials", 10, "randomized trials per axiom")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	block, err := parseInts(*blockStr)
+	check(err)
+	ft, err := scalar.ParseFloatType(*floatStr)
+	check(err)
+	it, err := scalar.ParseIndexType(*indexStr)
+	check(err)
+	tk, err := transform.ParseKind(*trStr)
+	check(err)
+
+	shape := make([]int, len(block))
+	for i := range shape {
+		shape[i] = block[i] * 4
+	}
+	if *shapeStr != "" {
+		shape, err = parseInts(*shapeStr)
+		check(err)
+	}
+
+	s := core.Settings{BlockShape: block, FloatType: ft, IndexType: it, Transform: tk}
+	c, err := core.NewCompressor(s)
+	check(err)
+
+	fmt.Printf("checking %d axioms × %d trials on shape %v (%v/%v/%v/%v)\n\n",
+		12, *trials, shape, block, ft, it, tk)
+	results, err := c.CheckAxioms(rand.New(rand.NewSource(*seed)), shape, *trials)
+	check(err)
+
+	failed := 0
+	for _, r := range results {
+		fmt.Println(" ", r)
+		if !r.Ok() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d axiom(s) violated\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("\nall axioms hold.")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axioms:", err)
+		os.Exit(2)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

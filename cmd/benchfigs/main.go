@@ -1,0 +1,269 @@
+// Command benchfigs regenerates the paper's tables and figures as text
+// series. Each -fig selects one figure of the evaluation:
+//
+//	benchfigs -fig 2          PyBlaz-vs-Blaz operation time
+//	benchfigs -fig 3          compression/decompression vs the ZFP-like baseline
+//	benchfigs -fig 4          shallow-water precision-difference experiment
+//	benchfigs -fig 5          error-vs-settings study on MRI-like volumes
+//	benchfigs -fig 6          fission L2 and Wasserstein time series
+//	benchfigs -fig 7          per-operation timing panel
+//	benchfigs -fig all        everything
+//
+// Use -quick for smaller sweeps (for CI or smoke tests).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/figures"
+	"repro/internal/scalar"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 6, 7 or all")
+	quick := flag.Bool("quick", false, "smaller sweeps for smoke testing")
+	flag.Parse()
+
+	run := func(name string, fn func(quick bool)) {
+		if *fig == "all" || *fig == name {
+			fn(*quick)
+		}
+	}
+	run("table1", table1)
+	run("ablation", ablation)
+	run("2", fig2)
+	run("3", fig3)
+	run("4", fig4)
+	run("5", fig5)
+	run("6", fig6)
+	run("7", fig7)
+	switch *fig {
+	case "table1", "ablation", "2", "3", "4", "5", "6", "7", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func table() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func table1(quick bool) {
+	fmt.Println("== Table I: compressed-space operations, measured error vs decompress-then-operate ==")
+	trials := 10
+	if quick {
+		trials = 3
+	}
+	rows, err := figures.Table1(1, trials)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w := table()
+	fmt.Fprintln(w, "operation\tpaper error source\tmeasured worst error")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.3g\n", r.Operation, r.PaperErrorSource, r.MeasuredError)
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func ablation(quick bool) {
+	fmt.Println("== Ablation: pruning keep fraction (8³ blocks, float32, int8, MRI-like volume) ==")
+	fractions := figures.DefaultPruningFractions
+	if quick {
+		fractions = fractions[:3]
+	}
+	rows, err := figures.PruningSweep(1, fractions)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w := table()
+	fmt.Fprintln(w, "keep fraction\tratio\tRMSE\tL∞")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%.4f\t%.2f\t%.4g\t%.4g\n", r.KeepFraction, r.Ratio, r.RMSE, r.Linf)
+	}
+	w.Flush()
+	fmt.Println()
+
+	fmt.Println("== Ablation: orthonormal transform (same settings; ratio is transform-independent) ==")
+	trows, err := figures.TransformSweep(1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w = table()
+	fmt.Fprintln(w, "transform\tRMSE\tL∞")
+	for _, r := range trows {
+		fmt.Fprintf(w, "%v\t%.4g\t%.4g\n", r.Transform, r.RMSE, r.Linf)
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func fig2(quick bool) {
+	fmt.Println("== Fig. 2: goblaz vs Blaz operation time (seconds) ==")
+	sizes := figures.DefaultFig2Sizes
+	reps := 3
+	if quick {
+		sizes = []int{8, 32, 128}
+		reps = 1
+	}
+	rows := figures.Fig2(sizes, reps)
+	w := table()
+	fmt.Fprintln(w, "size\tgoblaz compress\tgoblaz decompress\tgoblaz add\tgoblaz multiply\tblaz compress\tblaz decompress\tblaz add\tblaz multiply")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\n",
+			r.Size,
+			r.GoblazCompress.Seconds(), r.GoblazDecompress.Seconds(),
+			r.GoblazAdd.Seconds(), r.GoblazMultiply.Seconds(),
+			r.BlazCompress.Seconds(), r.BlazDecompress.Seconds(),
+			r.BlazAdd.Seconds(), r.BlazMultiply.Seconds())
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func fig3(quick bool) {
+	for _, dims := range []int{2, 3} {
+		fmt.Printf("== Fig. 3: %d-D compression/decompression time vs zfpsim (seconds) ==\n", dims)
+		sizes := figures.DefaultFig3Sizes2D
+		if dims == 3 {
+			sizes = figures.DefaultFig3Sizes3D
+		}
+		reps := 3
+		if quick {
+			sizes = sizes[:3]
+			reps = 1
+		}
+		rows := figures.Fig3(dims, sizes, reps)
+		w := table()
+		fmt.Fprintln(w, "size\tzfp r8 comp\tzfp r4 comp\tzfp r2 comp\tzfp r8 dec\tzfp r4 dec\tzfp r2 dec\tgoblaz r8 comp\tgoblaz r4 comp\tgoblaz r8 dec\tgoblaz r4 dec")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%d\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\n",
+				r.Size,
+				r.ZfpCompress[0].Seconds(), r.ZfpCompress[1].Seconds(), r.ZfpCompress[2].Seconds(),
+				r.ZfpDecompress[0].Seconds(), r.ZfpDecompress[1].Seconds(), r.ZfpDecompress[2].Seconds(),
+				r.GoblazCompress[0].Seconds(), r.GoblazCompress[1].Seconds(),
+				r.GoblazDecompress[0].Seconds(), r.GoblazDecompress[1].Seconds())
+		}
+		w.Flush()
+		fmt.Println()
+	}
+}
+
+func fig4(quick bool) {
+	fmt.Println("== Fig. 4: shallow-water FP16 vs FP32 difference, uncompressed vs compressed space ==")
+	ny, nx, steps := 200, 400, 5000
+	if quick {
+		ny, nx, steps = 48, 96, 1500
+	}
+	res, err := figures.Fig4(ny, nx, steps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("domain %dx%d, %d steps\n", ny, nx, steps)
+	fmt.Printf("FP32 surface amplitude (L-inf):      %.6g\n", res.HeightF32.AbsMax())
+	fmt.Printf("FP16-FP32 perturbation (L-inf):      %.6g\n", res.PerturbationLinf)
+	fmt.Printf("compressed-diff agreement (L-inf):   %.6g\n", res.AgreementLinf)
+	fmt.Printf("perturbation visible in compressed space: %v\n",
+		res.AgreementLinf < res.PerturbationLinf)
+	fmt.Println()
+}
+
+func fig5(quick bool) {
+	fmt.Println("== Fig. 5: error of compressed-space scalar functions on MRI-like volumes ==")
+	count, h, wdt := 12, 128, 128
+	if quick {
+		count, h, wdt = 4, 64, 64
+	}
+	rows := figures.Fig5(1, count, h, wdt)
+	w := table()
+	fmt.Fprintln(w, "blocks\tfloat\tindex\tratio\tmean MAE\tmean rel\tvar MAE\tvar rel\tL2 MAE\tL2 rel\tSSIM MAE\tNaNs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%v\t%v\t%v\t%.2f\t%.3g\t%.3g\t%.3g\t%.3g\t%.3g\t%.3g\t%.3g\t%d\n",
+			r.Config.BlockShape, r.Config.FloatType, r.Config.IndexType, r.Ratio,
+			r.MeanAbs, r.MeanRel, r.VarianceAbs, r.VarianceRel,
+			r.L2Abs, r.L2Rel, r.SSIMAbs, r.NaNs)
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func fig6(quick bool) {
+	fmt.Println("== Fig. 6: fission adjacent-time-step distances (block 16^3, float32, int16) ==")
+	nz, ny, nx := 40, 40, 66
+	if quick {
+		nz, ny, nx = 16, 16, 33
+	}
+	res, err := figures.Fig6(1, nz, ny, nx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w := table()
+	header := "steps\tL2 uncompressed\tL2 decompressed\tL2 compressed"
+	orders := figures.Fig6Orders
+	for _, p := range orders {
+		header += fmt.Sprintf("\tW(p=%g)", p)
+	}
+	fmt.Fprintln(w, header)
+	for _, tr := range res.Transitions {
+		row := fmt.Sprintf("%d→%d\t%.4f\t%.4f\t%.4f", tr.FromStep, tr.ToStep,
+			tr.L2Uncompressed, tr.L2Decompressed, tr.L2Compressed)
+		keys := make([]float64, 0, len(tr.Wasserstein))
+		for p := range tr.Wasserstein {
+			keys = append(keys, p)
+		}
+		sort.Float64s(keys)
+		for _, p := range keys {
+			row += fmt.Sprintf("\t%.3e", tr.Wasserstein[p])
+		}
+		fmt.Fprintln(w, row)
+	}
+	w.Flush()
+	fmt.Printf("max |L2 compressed − L2 uncompressed| = %.4f (mean L2 %.2f)\n",
+		res.MaxL2Error, res.MeanL2)
+	if i := res.ScissionTransitionIndex(); i >= 0 {
+		fmt.Printf("scission transition: %d→%d\n",
+			res.Transitions[i].FromStep, res.Transitions[i].ToStep)
+	}
+	fmt.Println()
+}
+
+func fig7(quick bool) {
+	fmt.Println("== Fig. 7: per-operation time, 3-D cubic arrays, block 4 (seconds) ==")
+	sizes := figures.DefaultFig7Sizes
+	fts := figures.Fig7FloatTypes
+	its := figures.Fig7IndexTypes
+	reps := 3
+	if quick {
+		sizes = []int{8, 32}
+		fts = []scalar.FloatType{scalar.Float32}
+		its = []scalar.IndexType{scalar.Int16}
+		reps = 1
+	}
+	rows := figures.Fig7(sizes, fts, its, reps)
+	w := table()
+	header := "float\tindex\tsize"
+	for _, op := range figures.Fig7Ops {
+		header += "\t" + string(op)
+	}
+	fmt.Fprintln(w, header)
+	for _, r := range rows {
+		row := fmt.Sprintf("%v\t%v\t%d", r.FloatType, r.IndexType, r.Size)
+		for _, op := range figures.Fig7Ops {
+			row += fmt.Sprintf("\t%.3g", r.Times[op].Seconds())
+		}
+		fmt.Fprintln(w, row)
+	}
+	w.Flush()
+	fmt.Println()
+}

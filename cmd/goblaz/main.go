@@ -1,0 +1,293 @@
+// Command goblaz is the compressor CLI: it compresses and decompresses
+// files of raw little-endian float64 arrays and reports compression
+// statistics.
+//
+//	goblaz compress   -shape 200,400 -block 16,16 -float float32 -index int16 in.f64 out.blz
+//	goblaz decompress out.blz back.f64
+//	goblaz info       out.blz
+//	goblaz stats      -shape 200,400 -block 16,16 in.f64     (ratio + error report)
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/scalar"
+	"repro/internal/tensor"
+	"repro/internal/transform"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "compress":
+		err = runCompress(args)
+	case "decompress":
+		err = runDecompress(args)
+	case "info":
+		err = runInfo(args)
+	case "stats":
+		err = runStats(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goblaz:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  goblaz compress   -shape N,M[,K] [-block ...] [-float T] [-index T] [-transform T] [-keep F] IN OUT
+  goblaz decompress IN OUT
+  goblaz info       IN
+  goblaz stats      -shape N,M[,K] [options] IN`)
+	os.Exit(2)
+}
+
+type options struct {
+	shape, block []int
+	floatT       scalar.FloatType
+	indexT       scalar.IndexType
+	transformK   transform.Kind
+	keep         float64
+}
+
+func parseOptions(name string, args []string) (*options, []string, error) {
+	o := &options{}
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	shapeStr := fs.String("shape", "", "comma-separated array shape (required)")
+	blockStr := fs.String("block", "", "comma-separated block shape (default 4 per dimension)")
+	floatStr := fs.String("float", "float32", "float type: bfloat16|float16|float32|float64")
+	indexStr := fs.String("index", "int16", "index type: int8|int16|int32|int64")
+	trStr := fs.String("transform", "dct", "transform: dct|haar|identity")
+	keep := fs.Float64("keep", 1, "fraction of low-frequency coefficients to keep (0,1]")
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, err
+	}
+	var err error
+	if *shapeStr != "" {
+		o.shape, err = parseInts(*shapeStr)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if *blockStr != "" {
+		o.block, err = parseInts(*blockStr)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else if o.shape != nil {
+		o.block = make([]int, len(o.shape))
+		for i := range o.block {
+			o.block[i] = 4
+		}
+	}
+	if o.floatT, err = scalar.ParseFloatType(*floatStr); err != nil {
+		return nil, nil, err
+	}
+	if o.indexT, err = scalar.ParseIndexType(*indexStr); err != nil {
+		return nil, nil, err
+	}
+	if o.transformK, err = transform.ParseKind(*trStr); err != nil {
+		return nil, nil, err
+	}
+	o.keep = *keep
+	return o, fs.Args(), nil
+}
+
+func (o *options) settings() (core.Settings, error) {
+	s := core.Settings{
+		BlockShape: o.block,
+		FloatType:  o.floatT,
+		IndexType:  o.indexT,
+		Transform:  o.transformK,
+	}
+	if o.keep < 1 {
+		mask, err := core.KeepLowFrequency(o.block, o.keep)
+		if err != nil {
+			return s, err
+		}
+		s.Mask = mask
+	}
+	return s, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q in %q", p, s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func readTensor(path string, shape []int) (*tensor.Tensor, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	n := tensor.Prod(shape)
+	if len(raw) != n*8 {
+		return nil, fmt.Errorf("%s holds %d bytes, shape %v needs %d", path, len(raw), shape, n*8)
+	}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return tensor.FromSlice(data, shape...), nil
+}
+
+func writeTensor(path string, t *tensor.Tensor) error {
+	raw := make([]byte, t.Len()*8)
+	for i, v := range t.Data() {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+func runCompress(args []string) error {
+	o, rest, err := parseOptions("compress", args)
+	if err != nil {
+		return err
+	}
+	if o.shape == nil || len(rest) != 2 {
+		return fmt.Errorf("compress needs -shape and IN OUT paths")
+	}
+	s, err := o.settings()
+	if err != nil {
+		return err
+	}
+	c, err := core.NewCompressor(s)
+	if err != nil {
+		return err
+	}
+	t, err := readTensor(rest[0], o.shape)
+	if err != nil {
+		return err
+	}
+	a, err := c.Compress(t)
+	if err != nil {
+		return err
+	}
+	blob, err := core.Encode(a)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(rest[1], blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("compressed %d → %d bytes (ratio %.2f)\n",
+		t.Len()*8, len(blob), float64(t.Len()*8)/float64(len(blob)))
+	return nil
+}
+
+func runDecompress(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("decompress needs IN OUT paths")
+	}
+	blob, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	a, err := core.Decode(blob)
+	if err != nil {
+		return err
+	}
+	c, err := core.NewCompressor(a.Settings)
+	if err != nil {
+		return err
+	}
+	t, err := c.Decompress(a)
+	if err != nil {
+		return err
+	}
+	if err := writeTensor(args[1], t); err != nil {
+		return err
+	}
+	fmt.Printf("decompressed to %v (%d bytes)\n", t.Shape(), t.Len()*8)
+	return nil
+}
+
+func runInfo(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("info needs one path")
+	}
+	blob, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	a, err := core.Decode(blob)
+	if err != nil {
+		return err
+	}
+	s := a.Settings
+	fmt.Printf("shape:        %v\n", a.Shape)
+	fmt.Printf("block shape:  %v\n", s.BlockShape)
+	fmt.Printf("blocks:       %v (%d)\n", a.Blocks, a.NumBlocks())
+	fmt.Printf("float type:   %v\n", s.FloatType)
+	fmt.Printf("index type:   %v\n", s.IndexType)
+	fmt.Printf("transform:    %v\n", s.Transform)
+	fmt.Printf("kept/block:   %d of %d\n", a.Kept(), tensor.Prod(s.BlockShape))
+	ratio, err := core.CompressionRatio(s, a.Shape, 64)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("asymptotic ratio (vs float64): %.2f\n", ratio)
+	return nil
+}
+
+func runStats(args []string) error {
+	o, rest, err := parseOptions("stats", args)
+	if err != nil {
+		return err
+	}
+	if o.shape == nil || len(rest) != 1 {
+		return fmt.Errorf("stats needs -shape and one IN path")
+	}
+	s, err := o.settings()
+	if err != nil {
+		return err
+	}
+	c, err := core.NewCompressor(s)
+	if err != nil {
+		return err
+	}
+	t, err := readTensor(rest[0], o.shape)
+	if err != nil {
+		return err
+	}
+	a, err := c.Compress(t)
+	if err != nil {
+		return err
+	}
+	back, err := c.Decompress(a)
+	if err != nil {
+		return err
+	}
+	ratio, err := core.CompressionRatio(s, o.shape, 64)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("asymptotic ratio:  %.2f\n", ratio)
+	fmt.Printf("L∞ error:          %.6g\n", t.MaxAbsDiff(back))
+	fmt.Printf("RMSE:              %.6g\n", t.RMSE(back))
+	fmt.Printf("value range:       [%.6g, %.6g]\n", t.Min(), t.Max())
+	return nil
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func writeRaw(t *testing.T, path string, data []float64) {
+	t.Helper()
+	raw := make([]byte, len(data)*8)
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressDecompressRoundTripCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	blz := filepath.Join(dir, "out.blz")
+	back := filepath.Join(dir, "back.f64")
+
+	const rows, cols = 24, 16
+	data := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = math.Sin(float64(i) / 7)
+	}
+	writeRaw(t, in, data)
+
+	if err := runCompress([]string{"-shape", "24,16", "-block", "8,8", in, blz}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runInfo([]string{blz}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDecompress([]string{blz, back}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readTensor(back, []int{rows, cols})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.FromSlice(data, rows, cols)
+	if e := got.MaxAbsDiff(want); e > 0.01 {
+		t.Errorf("CLI round trip error %g", e)
+	}
+}
+
+func TestStatsCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	writeRaw(t, in, data)
+	if err := runStats([]string{"-shape", "8,8", "-block", "4,4", in}); err != nil {
+		t.Fatal(err)
+	}
+	// With pruning.
+	if err := runStats([]string{"-shape", "8,8", "-block", "4,4", "-keep", "0.5", in}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	writeRaw(t, in, make([]float64, 16))
+
+	if err := runCompress([]string{in, "out"}); err == nil {
+		t.Error("missing -shape should fail")
+	}
+	if err := runCompress([]string{"-shape", "4,4", in}); err == nil {
+		t.Error("missing OUT should fail")
+	}
+	if err := runCompress([]string{"-shape", "5,5", in, filepath.Join(dir, "o")}); err == nil {
+		t.Error("shape/file size mismatch should fail")
+	}
+	if err := runCompress([]string{"-shape", "4,4", "-block", "3,3", in, filepath.Join(dir, "o")}); err == nil {
+		t.Error("non-power-of-two block should fail")
+	}
+	if err := runDecompress([]string{"nonexistent", "out"}); err == nil {
+		t.Error("missing input should fail")
+	}
+	if err := runDecompress([]string{in}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if err := runInfo([]string{in}); err == nil {
+		t.Error("info on raw file should fail (bad magic)")
+	}
+	if err := runStats([]string{"-shape", "4,4"}); err == nil {
+		t.Error("stats without file should fail")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 3, 224,224 ")
+	if err != nil || len(got) != 3 || got[0] != 3 || got[2] != 224 {
+		t.Fatalf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("3,x"); err == nil {
+		t.Error("bad int should fail")
+	}
+}
+
+func TestParseOptionsDefaults(t *testing.T) {
+	o, rest, err := parseOptions("t", []string{"-shape", "8,8", "a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 2 || rest[0] != "a" {
+		t.Fatalf("rest = %v", rest)
+	}
+	if len(o.block) != 2 || o.block[0] != 4 {
+		t.Fatalf("default block = %v", o.block)
+	}
+	if _, _, err := parseOptions("t", []string{"-shape", "8,8", "-float", "float128"}); err == nil {
+		t.Error("bad float type should fail")
+	}
+	if _, _, err := parseOptions("t", []string{"-shape", "8,8", "-index", "uint8"}); err == nil {
+		t.Error("bad index type should fail")
+	}
+	if _, _, err := parseOptions("t", []string{"-shape", "8,8", "-transform", "fft"}); err == nil {
+		t.Error("bad transform should fail")
+	}
+}

@@ -1,0 +1,117 @@
+// Command mkdata writes the repository's synthetic datasets to raw
+// little-endian float64 files so that cmd/goblaz (and external tools) can
+// consume them:
+//
+//	mkdata -kind gradient -shape 256,256 out.f64
+//	mkdata -kind mri -shape 32,256,256 -seed 7 out.f64
+//	mkdata -kind fission -shape 40,40,66 -step 690 out.f64
+//	mkdata -kind shallowwater -shape 200,400 -steps 5000 -precision float32 out.f64
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/scalar"
+	"repro/internal/sim/shallowwater"
+	"repro/internal/tensor"
+)
+
+func main() {
+	kind := flag.String("kind", "gradient", "dataset: gradient|mri|fission|shallowwater")
+	shapeStr := flag.String("shape", "", "comma-separated shape (required)")
+	seed := flag.Int64("seed", 1, "random seed (mri, fission)")
+	step := flag.Int("step", 690, "fission time step (one of the paper's 15)")
+	steps := flag.Int("steps", 2000, "shallow-water simulation steps")
+	precision := flag.String("precision", "float32", "shallow-water working precision")
+	flag.Parse()
+
+	if *shapeStr == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mkdata -kind K -shape N,M[,P] [flags] OUT")
+		os.Exit(2)
+	}
+	shape, err := parseShape(*shapeStr)
+	if err != nil {
+		fail(err)
+	}
+	t, err := generate(*kind, shape, *seed, *step, *steps, *precision)
+	if err != nil {
+		fail(err)
+	}
+	if err := writeRaw(flag.Arg(0), t); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s: %s %v (%d bytes)\n", flag.Arg(0), *kind, t.Shape(), t.Len()*8)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mkdata:", err)
+	os.Exit(1)
+}
+
+func generate(kind string, shape []int, seed int64, step, steps int, precision string) (*tensor.Tensor, error) {
+	switch kind {
+	case "gradient":
+		return data.Gradient(shape...), nil
+	case "mri":
+		if len(shape) != 3 {
+			return nil, fmt.Errorf("mri needs a 3-D shape, got %v", shape)
+		}
+		return data.MRIVolume(seed, shape[0], shape[1], shape[2]), nil
+	case "fission":
+		if len(shape) != 3 {
+			return nil, fmt.Errorf("fission needs a 3-D shape, got %v", shape)
+		}
+		series := data.FissionSeries(seed, shape[0], shape[1], shape[2])
+		for i, s := range data.FissionTimeSteps {
+			if s == step {
+				return series[i], nil
+			}
+		}
+		return nil, fmt.Errorf("step %d not in %v", step, data.FissionTimeSteps)
+	case "shallowwater":
+		if len(shape) != 2 {
+			return nil, fmt.Errorf("shallowwater needs a 2-D shape, got %v", shape)
+		}
+		p, err := scalar.ParseFloatType(precision)
+		if err != nil {
+			return nil, err
+		}
+		cfg := shallowwater.DefaultConfig(p)
+		cfg.Ny, cfg.Nx = shape[0], shape[1]
+		sim, err := shallowwater.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sim.Run(steps)
+		return sim.Height(), nil
+	}
+	return nil, fmt.Errorf("unknown kind %q", kind)
+}
+
+func parseShape(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad extent %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func writeRaw(path string, t *tensor.Tensor) error {
+	raw := make([]byte, t.Len()*8)
+	for i, v := range t.Data() {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+	}
+	return os.WriteFile(path, raw, 0o644)
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	cases := []struct {
+		kind  string
+		shape []int
+	}{
+		{"gradient", []int{8, 8}},
+		{"mri", []int{8, 16, 16}},
+		{"fission", []int{8, 8, 12}},
+		{"shallowwater", []int{16, 24}},
+	}
+	for _, c := range cases {
+		got, err := generate(c.kind, c.shape, 1, 690, 10, "float32")
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		if !tensor.EqualShape(got.Shape(), c.shape) {
+			t.Errorf("%s: shape %v, want %v", c.kind, got.Shape(), c.shape)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := generate("nope", []int{4}, 1, 0, 0, ""); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, err := generate("mri", []int{4, 4}, 1, 0, 0, ""); err == nil {
+		t.Error("2-D mri should fail")
+	}
+	if _, err := generate("fission", []int{4, 4, 4}, 1, 123, 0, ""); err == nil {
+		t.Error("unknown fission step should fail")
+	}
+	if _, err := generate("shallowwater", []int{4, 4, 4}, 1, 0, 10, "float32"); err == nil {
+		t.Error("3-D shallowwater should fail")
+	}
+	if _, err := generate("shallowwater", []int{16, 16}, 1, 0, 10, "float128"); err == nil {
+		t.Error("bad precision should fail")
+	}
+}
+
+func TestParseShape(t *testing.T) {
+	got, err := parseShape("40, 40, 66")
+	if err != nil || len(got) != 3 || got[2] != 66 {
+		t.Fatalf("parseShape: %v, %v", got, err)
+	}
+	if _, err := parseShape("0,4"); err == nil {
+		t.Error("zero extent should fail")
+	}
+	if _, err := parseShape("a"); err == nil {
+		t.Error("non-numeric should fail")
+	}
+}
+
+func TestWriteRaw(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.f64")
+	x := tensor.New(4, 4).Fill(1.5)
+	if err := writeRaw(path, x); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() != 16*8 {
+		t.Fatalf("wrote %d bytes, %v", fi.Size(), err)
+	}
+}

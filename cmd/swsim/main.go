@@ -1,0 +1,102 @@
+// Command swsim runs the shallow-water precision experiment of §V-A end
+// to end: two simulations at different emulated working precisions, their
+// surface-height difference computed both on raw data and entirely in
+// compressed space, and a textual rendering of where the perturbation
+// lives.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	ny := flag.Int("ny", 200, "grid rows")
+	nx := flag.Int("nx", 400, "grid columns")
+	steps := flag.Int("steps", 5000, "time steps")
+	flag.Parse()
+
+	res, err := figures.Fig4(*ny, *nx, *steps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("shallow-water %dx%d, %d steps\n", *ny, *nx, *steps)
+	fmt.Printf("FP32 surface amplitude:        %.6g\n", res.HeightF32.AbsMax())
+	fmt.Printf("FP16-FP32 perturbation (L∞):   %.6g\n", res.PerturbationLinf)
+	fmt.Printf("compressed-diff agreement:     %.6g\n", res.AgreementLinf)
+	fmt.Println()
+	fmt.Println("perturbation map (uncompressed | compressed space):")
+	renderSideBySide(res)
+}
+
+// renderSideBySide draws coarse ASCII heat maps of |difference| for the
+// uncompressed and compressed-space difference fields.
+func renderSideBySide(res *figures.Fig4Result) {
+	const rows, cols = 20, 40
+	left := downsample(res.DiffUncompressed.Data(), res.DiffUncompressed.Shape(), rows, cols)
+	right := downsample(res.DiffCompressed.Data(), res.DiffCompressed.Shape(), rows, cols)
+	max := 0.0
+	for i := range left {
+		if left[i] > max {
+			max = left[i]
+		}
+		if right[i] > max {
+			max = right[i]
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	ramp := []byte(" .:-=+*#%@")
+	for r := 0; r < rows; r++ {
+		line := make([]byte, 0, 2*cols+3)
+		for c := 0; c < cols; c++ {
+			line = append(line, shade(left[r*cols+c]/max, ramp))
+		}
+		line = append(line, ' ', '|', ' ')
+		for c := 0; c < cols; c++ {
+			line = append(line, shade(right[r*cols+c]/max, ramp))
+		}
+		fmt.Println(string(line))
+	}
+}
+
+func shade(v float64, ramp []byte) byte {
+	i := int(v * float64(len(ramp)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(ramp) {
+		i = len(ramp) - 1
+	}
+	return ramp[i]
+}
+
+// downsample reduces a 2-D field to rows×cols of mean |value| per cell.
+func downsample(data []float64, shape []int, rows, cols int) []float64 {
+	ny, nx := shape[0], shape[1]
+	out := make([]float64, rows*cols)
+	counts := make([]int, rows*cols)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			r := y * rows / ny
+			c := x * cols / nx
+			v := data[y*nx+x]
+			if v < 0 {
+				v = -v
+			}
+			out[r*cols+c] += v
+			counts[r*cols+c]++
+		}
+	}
+	for i := range out {
+		if counts[i] > 0 {
+			out[i] /= float64(counts[i])
+		}
+	}
+	return out
+}

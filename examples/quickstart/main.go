@@ -1,0 +1,61 @@
+// Quickstart: compress an array, run operations directly on the
+// compressed form, and check them against the uncompressed truth.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/scalar"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+func main() {
+	// A smooth 256×256 field.
+	const n = 256
+	x := tensor.New(n, n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			x.Set(math.Sin(8*math.Pi*float64(r)/n)*math.Cos(6*math.Pi*float64(c)/n), r, c)
+		}
+	}
+
+	// A compressor: 8×8 blocks, float32 storage, int16 bins, DCT.
+	settings := core.DefaultSettings(8, 8)
+	settings.IndexType = scalar.Int16
+	comp, err := core.NewCompressor(settings)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	a, err := comp.Compress(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := core.Encode(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed %d bytes → %d bytes (ratio %.1f)\n",
+		x.Len()*8, len(blob), float64(x.Len()*8)/float64(len(blob)))
+
+	// Operate directly on the compressed form — no decompression.
+	mean, _ := comp.Mean(a)
+	variance, _ := comp.Variance(a)
+	l2, _ := comp.L2Norm(a)
+	fmt.Printf("compressed-space mean:     %+.6f (truth %+.6f)\n", mean, stats.Mean(x))
+	fmt.Printf("compressed-space variance: %+.6f (truth %+.6f)\n", variance, stats.Variance(x))
+	fmt.Printf("compressed-space L2 norm:  %+.4f (truth %+.4f)\n", l2, stats.L2Norm(x))
+
+	// Compressed-space arithmetic: y = 2·x − x should be ≈ x.
+	doubled, _ := comp.MulScalar(a, 2)
+	diff, err := comp.Subtract(doubled, a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, _ := comp.Decompress(diff)
+	fmt.Printf("‖(2x − x) − x‖∞ after compressed arithmetic: %.6g\n", back.MaxAbsDiff(x))
+}

@@ -1,0 +1,216 @@
+// Package repro integration tests: cross-module flows that exercise the
+// full pipelines end to end — simulate → compress → operate, generate →
+// serialize → exchange → operate — the way a downstream user would chain
+// the packages.
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline/szsim"
+	"repro/internal/baseline/zfpsim"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/scalar"
+	"repro/internal/sim/shallowwater"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Simulation frames are compressed as produced; analysis (drift between
+// working precisions) runs wholly in compressed space and must agree with
+// the uncompressed analysis.
+func TestIntegrationSimulateCompressAnalyze(t *testing.T) {
+	cfg16 := shallowwater.DefaultConfig(scalar.Float16)
+	cfg16.Ny, cfg16.Nx = 48, 96
+	cfg32 := shallowwater.DefaultConfig(scalar.Float32)
+	cfg32.Ny, cfg32.Nx = 48, 96
+	s16, err := shallowwater.New(cfg16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s32, err := shallowwater.New(cfg32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s16.Run(1200)
+	s32.Run(1200)
+
+	settings := core.DefaultSettings(16, 16)
+	settings.IndexType = scalar.Int8
+	c, err := core.NewCompressor(settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a16, err := c.Compress(s16.Height())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a32, err := c.Compress(s32.Height())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDrift, err := c.L2Distance(a16, a32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDrift := s16.Height().Sub(s32.Height()).Norm2()
+	if math.Abs(gotDrift-wantDrift) > 0.05*wantDrift+1e-9 {
+		t.Errorf("compressed drift %g vs uncompressed %g", gotDrift, wantDrift)
+	}
+	if wantDrift <= 0 {
+		t.Error("precision runs should have drifted")
+	}
+}
+
+// A compressed array survives serialization and can be operated on by a
+// compressor reconstructed purely from the decoded settings — the
+// cross-process exchange scenario.
+func TestIntegrationSerializeExchangeOperate(t *testing.T) {
+	settings := core.DefaultSettings(4, 16, 16)
+	producer, err := core.NewCompressor(settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := data.MRIVolume(5, 24, 64, 64)
+	a, err := producer.Compress(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := core.Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Another process": decode and rebuild the compressor from the
+	// stream alone.
+	back, err := core.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumer, err := core.NewCompressor(back.Settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMean, err := consumer.Mean(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean, err := producer.Mean(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMean != wantMean {
+		t.Errorf("mean changed across serialization: %g vs %g", gotMean, wantMean)
+	}
+	dec, err := consumer.Decompress(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(stats.Mean(dec) - gotMean); e > 1e-6 {
+		t.Errorf("decoded mean inconsistent with decompression: %g", e)
+	}
+}
+
+// The three compressors coexist on the same data: goblaz supports
+// compressed-space ops, zfpsim gives fixed rate, szsim guarantees a
+// point-wise bound. Verify each one's contract on a shared workload.
+func TestIntegrationThreeCompressorContracts(t *testing.T) {
+	x := data.Gradient(64, 64)
+
+	// goblaz: operate without decompression.
+	c, err := core.NewCompressor(core.DefaultSettings(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Compress(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMean, err := c.Mean(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotMean-stats.Mean(x)) > 1e-4 {
+		t.Errorf("goblaz mean %g vs %g", gotMean, stats.Mean(x))
+	}
+
+	// zfpsim: exact fixed rate.
+	z, err := zfpsim.Compress(x, zfpsim.Settings{BitsPerValue: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := (64 / 4) * (64 / 4) * 16 * 16 / 8
+	if len(z.Payload) < wantBytes || len(z.Payload) > wantBytes+1 {
+		t.Errorf("zfpsim payload %d bytes, want %d", len(z.Payload), wantBytes)
+	}
+
+	// szsim: point-wise bound.
+	const eb = 1e-4
+	s, err := szsim.Compress(x, szsim.Settings{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := szsim.Decompress(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := x.MaxAbsDiff(y); e > eb {
+		t.Errorf("szsim bound violated: %g > %g", e, eb)
+	}
+}
+
+// The full fission analysis pipeline on a small grid: generate, compress
+// every frame, detect the scission from compressed data only.
+func TestIntegrationFissionPipeline(t *testing.T) {
+	series := data.FissionSeries(3, 32, 32, 48)
+	settings := core.DefaultSettings(16, 16, 16)
+	c, err := core.NewCompressor(settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bestL2 float64
+	bestAt := -1
+	for i := 1; i < len(series); i++ {
+		a, err := c.Compress(series[i-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := c.Compress(series[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := c.L2Distance(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > bestL2 {
+			bestL2, bestAt = d, i
+		}
+	}
+	if data.FissionTimeSteps[bestAt-1] != data.ScissionAfterStep {
+		t.Errorf("detected scission after step %d, want %d",
+			data.FissionTimeSteps[bestAt-1], data.ScissionAfterStep)
+	}
+}
+
+// Mixed-settings arrays must be rejected everywhere, not silently mixed.
+func TestIntegrationSettingsIsolation(t *testing.T) {
+	x := tensor.New(16, 16).Fill(1)
+	c1, _ := core.NewCompressor(core.DefaultSettings(4, 4))
+	s2 := core.DefaultSettings(4, 4)
+	s2.IndexType = scalar.Int8
+	c2, _ := core.NewCompressor(s2)
+	a1, _ := c1.Compress(x)
+	a2, _ := c2.Compress(x)
+	if _, err := c1.Add(a1, a2); err == nil {
+		t.Error("adding arrays from different settings should fail")
+	}
+	if _, err := c1.Dot(a1, a2); err == nil {
+		t.Error("dot across settings should fail")
+	}
+	if _, err := c2.Decompress(a1); err == nil {
+		t.Error("decompressing foreign array should fail")
+	}
+}

@@ -1,0 +1,189 @@
+package blaz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func smoothMatrix(seed int64, rows, cols int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	p := rng.Float64() * math.Pi
+	data := make([]float64, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x := float64(r) / float64(rows)
+			y := float64(c) / float64(cols)
+			data[r*cols+c] = math.Sin(2*math.Pi*x+p) + math.Cos(2*math.Pi*y)
+		}
+	}
+	return data
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func rmse(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a)))
+}
+
+func TestCompressValidation(t *testing.T) {
+	if _, err := Compress(make([]float64, 10), 3, 4); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Compress(nil, 0, 0); err == nil {
+		t.Error("empty matrix should fail")
+	}
+}
+
+func TestRoundTripSmooth(t *testing.T) {
+	// Blaz's differentiation moves energy into high frequencies, which the
+	// fixed 6×6 corner pruning then discards and the integration step
+	// amplifies — the accuracy limitation that motivated PyBlaz. Errors
+	// here are therefore RMSE-bounded, not exactness-bounded, and shrink
+	// as the content becomes smoother relative to the 8×8 block.
+	var errs []float64
+	for _, n := range []int{8, 16, 64} {
+		data := smoothMatrix(1, n, n)
+		a, err := Compress(data, n, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := Decompress(a)
+		if len(back) != n*n {
+			t.Fatalf("decompressed length %d", len(back))
+		}
+		errs = append(errs, rmse(data, back))
+	}
+	// One full period per 64 samples is smooth at the block scale: ≤2% of
+	// the ~4-unit range.
+	if errs[2] > 0.08 {
+		t.Errorf("64×64 RMSE %g too large", errs[2])
+	}
+	// Error decreases as content smooths relative to the block size.
+	if !(errs[2] < errs[0]) {
+		t.Errorf("RMSE should shrink with smoother content: %v", errs)
+	}
+}
+
+func TestRoundTripNonMultipleShape(t *testing.T) {
+	data := smoothMatrix(2, 13, 21)
+	a, err := Compress(data, 13, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BlockRows != 2 || a.BlockCols != 3 {
+		t.Fatalf("block arrangement %dx%d", a.BlockRows, a.BlockCols)
+	}
+	back := Decompress(a)
+	if e := rmse(data, back); e > 0.15 {
+		t.Errorf("padded round trip RMSE %g", e)
+	}
+}
+
+func TestZeroMatrix(t *testing.T) {
+	data := make([]float64, 64)
+	a, err := Compress(data, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := Decompress(a)
+	for _, v := range back {
+		if v != 0 {
+			t.Fatal("zero matrix should round trip to zeros")
+		}
+	}
+}
+
+func TestConstantMatrix(t *testing.T) {
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = 7.5
+	}
+	a, _ := Compress(data, 8, 8)
+	back := Decompress(a)
+	// Constant data: all diffs zero, first element exact → exact.
+	if e := maxAbsDiff(data, back); e > 1e-12 {
+		t.Errorf("constant matrix error %g", e)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	x := smoothMatrix(3, 16, 16)
+	y := smoothMatrix(4, 16, 16)
+	a, _ := Compress(x, 16, 16)
+	b, _ := Compress(y, 16, 16)
+	s, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Decompress(s)
+	want := make([]float64, len(x))
+	dx, dy := Decompress(a), Decompress(b)
+	for i := range want {
+		want[i] = dx[i] + dy[i]
+	}
+	// Rebinning plus integration error: allow a modest tolerance.
+	if e := maxAbsDiff(got, want); e > 0.25 {
+		t.Errorf("Add error %g vs decompress-then-add", e)
+	}
+}
+
+func TestAddShapeMismatch(t *testing.T) {
+	a, _ := Compress(make([]float64, 64), 8, 8)
+	b, _ := Compress(make([]float64, 128), 8, 16)
+	if _, err := Add(a, b); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+}
+
+func TestMulScalar(t *testing.T) {
+	x := smoothMatrix(5, 16, 16)
+	a, _ := Compress(x, 16, 16)
+	for _, k := range []float64{2, -1.5, 0} {
+		m := MulScalar(a, k)
+		got := Decompress(m)
+		ref := Decompress(a)
+		want := make([]float64, len(ref))
+		for i := range ref {
+			want[i] = k * ref[i]
+		}
+		if e := maxAbsDiff(got, want); e > 1e-9*(1+math.Abs(k)) {
+			t.Errorf("×%g error %g (should be exact)", k, e)
+		}
+	}
+}
+
+func TestCompressedSizeBits(t *testing.T) {
+	a, _ := Compress(make([]float64, 64*64), 64, 64)
+	// 64 blocks × (64 + 64 + 28·8) bits = 64 × 352.
+	if got := a.CompressedSizeBits(); got != 64*352 {
+		t.Errorf("size = %d bits, want %d", got, 64*352)
+	}
+	// Implied ratio ≈ 4096·64 / (64·352) ≈ 11.6.
+	ratio := float64(64*64*64) / float64(a.CompressedSizeBits())
+	if ratio < 11 || ratio > 12 {
+		t.Errorf("ratio = %g, want ≈11.6", ratio)
+	}
+}
+
+func TestKeepPositionsCount(t *testing.T) {
+	if len(keepPositions) != keptPerBlock {
+		t.Fatalf("keepPositions has %d entries, want %d", len(keepPositions), keptPerBlock)
+	}
+	if keepPositions[0] != 0 {
+		t.Error("first coefficient must be kept")
+	}
+}

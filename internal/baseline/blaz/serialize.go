@@ -1,0 +1,91 @@
+package blaz
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Byte serialization of the Blaz compressed form: a fixed header followed
+// by per-block (first element, biggest coefficient, 28 int8 indices),
+// matching the storage inventory CompressedSizeBits counts.
+
+const blazMagic = 0xB1A2
+
+// Encode serializes a to bytes.
+func Encode(a *Compressed) ([]byte, error) {
+	if a.NumBlocks() <= 0 {
+		return nil, errors.New("blaz: empty compressed array")
+	}
+	if len(a.First) != a.NumBlocks() || len(a.MaxCoeff) != a.NumBlocks() ||
+		len(a.Indices) != a.NumBlocks()*keptPerBlock {
+		return nil, errors.New("blaz: inconsistent compressed array")
+	}
+	size := 2 + 4*4 + a.NumBlocks()*(8+8+keptPerBlock)
+	out := make([]byte, 0, size)
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], blazMagic)
+	out = append(out, u16[:]...)
+	var u32 [4]byte
+	for _, v := range []int{a.Rows, a.Cols, a.BlockRows, a.BlockCols} {
+		binary.LittleEndian.PutUint32(u32[:], uint32(v))
+		out = append(out, u32[:]...)
+	}
+	var u64 [8]byte
+	for k := 0; k < a.NumBlocks(); k++ {
+		binary.LittleEndian.PutUint64(u64[:], math.Float64bits(a.First[k]))
+		out = append(out, u64[:]...)
+		binary.LittleEndian.PutUint64(u64[:], math.Float64bits(a.MaxCoeff[k]))
+		out = append(out, u64[:]...)
+		for _, idx := range a.Indices[k*keptPerBlock : (k+1)*keptPerBlock] {
+			out = append(out, byte(idx))
+		}
+	}
+	return out, nil
+}
+
+// Decode parses bytes produced by Encode.
+func Decode(data []byte) (*Compressed, error) {
+	if len(data) < 2+16 {
+		return nil, errors.New("blaz: stream too short")
+	}
+	if binary.LittleEndian.Uint16(data) != blazMagic {
+		return nil, errors.New("blaz: bad magic")
+	}
+	pos := 2
+	readU32 := func() int {
+		v := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		return v
+	}
+	rows, cols := readU32(), readU32()
+	br, bc := readU32(), readU32()
+	if rows <= 0 || cols <= 0 || br <= 0 || bc <= 0 ||
+		br != (rows+BlockSide-1)/BlockSide || bc != (cols+BlockSide-1)/BlockSide {
+		return nil, fmt.Errorf("blaz: inconsistent geometry %dx%d blocks %dx%d", rows, cols, br, bc)
+	}
+	numBlocks := br * bc
+	need := pos + numBlocks*(8+8+keptPerBlock)
+	if len(data) != need {
+		return nil, fmt.Errorf("blaz: stream length %d, want %d", len(data), need)
+	}
+	a := &Compressed{
+		Rows: rows, Cols: cols,
+		BlockRows: br, BlockCols: bc,
+		First:    make([]float64, numBlocks),
+		MaxCoeff: make([]float64, numBlocks),
+		Indices:  make([]int8, numBlocks*keptPerBlock),
+	}
+	for k := 0; k < numBlocks; k++ {
+		a.First[k] = math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+		pos += 8
+		a.MaxCoeff[k] = math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+		pos += 8
+		for j := 0; j < keptPerBlock; j++ {
+			a.Indices[k*keptPerBlock+j] = int8(data[pos])
+			pos++
+		}
+	}
+	return a, nil
+}

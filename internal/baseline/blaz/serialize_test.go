@@ -1,0 +1,80 @@
+package blaz
+
+import (
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	data := smoothMatrix(9, 24, 40)
+	a, err := Compress(data, 24, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := 2 + 16 + a.NumBlocks()*(8+8+keptPerBlock)
+	if len(blob) != wantBytes {
+		t.Errorf("encoded %d bytes, want %d", len(blob), wantBytes)
+	}
+	back, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != a.Rows || back.Cols != a.Cols {
+		t.Fatal("geometry lost")
+	}
+	for k := range a.First {
+		if back.First[k] != a.First[k] || back.MaxCoeff[k] != a.MaxCoeff[k] {
+			t.Fatal("floats lost")
+		}
+	}
+	for i := range a.Indices {
+		if back.Indices[i] != a.Indices[i] {
+			t.Fatal("indices lost")
+		}
+	}
+	// Decompressing both gives identical output.
+	d1, d2 := Decompress(a), Decompress(back)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("decompression differs after round trip")
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data := smoothMatrix(10, 16, 16)
+	a, _ := Compress(data, 16, 16)
+	blob, _ := Encode(a)
+
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xFF
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := Decode(blob[:len(blob)-5]); err == nil {
+		t.Error("truncated stream should fail")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty stream should fail")
+	}
+	// Corrupt the block geometry so it disagrees with rows/cols.
+	bad2 := append([]byte(nil), blob...)
+	bad2[10] = 99
+	if _, err := Decode(bad2); err == nil {
+		t.Error("inconsistent geometry should fail")
+	}
+}
+
+func TestEncodeValidates(t *testing.T) {
+	if _, err := Encode(&Compressed{}); err == nil {
+		t.Error("empty array should fail")
+	}
+	if _, err := Encode(&Compressed{Rows: 8, Cols: 8, BlockRows: 1, BlockCols: 1,
+		First: make([]float64, 1), MaxCoeff: make([]float64, 1),
+		Indices: make([]int8, 5)}); err == nil {
+		t.Error("inconsistent index count should fail")
+	}
+}

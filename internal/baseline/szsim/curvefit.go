@@ -1,0 +1,181 @@
+package szsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+	"repro/internal/tensor"
+)
+
+// The paper describes SZ as using "a constant, linear, or quadratic
+// prediction model to predict each element in the array based on its
+// neighbors" (§II-A(b)) — the original SZ-1 curve-fitting scheme. This
+// file implements that mode alongside the Lorenzo mode: each element is
+// predicted by the best of
+//
+//	constant:  x̂ = r₁
+//	linear:    x̂ = 2r₁ − r₂
+//	quadratic: x̂ = 3r₁ − 3r₂ + r₃
+//
+// over the three preceding *reconstructed* values in raster order. If the
+// best prediction is within the error bound the 2-bit predictor choice is
+// (Huffman-)coded and the reconstruction is the prediction itself;
+// otherwise the value is stored verbatim. The point-wise bound holds
+// exactly.
+
+// curve-fit symbols: 0 unpredictable, 1 constant, 2 linear, 3 quadratic.
+const cfSymbols = 4
+
+// CompressCurveFit compresses t with the SZ-1 curve-fitting scheme.
+func CompressCurveFit(t *tensor.Tensor, s Settings) (*Compressed, error) {
+	if s.ErrorBound <= 0 || math.IsNaN(s.ErrorBound) || math.IsInf(s.ErrorBound, 0) {
+		return nil, fmt.Errorf("szsim: error bound %g must be a positive finite number", s.ErrorBound)
+	}
+	d := t.Dims()
+	if d < 1 || d > 3 {
+		return nil, fmt.Errorf("szsim: %d-dimensional arrays unsupported (1..3)", d)
+	}
+	data := t.Data()
+	n := len(data)
+	recon := make([]float64, n)
+	symbols := make([]int, n)
+	var raws []float64
+
+	for i := 0; i < n; i++ {
+		bestSym, bestPred, bestErr := 0, 0.0, math.Inf(1)
+		for sym, pred := range cfPredictions(recon, i) {
+			if e := math.Abs(data[i] - pred); e < bestErr {
+				bestErr, bestPred, bestSym = e, pred, sym+1
+			}
+		}
+		if bestErr <= s.ErrorBound {
+			symbols[i] = bestSym
+			recon[i] = bestPred
+		} else {
+			symbols[i] = 0
+			raws = append(raws, data[i])
+			recon[i] = data[i]
+		}
+	}
+
+	freqs := make([]int, cfSymbols)
+	for _, sym := range symbols {
+		freqs[sym]++
+	}
+	hc, err := bits.BuildHuffman(freqs)
+	if err != nil {
+		return nil, err
+	}
+	var w bits.Writer
+	w.WriteBits(1, 8) // mode byte: 1 = curve fit
+	for sym := 0; sym < cfSymbols; sym++ {
+		w.WriteBits(uint64(hc.Lengths[sym]), 6)
+	}
+	w.WriteBits(uint64(len(raws)), 64)
+	for _, sym := range symbols {
+		if err := hc.Encode(&w, sym); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range raws {
+		w.WriteBits(math.Float64bits(v), 64)
+	}
+	return &Compressed{
+		Shape:      append([]int(nil), t.Shape()...),
+		ErrorBound: s.ErrorBound,
+		Stream:     w.Bytes(),
+	}, nil
+}
+
+// cfPredictions returns the three candidate predictions for element i
+// from the preceding reconstructed values (missing neighbours read as 0,
+// matching the compressor's and decompressor's shared convention).
+func cfPredictions(recon []float64, i int) [3]float64 {
+	r1, r2, r3 := 0.0, 0.0, 0.0
+	if i >= 1 {
+		r1 = recon[i-1]
+	}
+	if i >= 2 {
+		r2 = recon[i-2]
+	}
+	if i >= 3 {
+		r3 = recon[i-3]
+	}
+	return [3]float64{
+		r1,               // constant
+		2*r1 - r2,        // linear
+		3*r1 - 3*r2 + r3, // quadratic
+	}
+}
+
+// DecompressCurveFit reconstructs a CompressCurveFit stream.
+func DecompressCurveFit(a *Compressed) (*tensor.Tensor, error) {
+	d := len(a.Shape)
+	if d < 1 || d > 3 {
+		return nil, fmt.Errorf("szsim: bad shape %v", a.Shape)
+	}
+	r := bits.NewReader(a.Stream)
+	mode, err := r.ReadBits(8)
+	if err != nil {
+		return nil, err
+	}
+	if mode != 1 {
+		return nil, errors.New("szsim: not a curve-fit stream")
+	}
+	lengths := make([]uint8, cfSymbols)
+	for sym := range lengths {
+		l, err := r.ReadBits(6)
+		if err != nil {
+			return nil, err
+		}
+		lengths[sym] = uint8(l)
+	}
+	hc, err := bits.NewHuffmanFromLengths(lengths)
+	if err != nil {
+		return nil, err
+	}
+	rawCount, err := r.ReadBits(64)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(a.Shape...)
+	data := out.Data()
+	n := len(data)
+	if rawCount > uint64(n) {
+		return nil, errors.New("szsim: corrupt raw count")
+	}
+	symbols := make([]int, n)
+	for i := range symbols {
+		sym, err := hc.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		if sym >= cfSymbols {
+			return nil, errors.New("szsim: bad symbol")
+		}
+		symbols[i] = sym
+	}
+	raws := make([]float64, rawCount)
+	for i := range raws {
+		v, err := r.ReadBits(64)
+		if err != nil {
+			return nil, err
+		}
+		raws[i] = math.Float64frombits(v)
+	}
+	rawPos := 0
+	for i := 0; i < n; i++ {
+		if symbols[i] == 0 {
+			if rawPos >= len(raws) {
+				return nil, errors.New("szsim: raw values exhausted")
+			}
+			data[i] = raws[rawPos]
+			rawPos++
+			continue
+		}
+		data[i] = cfPredictions(data, i)[symbols[i]-1]
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package szsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestCurveFitErrorBoundHolds(t *testing.T) {
+	for _, eb := range []float64{1e-2, 1e-4} {
+		x := smooth2D(21, 32, 32)
+		a, err := CompressCurveFit(x, Settings{ErrorBound: eb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := DecompressCurveFit(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := x.MaxAbsDiff(y); got > eb {
+			t.Errorf("eb %g: L∞ %g exceeds bound", eb, got)
+		}
+	}
+}
+
+func TestCurveFitPredictorsExactOnPolynomials(t *testing.T) {
+	// A linear sequence is predicted exactly by the linear model, a
+	// quadratic one by the quadratic model: almost everything should be
+	// predictable with a tiny bound, giving an excellent ratio.
+	n := 512
+	lin := tensor.New(n)
+	quad := tensor.New(n)
+	for i := 0; i < n; i++ {
+		lin.Data()[i] = 3 + 0.5*float64(i)
+		quad.Data()[i] = 1 + 0.1*float64(i) + 0.01*float64(i)*float64(i)
+	}
+	for name, x := range map[string]*tensor.Tensor{"linear": lin, "quadratic": quad} {
+		a, err := CompressCurveFit(x, Settings{ErrorBound: 1e-6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := DecompressCurveFit(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := x.MaxAbsDiff(y); e > 1e-6 {
+			t.Errorf("%s: error %g", name, e)
+		}
+		if r := a.Ratio(); r < 20 {
+			t.Errorf("%s: ratio %g too low for exactly-predictable data", name, r)
+		}
+	}
+}
+
+func TestCurveFitVsLorenzoOnSmoothData(t *testing.T) {
+	// Both modes must hold the bound; Lorenzo (multidimensional) should
+	// compress 2-D smooth data at least comparably.
+	x := smooth2D(22, 64, 64)
+	eb := 1e-3
+	cf, err := CompressCurveFit(x, Settings{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lz, err := Compress(x, Settings{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Ratio() < 1 || lz.Ratio() < 1 {
+		t.Errorf("ratios below 1: curvefit %g, lorenzo %g", cf.Ratio(), lz.Ratio())
+	}
+	ycf, err := DecompressCurveFit(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := x.MaxAbsDiff(ycf); e > eb {
+		t.Errorf("curve fit bound violated: %g", e)
+	}
+}
+
+func TestCurveFitModeMismatch(t *testing.T) {
+	x := smooth2D(23, 16, 16)
+	lz, _ := Compress(x, Settings{ErrorBound: 1e-3})
+	if _, err := DecompressCurveFit(lz); err == nil {
+		t.Error("decoding a Lorenzo stream as curve fit should fail")
+	}
+}
+
+func TestCurveFitValidation(t *testing.T) {
+	if _, err := CompressCurveFit(tensor.New(4, 4), Settings{ErrorBound: 0}); err == nil {
+		t.Error("zero bound should fail")
+	}
+	if _, err := CompressCurveFit(tensor.New(2, 2, 2, 2), Settings{ErrorBound: 1}); err == nil {
+		t.Error("4-D should fail")
+	}
+	x := smooth2D(24, 8, 8)
+	a, _ := CompressCurveFit(x, Settings{ErrorBound: 1e-3})
+	trunc := &Compressed{Shape: a.Shape, ErrorBound: a.ErrorBound, Stream: a.Stream[:2]}
+	if _, err := DecompressCurveFit(trunc); err == nil {
+		t.Error("truncated stream should fail")
+	}
+}
+
+func TestCurveFitBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 + rng.Intn(100)
+		x := tensor.New(n)
+		for i := range x.Data() {
+			x.Data()[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(4))-1)
+		}
+		eb := math.Pow(10, -float64(1+rng.Intn(4)))
+		a, err := CompressCurveFit(x, Settings{ErrorBound: eb})
+		if err != nil {
+			return false
+		}
+		y, err := DecompressCurveFit(a)
+		if err != nil {
+			return false
+		}
+		return x.MaxAbsDiff(y) <= eb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package szsim
+
+import "testing"
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	x := smooth2D(11, 24, 32)
+	a, err := Compress(x, Settings{ErrorBound: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ErrorBound != a.ErrorBound {
+		t.Errorf("error bound %g vs %g", back.ErrorBound, a.ErrorBound)
+	}
+	y1, err := Decompress(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := Decompress(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y1.MaxAbsDiff(y2) != 0 {
+		t.Error("round trip changed decompression")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	x := smooth2D(12, 16, 16)
+	a, _ := Compress(x, Settings{ErrorBound: 1e-3})
+	blob, _ := Encode(a)
+
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xFF
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := Decode(blob[:6]); err == nil {
+		t.Error("truncated should fail")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty should fail")
+	}
+	// Corrupt the error bound to a negative number.
+	bad2 := append([]byte(nil), blob...)
+	bad2[9] |= 0x80 // flip the float64 sign bit (little endian, top byte)
+	if _, err := Decode(bad2); err == nil {
+		t.Error("negative bound should fail")
+	}
+	// Corrupt dimensionality.
+	bad3 := append([]byte(nil), blob...)
+	bad3[10] = 9
+	if _, err := Decode(bad3); err == nil {
+		t.Error("bad dims should fail")
+	}
+}
+
+func TestEncodeValidates(t *testing.T) {
+	if _, err := Encode(&Compressed{Shape: []int{1, 1, 1, 1}, ErrorBound: 1}); err == nil {
+		t.Error("4-D should fail")
+	}
+	if _, err := Encode(&Compressed{Shape: []int{4}, ErrorBound: 0}); err == nil {
+		t.Error("zero bound should fail")
+	}
+}

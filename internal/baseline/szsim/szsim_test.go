@@ -1,0 +1,202 @@
+package szsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func smooth2D(seed int64, rows, cols int) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	p := rng.Float64()
+	t := tensor.New(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x := float64(r) / float64(rows)
+			y := float64(c) / float64(cols)
+			t.Data()[r*cols+c] = math.Sin(2*math.Pi*(x+p)) * math.Cos(2*math.Pi*y)
+		}
+	}
+	return t
+}
+
+func TestValidation(t *testing.T) {
+	x := tensor.New(8, 8)
+	for _, eb := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := Compress(x, Settings{ErrorBound: eb}); err == nil {
+			t.Errorf("error bound %g should fail", eb)
+		}
+	}
+	if _, err := Compress(tensor.New(2, 2, 2, 2), Settings{ErrorBound: 0.1}); err == nil {
+		t.Error("4-D should fail")
+	}
+}
+
+func TestErrorBoundHolds(t *testing.T) {
+	for _, eb := range []float64{1e-2, 1e-4, 1e-6} {
+		x := smooth2D(1, 32, 32)
+		a, err := Compress(x, Settings{ErrorBound: eb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := Decompress(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := x.MaxAbsDiff(y); got > eb {
+			t.Errorf("eb %g: L∞ error %g exceeds bound", eb, got)
+		}
+	}
+}
+
+func TestErrorBoundHoldsOnRandomData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(16, 16)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64() * 100
+	}
+	eb := 0.5
+	a, err := Compress(x, Settings{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := Decompress(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x.MaxAbsDiff(y); got > eb {
+		t.Errorf("random data: L∞ %g exceeds %g", got, eb)
+	}
+}
+
+func TestDimensionality(t *testing.T) {
+	for _, shape := range [][]int{{128}, {16, 16}, {8, 8, 8}, {5, 7, 9}} {
+		x := tensor.New(shape...)
+		rng := rand.New(rand.NewSource(3))
+		for i := range x.Data() {
+			x.Data()[i] = math.Sin(float64(i) / 10)
+		}
+		_ = rng
+		eb := 1e-3
+		a, err := Compress(x, Settings{ErrorBound: eb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := Decompress(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !y.SameShape(x) {
+			t.Fatalf("shape %v → %v", shape, y.Shape())
+		}
+		if got := x.MaxAbsDiff(y); got > eb {
+			t.Errorf("shape %v: L∞ %g exceeds %g", shape, got, eb)
+		}
+	}
+}
+
+func TestSmoothDataCompressesWell(t *testing.T) {
+	x := smooth2D(4, 128, 128)
+	a, err := Compress(x, Settings{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := a.Ratio(); r < 4 {
+		t.Errorf("smooth-data ratio %g unexpectedly low", r)
+	}
+	// Looser bounds compress better.
+	loose, _ := Compress(x, Settings{ErrorBound: 1e-1})
+	if loose.Ratio() <= a.Ratio() {
+		t.Errorf("looser bound should compress better: %g vs %g", loose.Ratio(), a.Ratio())
+	}
+}
+
+func TestUnpredictableValues(t *testing.T) {
+	// Huge jumps overflow the quantization range → stored raw, still
+	// within bound (exactly, in fact).
+	x := tensor.New(16)
+	for i := range x.Data() {
+		if i%2 == 0 {
+			x.Data()[i] = 1e12
+		} else {
+			x.Data()[i] = -1e12
+		}
+	}
+	eb := 1e-6
+	a, err := Compress(x, Settings{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := Decompress(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x.MaxAbsDiff(y); got > eb {
+		t.Errorf("unpredictable path: L∞ %g", got)
+	}
+}
+
+func TestConstantAndZero(t *testing.T) {
+	for _, fill := range []float64{0, 42.5} {
+		x := tensor.New(32, 32).Fill(fill)
+		a, err := Compress(x, Settings{ErrorBound: 1e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := Decompress(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := x.MaxAbsDiff(y); got > 1e-9 {
+			t.Errorf("fill %g: error %g", fill, got)
+		}
+		// Constant data should compress extremely well.
+		if r := a.Ratio(); r < 20 {
+			t.Errorf("constant-data ratio %g too low", r)
+		}
+	}
+}
+
+func TestCorruptStreams(t *testing.T) {
+	x := smooth2D(5, 16, 16)
+	a, _ := Compress(x, Settings{ErrorBound: 1e-3})
+	trunc := &Compressed{Shape: a.Shape, ErrorBound: a.ErrorBound, Stream: a.Stream[:3]}
+	if _, err := Decompress(trunc); err == nil {
+		t.Error("truncated stream should fail")
+	}
+	bad := &Compressed{Shape: []int{1, 1, 1, 1}, ErrorBound: 1e-3, Stream: a.Stream}
+	if _, err := Decompress(bad); err == nil {
+		t.Error("bad shape should fail")
+	}
+	empty := &Compressed{Shape: a.Shape, ErrorBound: a.ErrorBound, Stream: nil}
+	if _, err := Decompress(empty); err == nil {
+		t.Error("empty stream should fail")
+	}
+}
+
+func TestErrorBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 4+rng.Intn(20), 4+rng.Intn(20)
+		x := tensor.New(rows, cols)
+		for i := range x.Data() {
+			x.Data()[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(5))-2)
+		}
+		eb := math.Pow(10, -float64(1+rng.Intn(5)))
+		a, err := Compress(x, Settings{ErrorBound: eb})
+		if err != nil {
+			return false
+		}
+		y, err := Decompress(a)
+		if err != nil {
+			return false
+		}
+		return x.MaxAbsDiff(y) <= eb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

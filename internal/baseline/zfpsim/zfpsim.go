@@ -1,0 +1,329 @@
+// Package zfpsim implements a fixed-rate ZFP-like compressor for 1- to
+// 3-dimensional float64 arrays — the comparator of the paper's Fig. 3.
+// It follows the algorithmic stages the paper attributes to ZFP (§II-A(a)):
+//
+//  1. blocking into 4^d blocks,
+//  2. block floating point: each block shares the exponent of its biggest
+//     element, significands converted to fixed point,
+//  3. a reversible integer lifting transform along every axis,
+//  4. negabinary coding of the coefficients,
+//  5. bit-plane encoding in decreasing order of significance, truncated to
+//     a fixed per-block bit budget (fixed-rate mode, the only CUDA mode).
+//
+// Differences from real ZFP, documented per the reproduction rules: the
+// lifting transform is a two-level reversible S-transform rather than
+// ZFP's (4 4 4 4; 5 1 −1 −5; …)/16 lift, and bit planes are truncated
+// rather than group-tested. Both preserve the structure relevant to the
+// Fig. 3 comparison: fixed rate, block independence, O(volume) work.
+package zfpsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+	"repro/internal/tensor"
+)
+
+// BlockSide is the fixed block side length (4, as in ZFP).
+const BlockSide = 4
+
+// fixedPointBits is the target magnitude of the block-scaled integers:
+// values are scaled so the biggest element is ≈2^fixedPointBits.
+const fixedPointBits = 44
+
+// headerBits is the per-block header: 16 bits of biased exponent plus 6
+// bits locating the top negabinary bit plane.
+const headerBits = 16 + 6
+
+// Settings configures the fixed-rate compressor.
+type Settings struct {
+	// BitsPerValue is the fixed rate: total compressed bits per array
+	// element. 8, 16 and 32 give the paper's ratios 8, 4 and 2 for
+	// float64 input.
+	BitsPerValue int
+}
+
+// Compressed holds a fixed-rate compressed array.
+type Compressed struct {
+	Shape    []int
+	Settings Settings
+	// Payload is the bit-packed concatenation of per-block streams.
+	Payload []byte
+}
+
+// Ratio returns the compression ratio versus 64-bit input.
+func (s Settings) Ratio() float64 { return 64 / float64(s.BitsPerValue) }
+
+// blockBudgetBits returns the fixed total bits per block.
+func (s Settings) blockBudgetBits(blockVol int) int { return s.BitsPerValue * blockVol }
+
+// Compress compresses t at the fixed rate.
+func Compress(t *tensor.Tensor, s Settings) (*Compressed, error) {
+	d := t.Dims()
+	if d < 1 || d > 3 {
+		return nil, fmt.Errorf("zfpsim: %d-dimensional arrays unsupported (1..3)", d)
+	}
+	if s.BitsPerValue < 1 || s.BitsPerValue > 64 {
+		return nil, fmt.Errorf("zfpsim: bits per value %d out of range", s.BitsPerValue)
+	}
+	blockShape := make([]int, d)
+	for i := range blockShape {
+		blockShape[i] = BlockSide
+	}
+	blockVol := tensor.Prod(blockShape)
+	if s.blockBudgetBits(blockVol) < headerBits+1 {
+		return nil, fmt.Errorf("zfpsim: rate %d too low for the %d-bit header", s.BitsPerValue, headerBits)
+	}
+	blocked := tensor.BlockTensor(t, blockShape)
+	numBlocks := blocked.NumBlocks()
+
+	// Fixed rate is what makes ZFP parallelizable (and is the only CUDA
+	// mode, per the paper's Fig. 3 caption): every block's output length
+	// is known in advance, so blocks are encoded concurrently into
+	// per-block buffers and concatenated afterwards.
+	budget := s.blockBudgetBits(blockVol)
+	blockStreams := make([][]byte, numBlocks)
+	tensor.ParallelFor(numBlocks, func(start, end int) {
+		ints := make([]int64, blockVol)
+		neg := make([]uint64, blockVol)
+		for k := start; k < end; k++ {
+			var bw bits.Writer
+			writeBlock(&bw, blocked.Block(k), blockShape, ints, neg, budget)
+			blockStreams[k] = bw.Bytes()
+		}
+	})
+	var w bits.Writer
+	for _, bs := range blockStreams {
+		w.AppendBits(bs, budget)
+	}
+	return &Compressed{
+		Shape:    append([]int(nil), t.Shape()...),
+		Settings: s,
+		Payload:  w.Bytes(),
+	}, nil
+}
+
+func writeBlock(w *bits.Writer, block []float64, blockShape []int, ints []int64, neg []uint64, budget int) {
+	// Block floating point: shared exponent of the biggest element.
+	maxAbs := 0.0
+	for _, v := range block {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	used := 0
+	if maxAbs == 0 || math.IsInf(maxAbs, 0) || math.IsNaN(maxAbs) {
+		// Zero (or non-finite, which we degrade to zero) block: a zero
+		// exponent field means "empty block"; pad to the fixed rate.
+		w.WriteBits(0, 16)
+		used = 16
+		for ; used < budget; used++ {
+			w.WriteBit(0)
+		}
+		return
+	}
+	_, e := math.Frexp(maxAbs) // maxAbs = f·2^e, f ∈ [0.5, 1)
+	// e+16384 fits in 15 bits; bit 15 is set to distinguish the header
+	// from the zero-block sentinel.
+	w.WriteBits(uint64(e+16384)|(1<<15), 16)
+	used = 16
+	scale := math.Ldexp(1, fixedPointBits-e)
+	for i, v := range block {
+		ints[i] = int64(math.RoundToEven(v * scale))
+	}
+	// Reversible lifting along each axis.
+	forwardLift(ints, blockShape)
+	// Negabinary and top-plane location.
+	top := 0
+	for i, v := range ints {
+		neg[i] = bits.ToNegabinary(v)
+		if b := bitLen(neg[i]); b > top {
+			top = b
+		}
+	}
+	if top == 0 {
+		top = 1
+	}
+	w.WriteBits(uint64(top), 6)
+	used += 6
+	// Bit planes, most significant first, truncated at the fixed budget.
+	for plane := top - 1; plane >= 0 && used < budget; plane-- {
+		for i := range neg {
+			if used >= budget {
+				break
+			}
+			w.WriteBit(uint8(neg[i] >> uint(plane) & 1))
+			used++
+		}
+	}
+	for ; used < budget; used++ {
+		w.WriteBit(0)
+	}
+}
+
+// Decompress reconstructs the array.
+func Decompress(a *Compressed) (*tensor.Tensor, error) {
+	d := len(a.Shape)
+	if d < 1 || d > 3 {
+		return nil, fmt.Errorf("zfpsim: bad shape %v", a.Shape)
+	}
+	blockShape := make([]int, d)
+	for i := range blockShape {
+		blockShape[i] = BlockSide
+	}
+	blockVol := tensor.Prod(blockShape)
+	blocked := &tensor.Blocked{
+		Shape:      append([]int(nil), a.Shape...),
+		BlockShape: blockShape,
+		Blocks:     tensor.CeilDiv(a.Shape, blockShape),
+		Data:       make([]float64, 0),
+	}
+	numBlocks := tensor.Prod(blocked.Blocks)
+	blocked.Data = make([]float64, numBlocks*blockVol)
+
+	budget := a.Settings.blockBudgetBits(blockVol)
+	r := bits.NewReader(a.Payload)
+	neg := make([]uint64, blockVol)
+	ints := make([]int64, blockVol)
+	for k := 0; k < numBlocks; k++ {
+		if err := readBlock(r, blocked.Block(k), blockShape, ints, neg, budget); err != nil {
+			return nil, err
+		}
+	}
+	return blocked.Unblock(), nil
+}
+
+func readBlock(r *bits.Reader, block []float64, blockShape []int, ints []int64, neg []uint64, budget int) error {
+	head, err := r.ReadBits(16)
+	if err != nil {
+		return err
+	}
+	used := 16
+	if head == 0 {
+		if err := skip(r, budget-used); err != nil {
+			return err
+		}
+		for i := range block {
+			block[i] = 0
+		}
+		return nil
+	}
+	e := int(head&0x7FFF) - 16384
+	topBits, err := r.ReadBits(6)
+	if err != nil {
+		return err
+	}
+	used += 6
+	top := int(topBits)
+	for i := range neg {
+		neg[i] = 0
+	}
+	for plane := top - 1; plane >= 0 && used < budget; plane-- {
+		for i := range neg {
+			if used >= budget {
+				break
+			}
+			b, err := r.ReadBit()
+			if err != nil {
+				return err
+			}
+			neg[i] |= uint64(b) << uint(plane)
+			used++
+		}
+	}
+	if err := skip(r, budget-used); err != nil {
+		return err
+	}
+	for i := range neg {
+		ints[i] = bits.FromNegabinary(neg[i])
+	}
+	inverseLift(ints, blockShape)
+	scale := math.Ldexp(1, e-fixedPointBits)
+	for i := range block {
+		block[i] = float64(ints[i]) * scale
+	}
+	return nil
+}
+
+func skip(r *bits.Reader, n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := r.ReadBit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func bitLen(v uint64) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// --- reversible integer lifting (two-level S-transform per axis) ---
+
+// st is the forward S-transform pair step: exactly invertible in integers.
+func st(a, b int64) (l, h int64) {
+	h = a - b
+	l = b + (h >> 1)
+	return l, h
+}
+
+// ist inverts st.
+func ist(l, h int64) (a, b int64) {
+	b = l - (h >> 1)
+	a = h + b
+	return a, b
+}
+
+// forwardLift applies the two-level S-transform along every axis of a
+// 4-per-side block (axis 0 first), ordering outputs [LL, HL, H0, H1] per
+// line so that significance decreases with index.
+func forwardLift(v []int64, blockShape []int) {
+	for d := 0; d < len(blockShape); d++ {
+		eachLine(blockShape, d, func(idx [4]int) {
+			x0, x1, x2, x3 := v[idx[0]], v[idx[1]], v[idx[2]], v[idx[3]]
+			l0, h0 := st(x0, x1)
+			l1, h1 := st(x2, x3)
+			ll, hl := st(l0, l1)
+			v[idx[0]], v[idx[1]], v[idx[2]], v[idx[3]] = ll, hl, h0, h1
+		})
+	}
+}
+
+// inverseLift inverts forwardLift, undoing the axes in reverse order —
+// integer lifting steps along different axes do not commute.
+func inverseLift(v []int64, blockShape []int) {
+	for d := len(blockShape) - 1; d >= 0; d-- {
+		eachLine(blockShape, d, func(idx [4]int) {
+			ll, hl, h0, h1 := v[idx[0]], v[idx[1]], v[idx[2]], v[idx[3]]
+			l0, l1 := ist(ll, hl)
+			x0, x1 := ist(l0, h0)
+			x2, x3 := ist(l1, h1)
+			v[idx[0]], v[idx[1]], v[idx[2]], v[idx[3]] = x0, x1, x2, x3
+		})
+	}
+}
+
+// eachLine visits every length-4 line along axis d of the block, passing
+// the four flat indices of each line.
+func eachLine(blockShape []int, d int, fn func(idx [4]int)) {
+	vol := tensor.Prod(blockShape)
+	stride := 1
+	for dd := d + 1; dd < len(blockShape); dd++ {
+		stride *= blockShape[dd]
+	}
+	L := blockShape[d]
+	outerCount := vol / (L * stride)
+	for outer := 0; outer < outerCount; outer++ {
+		base := outer * L * stride
+		for inner := 0; inner < stride; inner++ {
+			o := base + inner
+			fn([4]int{o, o + stride, o + 2*stride, o + 3*stride})
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package bits provides the bit-granular I/O used by the compressed-form
+// serializers: a bit writer/reader, the negabinary codec used by the
+// ZFP-like baseline, and a canonical Huffman codec used by the SZ-like
+// baseline.
+package bits
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Writer accumulates bits most-significant-first into a byte buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  byte
+	nCur uint // bits currently in cur, 0..7
+}
+
+// WriteBits appends the low n bits of v, most significant first. n must be
+// in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bits: WriteBits n=%d out of range", n))
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(uint8(v>>uint(i)) & 1)
+	}
+}
+
+// WriteBit appends a single bit (0 or 1).
+func (w *Writer) WriteBit(b uint8) {
+	w.cur = w.cur<<1 | (b & 1)
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteBool appends a single bit from a bool.
+func (w *Writer) WriteBool(b bool) {
+	if b {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+}
+
+// Len returns the number of whole bits written so far.
+func (w *Writer) Len() int { return len(w.buf)*8 + int(w.nCur) }
+
+// AppendBits appends the first nbits bits of buf (most significant bit of
+// buf[0] first). It lets independently produced bit streams — e.g.
+// fixed-rate blocks encoded in parallel — be concatenated without byte
+// alignment.
+func (w *Writer) AppendBits(buf []byte, nbits int) {
+	if nbits > len(buf)*8 {
+		panic(fmt.Sprintf("bits: AppendBits wants %d bits, buffer has %d", nbits, len(buf)*8))
+	}
+	// Fast path: the writer is byte-aligned and so is the suffix.
+	if w.nCur == 0 && nbits%8 == 0 {
+		w.buf = append(w.buf, buf[:nbits/8]...)
+		return
+	}
+	full := nbits / 8
+	for _, b := range buf[:full] {
+		w.WriteBits(uint64(b), 8)
+	}
+	if rem := uint(nbits % 8); rem > 0 {
+		w.WriteBits(uint64(buf[full]>>(8-rem)), rem)
+	}
+}
+
+// Bytes flushes any partial byte (zero-padded at the low end) and returns
+// the buffer. The writer may continue to be used; subsequent calls reflect
+// additional writes.
+func (w *Writer) Bytes() []byte {
+	out := append([]byte(nil), w.buf...)
+	if w.nCur > 0 {
+		out = append(out, w.cur<<(8-w.nCur))
+	}
+	return out
+}
+
+// Reader consumes bits most-significant-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewReader returns a Reader over buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ErrOutOfBits is returned when a read runs past the end of the buffer.
+var ErrOutOfBits = errors.New("bits: read past end of stream")
+
+// ReadBit consumes one bit.
+func (r *Reader) ReadBit() (uint8, error) {
+	if r.pos >= len(r.buf)*8 {
+		return 0, ErrOutOfBits
+	}
+	b := r.buf[r.pos/8] >> (7 - uint(r.pos%8)) & 1
+	r.pos++
+	return b, nil
+}
+
+// ReadBool consumes one bit as a bool.
+func (r *Reader) ReadBool() (bool, error) {
+	b, err := r.ReadBit()
+	return b == 1, err
+}
+
+// ReadBits consumes n bits (n ≤ 64), most significant first.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		panic(fmt.Sprintf("bits: ReadBits n=%d out of range", n))
+	}
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return len(r.buf)*8 - r.pos }
+
+// SignExtend interprets the low n bits of v as an n-bit two's-complement
+// integer and widens it to int64.
+func SignExtend(v uint64, n uint) int64 {
+	if n == 0 {
+		return 0
+	}
+	if n >= 64 {
+		return int64(v)
+	}
+	shift := 64 - n
+	return int64(v<<shift) >> shift
+}

@@ -1,0 +1,400 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0, 1)
+	w.WriteBits(0b11, 2)
+	if w.Len() != 14 {
+		t.Fatalf("Len = %d, want 14", w.Len())
+	}
+	r := NewReader(w.Bytes())
+	for _, c := range []struct {
+		n    uint
+		want uint64
+	}{{3, 0b101}, {8, 0xFF}, {1, 0}, {2, 0b11}} {
+		got, err := r.ReadBits(c.n)
+		if err != nil || got != c.want {
+			t.Fatalf("ReadBits(%d) = %d, %v; want %d", c.n, got, err, c.want)
+		}
+	}
+}
+
+func TestWriteBool(t *testing.T) {
+	var w Writer
+	w.WriteBool(true)
+	w.WriteBool(false)
+	w.WriteBool(true)
+	r := NewReader(w.Bytes())
+	for i, want := range []bool{true, false, true} {
+		got, err := r.ReadBool()
+		if err != nil || got != want {
+			t.Fatalf("bit %d = %v, %v", i, got, err)
+		}
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xAB})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrOutOfBits {
+		t.Fatalf("want ErrOutOfBits, got %v", err)
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	r := NewReader([]byte{0, 0})
+	if r.Remaining() != 16 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+	r.ReadBits(5)
+	if r.Remaining() != 11 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+}
+
+func TestWriterReuseAfterBytes(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b1, 1)
+	b1 := w.Bytes()
+	w.WriteBits(0b1111111, 7)
+	b2 := w.Bytes()
+	if len(b1) != 1 || b1[0] != 0x80 {
+		t.Fatalf("b1 = %v", b1)
+	}
+	if len(b2) != 1 || b2[0] != 0xFF {
+		t.Fatalf("b2 = %v", b2)
+	}
+}
+
+func TestWriteBitsPanicsOver64(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WriteBits(65) should panic")
+		}
+	}()
+	var w Writer
+	w.WriteBits(0, 65)
+}
+
+func TestSignExtend(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		n    uint
+		want int64
+	}{
+		{0b0111, 4, 7},
+		{0b1000, 4, -8},
+		{0b1111, 4, -1},
+		{0xFF, 8, -1},
+		{0x7F, 8, 127},
+		{0, 0, 0},
+		{0xFFFFFFFFFFFFFFFF, 64, -1},
+	}
+	for _, c := range cases {
+		if got := SignExtend(c.v, c.n); got != c.want {
+			t.Errorf("SignExtend(%#x, %d) = %d, want %d", c.v, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRoundTripRandomBits(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var w Writer
+		type rec struct {
+			v uint64
+			n uint
+		}
+		var recs []rec
+		for i := 0; i < 50; i++ {
+			n := uint(rng.Intn(64) + 1)
+			v := rng.Uint64() & (^uint64(0) >> (64 - n))
+			recs = append(recs, rec{v, n})
+			w.WriteBits(v, n)
+		}
+		r := NewReader(w.Bytes())
+		for _, rc := range recs {
+			got, err := r.ReadBits(rc.n)
+			if err != nil || got != rc.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegabinaryRoundTrip(t *testing.T) {
+	for _, x := range []int64{0, 1, -1, 2, -2, 127, -128, 1 << 20, -(1 << 20), 1<<62 - 1} {
+		if got := FromNegabinary(ToNegabinary(x)); got != x {
+			t.Errorf("negabinary round trip %d → %d", x, got)
+		}
+	}
+}
+
+func TestNegabinarySmallMagnitudeSmallBits(t *testing.T) {
+	// Negabinary of 0 is 0; small magnitudes use few significant bits.
+	if ToNegabinary(0) != 0 {
+		t.Errorf("ToNegabinary(0) = %d", ToNegabinary(0))
+	}
+	if ToNegabinary(1) != 1 {
+		t.Errorf("ToNegabinary(1) = %d", ToNegabinary(1))
+	}
+	// -1 in negabinary is 11 (= -2+1... base -2: 1·(-2)+1·1 = -1).
+	if ToNegabinary(-1) != 0b11 {
+		t.Errorf("ToNegabinary(-1) = %b", ToNegabinary(-1))
+	}
+}
+
+func TestNegabinaryProperty(t *testing.T) {
+	f := func(x int64) bool {
+		x >>= 2 // keep away from the extremes where +mask overflows meaningfully
+		return FromNegabinary(ToNegabinary(x)) == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHuffmanRoundTrip(t *testing.T) {
+	freqs := []int{50, 30, 10, 5, 5, 0, 1}
+	hc, err := BuildHuffman(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var syms []int
+	var w Writer
+	for i := 0; i < 500; i++ {
+		s := rng.Intn(len(freqs))
+		if freqs[s] == 0 {
+			s = 0
+		}
+		syms = append(syms, s)
+		if err := hc.Encode(&w, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range syms {
+		got, err := hc.Decode(r)
+		if err != nil || got != want {
+			t.Fatalf("symbol %d: got %d, %v; want %d", i, got, err, want)
+		}
+	}
+}
+
+func TestHuffmanOptimality(t *testing.T) {
+	// More frequent symbols must not get longer codes.
+	freqs := []int{100, 50, 20, 5, 1}
+	hc, err := BuildHuffman(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(freqs); i++ {
+		if hc.Lengths[i-1] > hc.Lengths[i] {
+			t.Errorf("symbol %d (freq %d) has longer code than symbol %d (freq %d): %d > %d",
+				i-1, freqs[i-1], i, freqs[i], hc.Lengths[i-1], hc.Lengths[i])
+		}
+	}
+}
+
+func TestHuffmanKraftEquality(t *testing.T) {
+	// A full binary Huffman tree satisfies Kraft equality Σ 2^-l = 1.
+	freqs := []int{7, 7, 6, 5, 3, 2, 1, 1, 1}
+	hc, err := BuildHuffman(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, l := range hc.Lengths {
+		if l > 0 {
+			sum += 1 / float64(uint64(1)<<l)
+		}
+	}
+	if sum != 1.0 {
+		t.Errorf("Kraft sum = %g, want 1", sum)
+	}
+}
+
+func TestHuffmanSingleSymbol(t *testing.T) {
+	hc, err := BuildHuffman([]int{0, 42, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w Writer
+	for i := 0; i < 5; i++ {
+		if err := hc.Encode(&w, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(w.Bytes())
+	for i := 0; i < 5; i++ {
+		got, err := hc.Decode(r)
+		if err != nil || got != 1 {
+			t.Fatalf("single-symbol decode: %d, %v", got, err)
+		}
+	}
+}
+
+func TestHuffmanErrors(t *testing.T) {
+	if _, err := BuildHuffman([]int{0, 0}); err == nil {
+		t.Error("all-zero frequencies should fail")
+	}
+	hc, _ := BuildHuffman([]int{1, 1})
+	var w Writer
+	if err := hc.Encode(&w, 5); err == nil {
+		t.Error("encoding unknown symbol should fail")
+	}
+	if err := hc.Encode(&w, -1); err == nil {
+		t.Error("encoding negative symbol should fail")
+	}
+}
+
+func TestHuffmanFromLengths(t *testing.T) {
+	freqs := []int{40, 30, 20, 10}
+	hc, err := BuildHuffman(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc2, err := NewHuffmanFromLengths(hc.Lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Codes must agree: encode with one, decode with the other.
+	var w Writer
+	seq := []int{0, 1, 2, 3, 2, 1, 0}
+	for _, s := range seq {
+		if err := hc.Encode(&w, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range seq {
+		got, err := hc2.Decode(r)
+		if err != nil || got != want {
+			t.Fatalf("cross decode %d: %d, %v", i, got, err)
+		}
+	}
+	if _, err := NewHuffmanFromLengths([]uint8{0, 0}); err == nil {
+		t.Error("empty lengths should fail")
+	}
+}
+
+func TestHuffmanRandomRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		freqs := make([]int, n)
+		for i := range freqs {
+			freqs[i] = rng.Intn(100)
+		}
+		freqs[rng.Intn(n)] = 1 + rng.Intn(100) // ensure at least one positive
+		hc, err := BuildHuffman(freqs)
+		if err != nil {
+			return false
+		}
+		var w Writer
+		var syms []int
+		for i := 0; i < 100; i++ {
+			s := rng.Intn(n)
+			if freqs[s] == 0 {
+				continue
+			}
+			syms = append(syms, s)
+			if hc.Encode(&w, s) != nil {
+				return false
+			}
+		}
+		r := NewReader(w.Bytes())
+		for _, want := range syms {
+			got, err := hc.Decode(r)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendBits(t *testing.T) {
+	// Byte-aligned fast path.
+	var w Writer
+	w.AppendBits([]byte{0xAB, 0xCD}, 16)
+	got := w.Bytes()
+	if len(got) != 2 || got[0] != 0xAB || got[1] != 0xCD {
+		t.Fatalf("aligned append = %x", got)
+	}
+	// Unaligned: 3 bits then 13 bits from a buffer.
+	var w2 Writer
+	w2.WriteBits(0b101, 3)
+	w2.AppendBits([]byte{0xFF, 0xE0}, 13) // 1111111111100 (13 bits)
+	r := NewReader(w2.Bytes())
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Fatalf("prefix = %b", v)
+	}
+	v, _ := r.ReadBits(13)
+	if v != 0b1111111111100 {
+		t.Fatalf("appended = %b", v)
+	}
+	// Panic on overflow.
+	defer func() {
+		if recover() == nil {
+			t.Error("AppendBits over buffer length should panic")
+		}
+	}()
+	w2.AppendBits([]byte{0x00}, 9)
+}
+
+func TestAppendBitsRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Build a reference stream with WriteBits and the same stream by
+		// appending pre-rendered chunks; the bytes must agree.
+		var ref, app Writer
+		app.WriteBits(uint64(rng.Intn(2)), uint(rng.Intn(7)+1)) // misalign
+		refPrefixBits := app.Len()
+		prefix := app.Bytes()
+		_ = prefix
+		for i := 0; i < 5; i++ {
+			n := rng.Intn(40) + 1
+			v := rng.Uint64() & (^uint64(0) >> (64 - uint(n)))
+			ref.WriteBits(v, uint(n))
+			var chunk Writer
+			chunk.WriteBits(v, uint(n))
+			app.AppendBits(chunk.Bytes(), n)
+		}
+		// Compare only the written payload bits (the final byte's zero
+		// padding may legitimately differ between the two streams).
+		payloadBits := ref.Len()
+		ra := NewReader(app.Bytes())
+		ra.ReadBits(uint(refPrefixBits))
+		rr := NewReader(ref.Bytes())
+		for i := 0; i < payloadBits; i++ {
+			want, err1 := rr.ReadBit()
+			got, err2 := ra.ReadBit()
+			if err1 != nil || err2 != nil || want != got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+package bits
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Huffman coding of small-alphabet symbol streams, used by the SZ-like
+// baseline to entropy-code quantization codes. Codes are canonical so the
+// table serializes as one code length per symbol.
+
+// HuffmanCode holds a canonical Huffman code for symbols 0..n-1.
+type HuffmanCode struct {
+	// Lengths[s] is the code length in bits for symbol s (0 = unused).
+	Lengths []uint8
+	codes   []uint64
+	root    *huffNode
+}
+
+type huffNode struct {
+	sym         int // -1 for internal nodes
+	left, right *huffNode
+}
+
+// BuildHuffman constructs a canonical Huffman code from symbol
+// frequencies. Symbols with zero frequency get no code; at least one
+// symbol must have positive frequency.
+func BuildHuffman(freqs []int) (*HuffmanCode, error) {
+	type node struct {
+		weight      int
+		sym         int // leaf symbol, -1 internal
+		order       int // deterministic tie-break
+		left, right *node
+	}
+	var pool []*node
+	for s, f := range freqs {
+		if f > 0 {
+			pool = append(pool, &node{weight: f, sym: s, order: s})
+		}
+	}
+	if len(pool) == 0 {
+		return nil, errors.New("bits: no symbols with positive frequency")
+	}
+	lengths := make([]uint8, len(freqs))
+	if len(pool) == 1 {
+		lengths[pool[0].sym] = 1
+		return newCanonical(lengths)
+	}
+	order := len(freqs)
+	for len(pool) > 1 {
+		sort.SliceStable(pool, func(i, j int) bool {
+			if pool[i].weight != pool[j].weight {
+				return pool[i].weight < pool[j].weight
+			}
+			return pool[i].order < pool[j].order
+		})
+		a, b := pool[0], pool[1]
+		m := &node{weight: a.weight + b.weight, sym: -1, order: order, left: a, right: b}
+		order++
+		pool = append([]*node{m}, pool[2:]...)
+	}
+	var walk func(n *node, depth uint8)
+	walk = func(n *node, depth uint8) {
+		if n.left == nil {
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(pool[0], 0)
+	return newCanonical(lengths)
+}
+
+// NewHuffmanFromLengths reconstructs a canonical code from stored lengths.
+func NewHuffmanFromLengths(lengths []uint8) (*HuffmanCode, error) {
+	return newCanonical(append([]uint8(nil), lengths...))
+}
+
+func newCanonical(lengths []uint8) (*HuffmanCode, error) {
+	hc := &HuffmanCode{Lengths: lengths, codes: make([]uint64, len(lengths))}
+	type ls struct {
+		sym int
+		len uint8
+	}
+	var syms []ls
+	for s, l := range lengths {
+		if l > 0 {
+			if l > 63 {
+				return nil, fmt.Errorf("bits: code length %d too long", l)
+			}
+			syms = append(syms, ls{s, l})
+		}
+	}
+	if len(syms) == 0 {
+		return nil, errors.New("bits: empty code")
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].len != syms[j].len {
+			return syms[i].len < syms[j].len
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	code := uint64(0)
+	prevLen := syms[0].len
+	for _, s := range syms {
+		code <<= uint(s.len - prevLen)
+		prevLen = s.len
+		hc.codes[s.sym] = code
+		code++
+	}
+	hc.root = &huffNode{sym: -1}
+	for s, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		n := hc.root
+		c := hc.codes[s]
+		for i := int(l) - 1; i >= 0; i-- {
+			bit := (c >> uint(i)) & 1
+			if bit == 0 {
+				if n.left == nil {
+					n.left = &huffNode{sym: -1}
+				}
+				n = n.left
+			} else {
+				if n.right == nil {
+					n.right = &huffNode{sym: -1}
+				}
+				n = n.right
+			}
+		}
+		n.sym = s
+	}
+	return hc, nil
+}
+
+// Encode writes the code for symbol s.
+func (hc *HuffmanCode) Encode(w *Writer, s int) error {
+	if s < 0 || s >= len(hc.Lengths) || hc.Lengths[s] == 0 {
+		return fmt.Errorf("bits: symbol %d has no code", s)
+	}
+	w.WriteBits(hc.codes[s], uint(hc.Lengths[s]))
+	return nil
+}
+
+// Decode reads one symbol.
+func (hc *HuffmanCode) Decode(r *Reader) (int, error) {
+	n := hc.root
+	for {
+		if n == nil {
+			return 0, errors.New("bits: invalid Huffman stream")
+		}
+		if n.sym >= 0 {
+			return n.sym, nil
+		}
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+}

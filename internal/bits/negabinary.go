@@ -1,0 +1,21 @@
+package bits
+
+// Negabinary (base −2) coding maps signed integers to unsigned bit
+// patterns such that small-magnitude values have few significant bits,
+// with no separate sign bit. ZFP uses it so that coefficient bit planes
+// can be emitted in decreasing order of significance (§II-A(a) of the
+// paper); the zfpsim baseline reuses that design.
+
+// ToNegabinary converts a two's-complement integer to its negabinary
+// representation, following the ZFP mapping:
+// u = (x + 0xAAAA...) ^ 0xAAAA....
+func ToNegabinary(x int64) uint64 {
+	const mask = 0xAAAAAAAAAAAAAAAA
+	return (uint64(x) + mask) ^ mask
+}
+
+// FromNegabinary inverts ToNegabinary.
+func FromNegabinary(u uint64) int64 {
+	const mask = 0xAAAAAAAAAAAAAAAA
+	return int64((u ^ mask) - mask)
+}

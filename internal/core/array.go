@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// CompressedArray is the compressed form of §III-B: the original shape s,
+// the block shape i (carried in Settings), the biggest coefficient N per
+// block, and the flattened kept bin indices F. It is self-describing: it
+// carries the settings it was produced with so it can be serialized and
+// validated against the operating compressor.
+type CompressedArray struct {
+	// Shape is the original array shape s.
+	Shape []int
+	// Blocks is the block-count shape b = ⌈s ⊘ i⌉.
+	Blocks []int
+	// N holds the biggest coefficient magnitude per block, rounded to the
+	// configured float type; length ∏b.
+	N []float64
+	// F holds the kept bin indices, block-major then kept-position order;
+	// length ∏b · K where K is the number of kept coefficients per block.
+	F []int64
+	// Settings records the compression settings used.
+	Settings Settings
+}
+
+// NumBlocks returns the total number of blocks ∏b.
+func (a *CompressedArray) NumBlocks() int { return tensor.Prod(a.Blocks) }
+
+// Kept returns the number of kept coefficients per block.
+func (a *CompressedArray) Kept() int {
+	if a.NumBlocks() == 0 {
+		return 0
+	}
+	return len(a.F) / a.NumBlocks()
+}
+
+// PaddedShape returns the zero-padded shape b⊙i the blocks tile.
+func (a *CompressedArray) PaddedShape() []int {
+	return tensor.Mul(a.Blocks, a.Settings.BlockShape)
+}
+
+// PaddedLen returns ∏(b⊙i), the number of elements in the padded domain.
+func (a *CompressedArray) PaddedLen() int { return tensor.Prod(a.PaddedShape()) }
+
+// OriginalLen returns ∏s.
+func (a *CompressedArray) OriginalLen() int { return tensor.Prod(a.Shape) }
+
+// Clone returns a deep copy.
+func (a *CompressedArray) Clone() *CompressedArray {
+	c := &CompressedArray{
+		Shape:    append([]int(nil), a.Shape...),
+		Blocks:   append([]int(nil), a.Blocks...),
+		N:        append([]float64(nil), a.N...),
+		F:        append([]int64(nil), a.F...),
+		Settings: a.Settings,
+	}
+	c.Settings.BlockShape = append([]int(nil), a.Settings.BlockShape...)
+	if a.Settings.Mask != nil {
+		c.Settings.Mask = append([]bool(nil), a.Settings.Mask...)
+	}
+	return c
+}
+
+// checkOwned verifies a was produced with this compressor's settings.
+func (c *Compressor) checkOwned(a *CompressedArray) error {
+	if !c.settings.equal(a.Settings) {
+		return fmt.Errorf("core: compressed array settings %v/%v/%v do not match compressor %v/%v/%v",
+			a.Settings.BlockShape, a.Settings.FloatType, a.Settings.IndexType,
+			c.settings.BlockShape, c.settings.FloatType, c.settings.IndexType)
+	}
+	return nil
+}
+
+// checkPair verifies a and b are interoperable: same settings and shape,
+// as required by the binary operations of Table I.
+func (c *Compressor) checkPair(a, b *CompressedArray) error {
+	if err := c.checkOwned(a); err != nil {
+		return err
+	}
+	if err := c.checkOwned(b); err != nil {
+		return err
+	}
+	if !tensor.EqualShape(a.Shape, b.Shape) {
+		return fmt.Errorf("core: shape mismatch %v vs %v", a.Shape, b.Shape)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/scalar"
+	"repro/internal/transform"
+)
+
+func TestAxiomsHoldAcrossConfigurations(t *testing.T) {
+	configs := []Settings{
+		func() Settings {
+			s := DefaultSettings(4, 4)
+			s.FloatType = scalar.Float64
+			return s
+		}(),
+		DefaultSettings(8, 8), // float32/int16
+		func() Settings {
+			s := DefaultSettings(4, 4)
+			s.IndexType = scalar.Int8
+			return s
+		}(),
+		func() Settings {
+			s := DefaultSettings(4, 4, 4)
+			s.Transform = transform.Haar
+			return s
+		}(),
+		func() Settings {
+			s := DefaultSettings(8, 8)
+			s.Transform = transform.WalshHadamard
+			return s
+		}(),
+	}
+	shapes := [][]int{{16, 16}, {24, 16}, {16, 16}, {8, 8, 8}, {16, 16}}
+	for i, s := range configs {
+		c := mustCompressor(t, s)
+		results, err := c.CheckAxioms(rand.New(rand.NewSource(int64(i))), shapes[i], 5)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		for _, r := range results {
+			if !r.Ok() {
+				t.Errorf("config %d (%v/%v): axiom violated: %s", i, s.FloatType, s.IndexType, r)
+			}
+			if r.Trials != 5 {
+				t.Errorf("config %d: axiom %q ran %d trials", i, r.Name, r.Trials)
+			}
+		}
+	}
+}
+
+func TestAxiomsReducedPrecision(t *testing.T) {
+	// bfloat16 configurations still satisfy the algebra within the widened
+	// tolerance (√ε of the storage type).
+	s := DefaultSettings(4, 4)
+	s.FloatType = scalar.BFloat16
+	c := mustCompressor(t, s)
+	results, err := c.CheckAxioms(rand.New(rand.NewSource(9)), []int{16, 16}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Ok() {
+			t.Errorf("bfloat16: %s", r)
+		}
+	}
+}
+
+func TestAxiomResultString(t *testing.T) {
+	ok := AxiomResult{Name: "x", Trials: 3}
+	if !strings.Contains(ok.String(), "ok") {
+		t.Errorf("ok result string %q", ok.String())
+	}
+	bad := AxiomResult{Name: "x", Trials: 3, Failures: 1, WorstError: 0.5}
+	if !strings.Contains(bad.String(), "FAILED 1/3") {
+		t.Errorf("bad result string %q", bad.String())
+	}
+	if bad.Ok() {
+		t.Error("result with failures should not be Ok")
+	}
+}
+
+func TestCheckAxiomsMinTrials(t *testing.T) {
+	c := mustCompressor(t, DefaultSettings(4, 4))
+	results, err := c.CheckAxioms(rand.New(rand.NewSource(1)), []int{8, 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Trials != 1 {
+			t.Errorf("trials clamped to %d, want 1", r.Trials)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Compress runs the five-step pipeline of §III-A on t and returns the
+// compressed array {s, i, N, F}.
+//
+// Reduced precision is emulated bit-exactly: the input is rounded through
+// the configured float type before blocking, and each block's transform
+// coefficients and biggest coefficient N are rounded through it again, so
+// the overflow-to-Inf and NaN behaviour the paper observes for float16 and
+// bfloat16 (Fig. 5) is reproduced in software.
+func (c *Compressor) Compress(t *tensor.Tensor) (*CompressedArray, error) {
+	if t.Dims() != len(c.settings.BlockShape) {
+		return nil, fmt.Errorf("core: tensor has %d dims, block shape %v has %d",
+			t.Dims(), c.settings.BlockShape, len(c.settings.BlockShape))
+	}
+
+	// Step 1: data type conversion.
+	conv := t
+	if ft := c.settings.FloatType; ft.Bits() < 64 {
+		conv = t.Map(ft.Round)
+	}
+
+	// Step 2: blocking (zero-padded to block-shape multiples).
+	blocked := tensor.BlockTensor(conv, c.settings.BlockShape)
+
+	numBlocks := blocked.NumBlocks()
+	blockVol := blocked.BlockVol()
+	K := len(c.keep)
+	out := &CompressedArray{
+		Shape:    append([]int(nil), t.Shape()...),
+		Blocks:   append([]int(nil), blocked.Blocks...),
+		N:        make([]float64, numBlocks),
+		F:        make([]int64, numBlocks*K),
+		Settings: c.Settings(),
+	}
+
+	ft := c.settings.FloatType
+	it := c.settings.IndexType
+	r := c.radius
+
+	// Steps 3–5 per block: orthonormal transform, binning, pruning.
+	tensor.ParallelFor(numBlocks, func(start, end int) {
+		scratch := make([]float64, blockVol)
+		for k := start; k < end; k++ {
+			block := blocked.Block(k)
+			c.tr.ForwardBlock(block, c.settings.BlockShape, scratch)
+			// Emulate computing the transform in the reduced precision.
+			if ft.Bits() < 64 {
+				for i, v := range block {
+					block[i] = ft.Round(v)
+				}
+			}
+			// Binning: N_k = ‖C_k‖∞ over the whole block (§III-A(d)).
+			nk := 0.0
+			for _, v := range block {
+				if a := math.Abs(v); a > nk || math.IsNaN(a) {
+					nk = a
+				}
+			}
+			nk = ft.Round(nk)
+			out.N[k] = nk
+			// I = int(round(r·C ⊘ N)), kept positions only (pruning).
+			dst := out.F[k*K : (k+1)*K]
+			if nk == 0 {
+				for i := range dst {
+					dst[i] = 0
+				}
+				continue
+			}
+			for i, pos := range c.keep {
+				q := math.RoundToEven(r * block[pos] / nk)
+				if math.IsNaN(q) {
+					// N_k overflowed to Inf in reduced precision; the
+					// index is unrecoverable, store 0 (decompression will
+					// reproduce the NaN/Inf through N).
+					dst[i] = 0
+					continue
+				}
+				dst[i] = it.Clamp(int64(q))
+			}
+		}
+	})
+	return out, nil
+}
+
+// Decompress inverts the pipeline: scale F by N, inverse transform,
+// unblock, crop to the original shape (§III-B).
+func (c *Compressor) Decompress(a *CompressedArray) (*tensor.Tensor, error) {
+	if err := c.checkOwned(a); err != nil {
+		return nil, err
+	}
+	blockVol := tensor.Prod(c.settings.BlockShape)
+	numBlocks := a.NumBlocks()
+	K := len(c.keep)
+	blocked := &tensor.Blocked{
+		Shape:      append([]int(nil), a.Shape...),
+		BlockShape: append([]int(nil), c.settings.BlockShape...),
+		Blocks:     append([]int(nil), a.Blocks...),
+		Data:       make([]float64, numBlocks*blockVol),
+	}
+	ft := c.settings.FloatType
+	r := c.radius
+	tensor.ParallelFor(numBlocks, func(start, end int) {
+		scratch := make([]float64, blockVol)
+		for k := start; k < end; k++ {
+			block := blocked.Block(k)
+			nk := a.N[k]
+			src := a.F[k*K : (k+1)*K]
+			for i, pos := range c.keep {
+				block[pos] = ft.Round(nk * float64(src[i]) / r)
+			}
+			c.tr.InverseBlock(block, c.settings.BlockShape, scratch)
+		}
+	})
+	return blocked.Unblock(), nil
+}
+
+// specifiedCoefficients implements Algorithm 3: Ĉ = N ⊙ F ⊘ r, the kept
+// transform coefficients recovered from the compressed form. The result is
+// block-major with K entries per block, matching the layout of F.
+func (c *Compressor) specifiedCoefficients(a *CompressedArray) []float64 {
+	K := len(c.keep)
+	out := make([]float64, len(a.F))
+	r := c.radius
+	ft := c.settings.FloatType
+	tensor.ParallelFor(a.NumBlocks(), func(start, end int) {
+		for k := start; k < end; k++ {
+			nk := a.N[k]
+			for i := 0; i < K; i++ {
+				out[k*K+i] = ft.Round(nk * float64(a.F[k*K+i]) / r)
+			}
+		}
+	})
+	return out
+}
+
+// rebin converts specified coefficients back to {N, F}: the shared tail of
+// Algorithms 2 and 4. N is recomputed per block as ‖Ĉ_k‖∞ and indices are
+// rounded to the nearest bin. coeffs is block-major with K entries per
+// block and is not retained.
+func (c *Compressor) rebin(a *CompressedArray, coeffs []float64) *CompressedArray {
+	K := len(c.keep)
+	out := &CompressedArray{
+		Shape:    append([]int(nil), a.Shape...),
+		Blocks:   append([]int(nil), a.Blocks...),
+		N:        make([]float64, a.NumBlocks()),
+		F:        make([]int64, len(a.F)),
+		Settings: c.Settings(),
+	}
+	r := c.radius
+	ft := c.settings.FloatType
+	it := c.settings.IndexType
+	tensor.ParallelFor(a.NumBlocks(), func(start, end int) {
+		for k := start; k < end; k++ {
+			nk := 0.0
+			for i := 0; i < K; i++ {
+				if v := math.Abs(coeffs[k*K+i]); v > nk || math.IsNaN(v) {
+					nk = v
+				}
+			}
+			nk = ft.Round(nk)
+			out.N[k] = nk
+			dst := out.F[k*K : (k+1)*K]
+			if nk == 0 {
+				continue
+			}
+			for i := 0; i < K; i++ {
+				q := math.RoundToEven(r * coeffs[k*K+i] / nk)
+				if math.IsNaN(q) {
+					dst[i] = 0
+					continue
+				}
+				dst[i] = it.Clamp(int64(q))
+			}
+		}
+	})
+	return out
+}

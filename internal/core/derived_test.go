@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/scalar"
+	"repro/internal/stats"
+)
+
+func TestL2DistanceExact(t *testing.T) {
+	c := lossless64(t, 4, 4)
+	x := randomTensor(41, 16, 16)
+	y := randomTensor(42, 16, 16)
+	a, b := compress(t, c, x), compress(t, c, y)
+	got, err := c.L2Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := decompress(t, c, a).Sub(decompress(t, c, b)).Norm2()
+	if !relClose(got, want, 1e-9) {
+		t.Errorf("L2Distance %g vs %g", got, want)
+	}
+	// Against the rebinning route: the expansion-based distance must be
+	// at least as accurate, and self-distance must be 0.
+	self, _ := c.L2Distance(a, a)
+	if self != 0 {
+		t.Errorf("L2Distance(a,a) = %g", self)
+	}
+}
+
+func TestMSEAndPSNR(t *testing.T) {
+	c := lossless64(t, 4, 4)
+	x := randomTensor(43, 16, 16)
+	y := randomTensor(44, 16, 16)
+	a, b := compress(t, c, x), compress(t, c, y)
+	mse, err := c.MSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dx, dy := decompress(t, c, a), decompress(t, c, b)
+	want := 0.0
+	for i := range dx.Data() {
+		d := dx.Data()[i] - dy.Data()[i]
+		want += d * d
+	}
+	want /= float64(dx.Len())
+	if !relClose(mse, want, 1e-9) {
+		t.Errorf("MSE %g vs %g", mse, want)
+	}
+	psnr, err := c.PSNR(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantP := 10 * math.Log10(1/want); !relClose(psnr, wantP, 1e-9) {
+		t.Errorf("PSNR %g vs %g", psnr, wantP)
+	}
+	// Identical arrays → +Inf PSNR.
+	inf, _ := c.PSNR(a, a, 1)
+	if !math.IsInf(inf, 1) {
+		t.Errorf("PSNR(a,a) = %g, want +Inf", inf)
+	}
+}
+
+func TestNormalizedRMSE(t *testing.T) {
+	c := lossless64(t, 4, 4)
+	x := randomTensor(45, 16, 16)
+	y := randomTensor(46, 16, 16)
+	a, b := compress(t, c, x), compress(t, c, y)
+	nr, err := c.NormalizedRMSE(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse, _ := c.MSE(a, b)
+	if !relClose(nr, math.Sqrt(mse)/2, 1e-12) {
+		t.Errorf("NormalizedRMSE %g", nr)
+	}
+	if _, err := c.NormalizedRMSE(a, b, 0); err == nil {
+		t.Error("zero range should fail")
+	}
+	if _, err := c.NormalizedRMSE(a, b, -1); err == nil {
+		t.Error("negative range should fail")
+	}
+}
+
+func TestDerivedOpsValidatePairs(t *testing.T) {
+	c := lossless64(t, 4, 4)
+	a := compress(t, c, randomTensor(47, 8, 8))
+	b := compress(t, c, randomTensor(48, 12, 8))
+	if _, err := c.L2Distance(a, b); err == nil {
+		t.Error("L2Distance with mismatched shapes should fail")
+	}
+	if _, err := c.MSE(a, b); err == nil {
+		t.Error("MSE with mismatched shapes should fail")
+	}
+	if _, err := c.PSNR(a, b, 1); err == nil {
+		t.Error("PSNR with mismatched shapes should fail")
+	}
+}
+
+func TestL2DistanceBeatsSubtractRoute(t *testing.T) {
+	// The expansion-based distance avoids the Add rebinning error: on
+	// near-identical arrays it must be at least as close to the truth as
+	// subtract-then-norm.
+	s := DefaultSettings(4, 4)
+	s.FloatType = scalar.Float64
+	s.IndexType = scalar.Int8
+	c := mustCompressor(t, s)
+	x := smoothTensor(50, 16, 16)
+	y := x.Map(func(v float64) float64 { return v + 1e-3 })
+	a, b := compress(t, c, x), compress(t, c, y)
+
+	truth := decompress(t, c, a).Sub(decompress(t, c, b)).Norm2()
+	direct, err := c.L2Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := c.Subtract(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSub, err := c.L2Norm(diff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The direct expansion is exact w.r.t. the decompressed arrays (up to
+	// float64 roundoff); the subtract route may add rebinning error but
+	// must stay within a bin width of the truth.
+	if errDirect := math.Abs(direct - truth); errDirect > 1e-9*(1+truth) {
+		t.Errorf("direct L2 distance error %g should be at roundoff level", errDirect)
+	}
+	maxN := 0.0
+	for _, n := range diff.N {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	binBound := 4 * maxN / (2*127.0 + 1) * math.Sqrt(float64(diff.OriginalLen()))
+	if errSub := math.Abs(viaSub - truth); errSub > binBound+1e-12 {
+		t.Errorf("subtract-route error %g exceeds bin bound %g", errSub, binBound)
+	}
+}
+
+// Ensemble-testing scenario (§VI): distances between many compressed
+// snapshots without decompressing any of them.
+func TestEnsembleDistanceMatrix(t *testing.T) {
+	c := lossless64(t, 4, 4)
+	const members = 5
+	arrays := make([]*CompressedArray, members)
+	refs := make([]float64, 0, members*members)
+	for i := range arrays {
+		arrays[i] = compress(t, c, smoothTensor(int64(60+i), 32, 32))
+	}
+	for i := 0; i < members; i++ {
+		for j := 0; j < members; j++ {
+			d, err := c.L2Distance(arrays[i], arrays[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs = append(refs, d)
+			// Symmetry and identity.
+			dj, _ := c.L2Distance(arrays[j], arrays[i])
+			if !relClose(d, dj, 1e-12) {
+				t.Fatalf("distance matrix not symmetric at (%d,%d)", i, j)
+			}
+			if i == j && d != 0 {
+				t.Fatalf("diagonal should be zero")
+			}
+		}
+	}
+	// Cross-check one off-diagonal entry against the decompressed truth.
+	want := stats.L2Norm(decompress(t, c, arrays[0]).Sub(decompress(t, c, arrays[1])))
+	if !relClose(refs[1], want, 1e-9) {
+		t.Errorf("matrix entry %g vs truth %g", refs[1], want)
+	}
+}

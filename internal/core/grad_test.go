@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// finiteDiff numerically differentiates f at coeffs via central
+// differences, returning the gradient.
+func finiteDiff(coeffs []float64, f func([]float64) float64) []float64 {
+	const h = 1e-6
+	grad := make([]float64, len(coeffs))
+	x := append([]float64(nil), coeffs...)
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + h
+		fp := f(x)
+		x[i] = orig - h
+		fm := f(x)
+		x[i] = orig
+		grad[i] = (fp - fm) / (2 * h)
+	}
+	return grad
+}
+
+func gradClose(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: gradient length %d vs %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-4*(1+math.Abs(want[i])) {
+			t.Fatalf("%s: gradient[%d] = %g, finite difference %g", name, i, got[i], want[i])
+		}
+	}
+}
+
+func gradSetup(t *testing.T) (*Compressor, *CompressedArray, *CompressedArray, []float64, []float64) {
+	t.Helper()
+	c := lossless64(t, 4, 4)
+	a := compress(t, c, randomTensor(101, 8, 8))
+	b := compress(t, c, randomTensor(102, 8, 8))
+	ca, err := c.Coefficients(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := c.Coefficients(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, a, b, ca, cb
+}
+
+func TestDotGradMatchesFiniteDifference(t *testing.T) {
+	c, a, b, ca, cb := gradSetup(t)
+	v, grad, err := c.DotValueGrad(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for i := range ca {
+		want += ca[i] * cb[i]
+	}
+	if !relClose(v, want, 1e-12) {
+		t.Errorf("dot value %g vs %g", v, want)
+	}
+	fd := finiteDiff(ca, func(x []float64) float64 {
+		s := 0.0
+		for i := range x {
+			s += x[i] * cb[i]
+		}
+		return s
+	})
+	gradClose(t, "dot", grad, fd)
+}
+
+func TestL2NormGradMatchesFiniteDifference(t *testing.T) {
+	c, a, _, ca, _ := gradSetup(t)
+	v, grad, err := c.L2NormValueGrad(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := finiteDiff(ca, func(x []float64) float64 {
+		s := 0.0
+		for _, xv := range x {
+			s += xv * xv
+		}
+		return math.Sqrt(s)
+	})
+	gradClose(t, "l2", grad, fd)
+	if v <= 0 {
+		t.Error("norm should be positive")
+	}
+	// Zero array: gradient undefined.
+	zc := compress(t, c, randomTensor(103, 8, 8).Scale(0))
+	if _, _, err := c.L2NormValueGrad(zc); err == nil {
+		t.Error("zero-array L2 gradient should fail")
+	}
+}
+
+func TestSquaredDistanceGradMatchesFiniteDifference(t *testing.T) {
+	c, a, b, ca, cb := gradSetup(t)
+	_, grad, err := c.SquaredDistanceValueGrad(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := finiteDiff(ca, func(x []float64) float64 {
+		s := 0.0
+		for i := range x {
+			d := x[i] - cb[i]
+			s += d * d
+		}
+		return s
+	})
+	gradClose(t, "sqdist", grad, fd)
+}
+
+func TestCosineGradMatchesFiniteDifference(t *testing.T) {
+	c, a, b, ca, cb := gradSetup(t)
+	v, grad, err := c.CosineSimilarityValueGrad(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := c.CosineSimilarity(a, b)
+	if !relClose(v, ref, 1e-12) {
+		t.Errorf("cosine value %g vs op %g", v, ref)
+	}
+	fd := finiteDiff(ca, func(x []float64) float64 {
+		dot, na, nb := 0.0, 0.0, 0.0
+		for i := range x {
+			dot += x[i] * cb[i]
+			na += x[i] * x[i]
+			nb += cb[i] * cb[i]
+		}
+		return dot / math.Sqrt(na*nb)
+	})
+	gradClose(t, "cosine", grad, fd)
+}
+
+func TestMeanGradMatchesFiniteDifference(t *testing.T) {
+	c, a, _, ca, _ := gradSetup(t)
+	v, grad, err := c.MeanValueGrad(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := c.Mean(a)
+	if !relClose(v, ref, 1e-12) {
+		t.Errorf("mean value %g vs op %g", v, ref)
+	}
+	// Reconstruct the mean as a function of coefficients: only first
+	// coefficients matter, each contributing √(∏i)/∏s.
+	K := a.Kept()
+	n := float64(a.OriginalLen())
+	fd := finiteDiff(ca, func(x []float64) float64 {
+		s := 0.0
+		for k := 0; k < a.NumBlocks(); k++ {
+			s += x[k*K] * 4 // √16 = 4
+		}
+		return s / n
+	})
+	gradClose(t, "mean", grad, fd)
+}
+
+func TestVarianceGradMatchesFiniteDifference(t *testing.T) {
+	c, a, _, ca, _ := gradSetup(t)
+	v, grad, err := c.VarianceValueGrad(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := c.Variance(a)
+	if !relClose(v, ref, 1e-12) {
+		t.Errorf("variance value %g vs op %g", v, ref)
+	}
+	K := a.Kept()
+	n := float64(a.OriginalLen())
+	fd := finiteDiff(ca, func(x []float64) float64 {
+		dot, sum := 0.0, 0.0
+		for i, xv := range x {
+			dot += xv * xv
+			if i%K == 0 {
+				sum += xv * 4
+			}
+		}
+		return (dot - sum*sum/n) / n
+	})
+	gradClose(t, "variance", grad, fd)
+}
+
+func TestGradValidation(t *testing.T) {
+	c := lossless64(t, 4, 4)
+	a := compress(t, c, randomTensor(104, 8, 8))
+	other := compress(t, c, randomTensor(105, 12, 8))
+	if _, _, err := c.DotValueGrad(a, other); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+	// Mean/variance gradients need the first coefficient.
+	mask := make([]bool, 16)
+	mask[1] = true
+	s := DefaultSettings(4, 4)
+	s.Mask = mask
+	cp := mustCompressor(t, s)
+	ap := compress(t, cp, randomTensor(106, 8, 8))
+	if _, _, err := cp.MeanValueGrad(ap); err == nil {
+		t.Error("mean gradient without first coefficient should fail")
+	}
+	if _, _, err := cp.VarianceValueGrad(ap); err == nil {
+		t.Error("variance gradient without first coefficient should fail")
+	}
+}
+
+func TestCoefficientsRoundTrip(t *testing.T) {
+	c := lossless64(t, 4, 4)
+	a := compress(t, c, randomTensor(107, 16, 16))
+	coeffs, err := c.Coefficients(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.FromCoefficients(a, coeffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trip through rebinning must reproduce the decompressed data
+	// to within a bin width.
+	y1 := decompress(t, c, a)
+	y2 := decompress(t, c, back)
+	maxN := 0.0
+	for _, n := range a.N {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if y1.MaxAbsDiff(y2) > 4*maxN/(2*32767.0+1)*2 {
+		t.Errorf("FromCoefficients round trip error %g", y1.MaxAbsDiff(y2))
+	}
+	if _, err := c.FromCoefficients(a, coeffs[:3]); err == nil {
+		t.Error("wrong-length coefficients should fail")
+	}
+}
+
+func TestFitScaleConvergesToClosedForm(t *testing.T) {
+	c := lossless64(t, 4, 4)
+	x := randomTensor(108, 16, 16)
+	y := x.Scale(3.7) // b = 3.7·a plus compression noise
+	a, b := compress(t, c, x), compress(t, c, y)
+	alpha, loss, err := c.FitScale(a, b, 500, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed form: ⟨a,b⟩/⟨a,a⟩ ≈ 3.7.
+	dotAB, _ := c.Dot(a, b)
+	dotAA, _ := c.Dot(a, a)
+	want := dotAB / dotAA
+	if math.Abs(alpha-want) > 1e-3*math.Abs(want) {
+		t.Errorf("fitted α %g, closed form %g", alpha, want)
+	}
+	if math.Abs(want-3.7) > 0.01 {
+		t.Errorf("closed form %g should be ≈3.7", want)
+	}
+	if loss < 0 {
+		t.Errorf("loss %g negative", loss)
+	}
+	// Degenerate: fitting against zero fails.
+	z := compress(t, c, x.Scale(0))
+	if _, _, err := c.FitScale(z, b, 10, 1e-3); err == nil {
+		t.Error("fitting the zero array should fail")
+	}
+}

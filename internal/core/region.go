@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Partial decompression: because every block is coded independently
+// (§III-A(b): blocking "allows subsequent steps ... to be performed on
+// each block independently"), a sub-region of the array can be recovered
+// by decompressing only the blocks that overlap it. For a region of
+// volume v this costs O(v) instead of O(∏s) — the random-access benefit
+// block compressors are built for.
+
+// DecompressRegion decompresses the axis-aligned region of a starting at
+// offset (inclusive) with the given shape, decompressing only overlapping
+// blocks. offset and shape must describe a region inside the original
+// array bounds.
+func (c *Compressor) DecompressRegion(a *CompressedArray, offset, shape []int) (*tensor.Tensor, error) {
+	if err := c.checkOwned(a); err != nil {
+		return nil, err
+	}
+	d := len(a.Shape)
+	if len(offset) != d || len(shape) != d {
+		return nil, fmt.Errorf("core: region offset %v / shape %v must have %d dims", offset, shape, d)
+	}
+	for i := 0; i < d; i++ {
+		if offset[i] < 0 || shape[i] <= 0 || offset[i]+shape[i] > a.Shape[i] {
+			return nil, fmt.Errorf("core: region offset %v shape %v out of bounds %v", offset, shape, a.Shape)
+		}
+	}
+	bs := c.settings.BlockShape
+
+	// Block-index range overlapped by the region in each dimension.
+	lo := make([]int, d)
+	hi := make([]int, d) // exclusive
+	for i := 0; i < d; i++ {
+		lo[i] = offset[i] / bs[i]
+		hi[i] = (offset[i] + shape[i] + bs[i] - 1) / bs[i]
+	}
+
+	out := tensor.New(shape...)
+	blockVol := tensor.Prod(bs)
+	K := len(c.keep)
+	r := c.radius
+	ft := c.settings.FloatType
+
+	// Iterate over overlapped blocks; decompress each into a scratch
+	// buffer and scatter the in-region cells.
+	blockIdx := append([]int(nil), lo...)
+	block := make([]float64, blockVol)
+	scratch := make([]float64, blockVol)
+	inner := make([]int, d)
+	src := make([]int, d)
+	dst := make([]int, d)
+	for {
+		// Flat block number in the block-major layout.
+		k := 0
+		for i := 0; i < d; i++ {
+			k = k*a.Blocks[i] + blockIdx[i]
+		}
+		// Decompress block k (same math as Decompress, one block).
+		for i := range block {
+			block[i] = 0
+		}
+		nk := a.N[k]
+		fs := a.F[k*K : (k+1)*K]
+		for i, pos := range c.keep {
+			block[pos] = ft.Round(nk * float64(fs[i]) / r)
+		}
+		c.tr.InverseBlock(block, bs, scratch)
+
+		// Scatter the cells that fall inside the region.
+		for i := range inner {
+			inner[i] = 0
+		}
+		pos := 0
+		for {
+			in := true
+			for i := 0; i < d; i++ {
+				src[i] = blockIdx[i]*bs[i] + inner[i]
+				dst[i] = src[i] - offset[i]
+				if dst[i] < 0 || dst[i] >= shape[i] {
+					in = false
+					break
+				}
+			}
+			if in {
+				out.Data()[out.Offset(dst)] = block[pos]
+			}
+			pos++
+			if !tensor.NextIndex(inner, bs) {
+				break
+			}
+		}
+
+		// Advance blockIdx within [lo, hi).
+		adv := d - 1
+		for ; adv >= 0; adv-- {
+			blockIdx[adv]++
+			if blockIdx[adv] < hi[adv] {
+				break
+			}
+			blockIdx[adv] = lo[adv]
+		}
+		if adv < 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// At decompresses the single element of a at the given multi-index
+// (decompressing only its block).
+func (c *Compressor) At(a *CompressedArray, idx ...int) (float64, error) {
+	shape := make([]int, len(idx))
+	for i := range shape {
+		shape[i] = 1
+	}
+	region, err := c.DecompressRegion(a, idx, shape)
+	if err != nil {
+		return 0, err
+	}
+	return region.Data()[0], nil
+}

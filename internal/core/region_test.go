@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestDecompressRegionMatchesFull(t *testing.T) {
+	c := lossless64(t, 4, 4)
+	x := randomTensor(130, 20, 28)
+	a := compress(t, c, x)
+	full := decompress(t, c, a)
+
+	cases := []struct{ offset, shape []int }{
+		{[]int{0, 0}, []int{20, 28}}, // whole array
+		{[]int{0, 0}, []int{4, 4}},   // one block
+		{[]int{3, 5}, []int{7, 9}},   // straddles block boundaries
+		{[]int{19, 27}, []int{1, 1}}, // last element (padded block)
+		{[]int{16, 24}, []int{4, 4}}, // last full block region
+		{[]int{2, 2}, []int{1, 20}},  // thin slab
+	}
+	for _, cse := range cases {
+		got, err := c.DecompressRegion(a, cse.offset, cse.shape)
+		if err != nil {
+			t.Fatalf("region %v+%v: %v", cse.offset, cse.shape, err)
+		}
+		want := cropRegion(full, cse.offset, cse.shape)
+		if d := got.MaxAbsDiff(want); d != 0 {
+			t.Errorf("region %v+%v: L∞ %g vs full decompression", cse.offset, cse.shape, d)
+		}
+	}
+}
+
+// cropRegion extracts a region from a dense tensor for comparison.
+func cropRegion(t *tensor.Tensor, offset, shape []int) *tensor.Tensor {
+	out := tensor.New(shape...)
+	idx := make([]int, len(shape))
+	src := make([]int, len(shape))
+	for {
+		for i := range idx {
+			src[i] = offset[i] + idx[i]
+		}
+		out.Data()[out.Offset(idx)] = t.Data()[t.Offset(src)]
+		if !tensor.NextIndex(idx, shape) {
+			break
+		}
+	}
+	return out
+}
+
+func TestDecompressRegion3D(t *testing.T) {
+	c := lossless64(t, 4, 4, 4)
+	x := randomTensor(131, 9, 13, 10)
+	a := compress(t, c, x)
+	full := decompress(t, c, a)
+	got, err := c.DecompressRegion(a, []int{1, 5, 2}, []int{6, 4, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cropRegion(full, []int{1, 5, 2}, []int{6, 4, 7})
+	if got.MaxAbsDiff(want) != 0 {
+		t.Error("3-D region mismatch")
+	}
+}
+
+func TestDecompressRegionValidation(t *testing.T) {
+	c := lossless64(t, 4, 4)
+	a := compress(t, c, randomTensor(132, 8, 8))
+	bad := []struct{ offset, shape []int }{
+		{[]int{0}, []int{8}},        // dims mismatch
+		{[]int{-1, 0}, []int{2, 2}}, // negative offset
+		{[]int{0, 0}, []int{0, 4}},  // empty shape
+		{[]int{6, 6}, []int{4, 4}},  // out of bounds
+	}
+	for _, cse := range bad {
+		if _, err := c.DecompressRegion(a, cse.offset, cse.shape); err == nil {
+			t.Errorf("region %v+%v should fail", cse.offset, cse.shape)
+		}
+	}
+	other := mustCompressor(t, DefaultSettings(4, 4))
+	if _, err := other.DecompressRegion(a, []int{0, 0}, []int{2, 2}); err == nil {
+		t.Error("foreign array should fail")
+	}
+}
+
+func TestAtMatchesFullDecompression(t *testing.T) {
+	c := lossless64(t, 4, 4)
+	x := randomTensor(133, 12, 16)
+	a := compress(t, c, x)
+	full := decompress(t, c, a)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		i, j := rng.Intn(12), rng.Intn(16)
+		got, err := c.At(a, i, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != full.At(i, j) {
+			t.Fatalf("At(%d,%d) = %g, full %g", i, j, got, full.At(i, j))
+		}
+	}
+}
+
+func TestDecompressRegionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 5+rng.Intn(20), 5+rng.Intn(20)
+		s := DefaultSettings(4, 4)
+		c, err := NewCompressor(s)
+		if err != nil {
+			return false
+		}
+		x := tensor.New(rows, cols)
+		for i := range x.Data() {
+			x.Data()[i] = rng.NormFloat64()
+		}
+		a, err := c.Compress(x)
+		if err != nil {
+			return false
+		}
+		full, err := c.Decompress(a)
+		if err != nil {
+			return false
+		}
+		oy, ox := rng.Intn(rows), rng.Intn(cols)
+		sy, sx := 1+rng.Intn(rows-oy), 1+rng.Intn(cols-ox)
+		got, err := c.DecompressRegion(a, []int{oy, ox}, []int{sy, sx})
+		if err != nil {
+			return false
+		}
+		return got.MaxAbsDiff(cropRegion(full, []int{oy, ox}, []int{sy, sx})) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+	"repro/internal/scalar"
+	"repro/internal/transform"
+)
+
+// Serialization of the compressed form per §IV-B/§IV-C: the float and
+// integer types (4 bits), the shape s (64 bits per dimension plus an end
+// marker), the block shape i, the flattened pruning mask P (∏i bits), the
+// flattened N (f bits each), and F (i bits per kept index). A one-byte
+// magic and the transform kind are added so streams are self-describing.
+
+const magicByte = 0xB7
+
+// shapeEnd marks the end of the shape list (the paper's "marker for the
+// end of s"); no real extent is 2^64−1.
+const shapeEnd = ^uint64(0)
+
+// Encode serializes a into the paper's compressed form.
+func Encode(a *CompressedArray) ([]byte, error) {
+	if err := a.Settings.Validate(); err != nil {
+		return nil, err
+	}
+	var w bits.Writer
+	w.WriteBits(magicByte, 8)
+	w.WriteBits(uint64(a.Settings.Transform), 2)
+	// The paper's 4 bits of type information: 2 for the float type, 2 for
+	// the index type.
+	w.WriteBits(uint64(a.Settings.FloatType), 2)
+	w.WriteBits(uint64(a.Settings.IndexType), 2)
+	for _, e := range a.Shape {
+		w.WriteBits(uint64(e), 64)
+	}
+	w.WriteBits(shapeEnd, 64)
+	for _, e := range a.Settings.BlockShape {
+		w.WriteBits(uint64(e), 64)
+	}
+	// Pruning mask, ∏i bits.
+	blockVol := 1
+	for _, e := range a.Settings.BlockShape {
+		blockVol *= e
+	}
+	kept := 0
+	for pos := 0; pos < blockVol; pos++ {
+		keep := a.Settings.Mask == nil || a.Settings.Mask[pos]
+		w.WriteBool(keep)
+		if keep {
+			kept++
+		}
+	}
+	// N, f bits per block.
+	fbits := uint(a.Settings.FloatType.Bits())
+	for _, n := range a.N {
+		w.WriteBits(floatToBits(n, a.Settings.FloatType), fbits)
+	}
+	// F, i bits per kept index.
+	if want := a.NumBlocks() * kept; len(a.F) != want {
+		return nil, fmt.Errorf("core: F length %d does not match blocks×kept = %d", len(a.F), want)
+	}
+	ibits := uint(a.Settings.IndexType.Bits())
+	for _, v := range a.F {
+		w.WriteBits(uint64(v), ibits)
+	}
+	return w.Bytes(), nil
+}
+
+// Decode parses a compressed stream back into a CompressedArray.
+func Decode(data []byte) (*CompressedArray, error) {
+	r := bits.NewReader(data)
+	magic, err := r.ReadBits(8)
+	if err != nil || magic != magicByte {
+		return nil, errors.New("core: not a goblaz compressed stream")
+	}
+	tk, err := r.ReadBits(2)
+	if err != nil {
+		return nil, err
+	}
+	ftv, err := r.ReadBits(2)
+	if err != nil {
+		return nil, err
+	}
+	itv, err := r.ReadBits(2)
+	if err != nil {
+		return nil, err
+	}
+	s := Settings{
+		FloatType: scalar.FloatType(ftv),
+		IndexType: scalar.IndexType(itv),
+		Transform: transform.Kind(tk),
+	}
+	var shape []int
+	for {
+		e, err := r.ReadBits(64)
+		if err != nil {
+			return nil, err
+		}
+		if e == shapeEnd {
+			break
+		}
+		if e == 0 || e > 1<<40 {
+			return nil, fmt.Errorf("core: implausible shape extent %d", e)
+		}
+		shape = append(shape, int(e))
+		if len(shape) > 16 {
+			return nil, errors.New("core: too many dimensions")
+		}
+	}
+	if len(shape) == 0 {
+		return nil, errors.New("core: empty shape")
+	}
+	blockShape := make([]int, len(shape))
+	blockVol := 1
+	for d := range blockShape {
+		e, err := r.ReadBits(64)
+		if err != nil {
+			return nil, err
+		}
+		if e == 0 || e > 1<<20 {
+			return nil, fmt.Errorf("core: implausible block extent %d", e)
+		}
+		blockShape[d] = int(e)
+		blockVol *= int(e)
+	}
+	s.BlockShape = blockShape
+	// The mask occupies ∏i bits; reject before allocating ∏i bools.
+	if r.Remaining() < blockVol {
+		return nil, fmt.Errorf("core: stream too short for %d mask bits", blockVol)
+	}
+	mask := make([]bool, blockVol)
+	kept := 0
+	allKept := true
+	for pos := 0; pos < blockVol; pos++ {
+		b, err := r.ReadBool()
+		if err != nil {
+			return nil, err
+		}
+		mask[pos] = b
+		if b {
+			kept++
+		} else {
+			allKept = false
+		}
+	}
+	if !allKept {
+		s.Mask = mask
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	blocks := make([]int, len(shape))
+	numBlocks := 1
+	for d := range shape {
+		blocks[d] = (shape[d] + blockShape[d] - 1) / blockShape[d]
+		if numBlocks > (1<<40)/blocks[d] {
+			return nil, errors.New("core: implausible block count")
+		}
+		numBlocks *= blocks[d]
+	}
+	// The remaining stream must hold exactly N and F; reject corrupted
+	// headers before allocating anything sized by them.
+	needBits := int64(numBlocks)*int64(s.FloatType.Bits()) +
+		int64(numBlocks)*int64(kept)*int64(s.IndexType.Bits())
+	if int64(r.Remaining()) < needBits {
+		return nil, fmt.Errorf("core: stream too short: need %d bits, have %d", needBits, r.Remaining())
+	}
+	a := &CompressedArray{
+		Shape:    shape,
+		Blocks:   blocks,
+		N:        make([]float64, numBlocks),
+		F:        make([]int64, numBlocks*kept),
+		Settings: s,
+	}
+	fbits := uint(s.FloatType.Bits())
+	for k := range a.N {
+		v, err := r.ReadBits(fbits)
+		if err != nil {
+			return nil, err
+		}
+		a.N[k] = floatFromBits(v, s.FloatType)
+	}
+	ibits := uint(s.IndexType.Bits())
+	for i := range a.F {
+		v, err := r.ReadBits(ibits)
+		if err != nil {
+			return nil, err
+		}
+		a.F[i] = bits.SignExtend(v, ibits)
+	}
+	return a, nil
+}
+
+func floatToBits(x float64, ft scalar.FloatType) uint64 {
+	switch ft {
+	case scalar.BFloat16:
+		return uint64(scalar.ToBFloat16Bits(x))
+	case scalar.Float16:
+		return uint64(scalar.ToFloat16Bits(x))
+	case scalar.Float32:
+		return uint64(math.Float32bits(float32(x)))
+	default:
+		return math.Float64bits(x)
+	}
+}
+
+func floatFromBits(v uint64, ft scalar.FloatType) float64 {
+	switch ft {
+	case scalar.BFloat16:
+		return scalar.FromBFloat16Bits(uint16(v))
+	case scalar.Float16:
+		return scalar.FromFloat16Bits(uint16(v))
+	case scalar.Float32:
+		return float64(math.Float32frombits(uint32(v)))
+	default:
+		return math.Float64frombits(v)
+	}
+}
+
+// CompressedSizeBits returns the exact size in bits of the §IV-C stored
+// components for an array of the given shape under settings s:
+// 4 (types) + 64·d (s) + 64 (end marker) + 64·d (i) + ∏i (P) +
+// f·∏⌈s⊘i⌉ (N) + i·ΣP·∏⌈s⊘i⌉ (F).
+func CompressedSizeBits(s Settings, shape []int) (int64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if len(shape) != len(s.BlockShape) {
+		return 0, fmt.Errorf("core: shape %v does not match block shape %v", shape, s.BlockShape)
+	}
+	d := int64(len(shape))
+	blockVol := int64(1)
+	kept := int64(0)
+	for _, e := range s.BlockShape {
+		blockVol *= int64(e)
+	}
+	if s.Mask == nil {
+		kept = blockVol
+	} else {
+		for _, keep := range s.Mask {
+			if keep {
+				kept++
+			}
+		}
+	}
+	numBlocks := int64(1)
+	for dd := range shape {
+		numBlocks *= int64((shape[dd] + s.BlockShape[dd] - 1) / s.BlockShape[dd])
+	}
+	f := int64(s.FloatType.Bits())
+	ib := int64(s.IndexType.Bits())
+	return 4 + 64*d + 64 + 64*d + blockVol + f*numBlocks + ib*kept*numBlocks, nil
+}
+
+// CompressionRatio returns the asymptotic compression ratio of §IV-C for
+// u-bit input elements:
+//
+//	u·∏s / ((f + i·ΣP)·∏⌈s⊘i⌉)
+//
+// This is the data-independent ratio the paper reports (e.g. ≈2.91 for a
+// (3,224,224) float64 array with (4,4,4) blocks, float32, int16, no
+// pruning, and ≈10.66 with int8 and half the indices pruned).
+func CompressionRatio(s Settings, shape []int, inputBits int) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if len(shape) != len(s.BlockShape) {
+		return 0, fmt.Errorf("core: shape %v does not match block shape %v", shape, s.BlockShape)
+	}
+	volume := 1.0
+	for _, e := range shape {
+		volume *= float64(e)
+	}
+	kept := 0
+	blockVol := 1
+	for _, e := range s.BlockShape {
+		blockVol *= e
+	}
+	if s.Mask == nil {
+		kept = blockVol
+	} else {
+		for _, keep := range s.Mask {
+			if keep {
+				kept++
+			}
+		}
+	}
+	numBlocks := 1.0
+	for d := range shape {
+		numBlocks *= float64((shape[d] + s.BlockShape[d] - 1) / s.BlockShape[d])
+	}
+	denom := (float64(s.FloatType.Bits()) + float64(s.IndexType.Bits())*float64(kept)) * numBlocks
+	return float64(inputBits) * volume / denom, nil
+}

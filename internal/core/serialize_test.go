@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/scalar"
+	"repro/internal/transform"
+)
+
+func TestCompressionRatioPaperExamples(t *testing.T) {
+	// §IV-C: input (3,224,224) of 64-bit elements, blocks (4,4,4),
+	// float32, int16, no pruning → ratio ≈ 2.91.
+	s := DefaultSettings(4, 4, 4)
+	ratio, err := CompressionRatio(s, []int{3, 224, 224}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ratio-2.91) > 0.01 {
+		t.Errorf("ratio = %.4f, paper says ≈2.91", ratio)
+	}
+	// int8 and pruning half the indices → ≈10.66.
+	mask, err := KeepLowFrequency([]int{4, 4, 4}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.IndexType = scalar.Int8
+	s.Mask = mask
+	ratio, err = CompressionRatio(s, []int{3, 224, 224}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ratio-10.66) > 0.01 {
+		t.Errorf("ratio = %.4f, paper says ≈10.66", ratio)
+	}
+}
+
+func TestCompressionRatioValidation(t *testing.T) {
+	s := DefaultSettings(4, 4)
+	if _, err := CompressionRatio(s, []int{8}, 64); err == nil {
+		t.Error("dims mismatch should fail")
+	}
+	bad := s
+	bad.BlockShape = []int{3, 3}
+	if _, err := CompressionRatio(bad, []int{9, 9}, 64); err == nil {
+		t.Error("invalid settings should fail")
+	}
+}
+
+func TestCompressedSizeBitsMatchesEncodedLength(t *testing.T) {
+	for _, cfg := range []struct {
+		s     Settings
+		shape []int
+	}{
+		{DefaultSettings(4, 4), []int{16, 16}},
+		{DefaultSettings(4, 4), []int{13, 7}},
+		{func() Settings {
+			s := DefaultSettings(4, 4)
+			s.IndexType = scalar.Int8
+			mask, _ := KeepLowFrequency([]int{4, 4}, 0.5)
+			s.Mask = mask
+			return s
+		}(), []int{32, 32}},
+		{func() Settings {
+			s := DefaultSettings(8)
+			s.FloatType = scalar.Float64
+			return s
+		}(), []int{100}},
+	} {
+		c, err := NewCompressor(cfg.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := smoothTensor(3, cfg.shape...)
+		a, err := c.Compress(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := Encode(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBits, err := CompressedSizeBits(cfg.s, cfg.shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Encode adds 8 magic bits + 2 transform bits beyond the §IV-C
+		// inventory and pads to a whole byte.
+		extra := int64(8 + 2)
+		wantBytes := (wantBits + extra + 7) / 8
+		if int64(len(data)) != wantBytes {
+			t.Errorf("shape %v: encoded %d bytes, formula says %d", cfg.shape, len(data), wantBytes)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	configs := []Settings{
+		DefaultSettings(4, 4),
+		func() Settings {
+			s := DefaultSettings(8, 8)
+			s.FloatType = scalar.Float64
+			s.IndexType = scalar.Int8
+			return s
+		}(),
+		func() Settings {
+			s := DefaultSettings(4, 4, 4)
+			s.FloatType = scalar.Float16
+			s.Transform = transform.Haar
+			return s
+		}(),
+		func() Settings {
+			s := DefaultSettings(4, 4)
+			s.FloatType = scalar.BFloat16
+			mask, _ := KeepLowFrequency([]int{4, 4}, 0.3)
+			s.Mask = mask
+			return s
+		}(),
+	}
+	shapes := [][]int{{16, 16}, {20, 12}, {8, 8, 8}, {10, 10}}
+	for i, s := range configs {
+		c, err := NewCompressor(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := smoothTensor(int64(i), shapes[i]...)
+		a, err := c.Compress(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := Encode(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("config %d: decode: %v", i, err)
+		}
+		if !back.Settings.equal(a.Settings) {
+			t.Fatalf("config %d: settings round trip failed", i)
+		}
+		if len(back.F) != len(a.F) {
+			t.Fatalf("config %d: F length %d vs %d", i, len(back.F), len(a.F))
+		}
+		for j := range a.F {
+			if back.F[j] != a.F[j] {
+				t.Fatalf("config %d: F[%d] = %d vs %d", i, j, back.F[j], a.F[j])
+			}
+		}
+		for j := range a.N {
+			if back.N[j] != a.N[j] && !(math.IsNaN(back.N[j]) && math.IsNaN(a.N[j])) {
+				t.Fatalf("config %d: N[%d] = %g vs %g", i, j, back.N[j], a.N[j])
+			}
+		}
+		// Decompressing the decoded array must give identical output.
+		y1, err := c.Decompress(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y2, err := c.Decompress(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y1.MaxAbsDiff(y2) != 0 {
+			t.Fatalf("config %d: decompressed mismatch", i)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptStreams(t *testing.T) {
+	c, _ := NewCompressor(DefaultSettings(4, 4))
+	a, _ := c.Compress(smoothTensor(1, 16, 16))
+	data, _ := Encode(a)
+
+	// Wrong magic.
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF
+	if _, err := Decode(bad); err == nil {
+		t.Error("corrupted magic should fail")
+	}
+	// Truncated stream.
+	if _, err := Decode(data[:len(data)/2]); err == nil {
+		t.Error("truncated stream should fail")
+	}
+	// Empty stream.
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty stream should fail")
+	}
+	// Garbage.
+	if _, err := Decode([]byte{0xB7, 0xFF, 0xFF, 0xFF}); err == nil {
+		t.Error("garbage after magic should fail")
+	}
+}
+
+func TestEncodeValidatesSettings(t *testing.T) {
+	a := &CompressedArray{
+		Shape:    []int{4},
+		Blocks:   []int{1},
+		N:        []float64{1},
+		F:        []int64{1},
+		Settings: Settings{BlockShape: []int{3}},
+	}
+	if _, err := Encode(a); err == nil {
+		t.Error("encoding with invalid settings should fail")
+	}
+	b := &CompressedArray{
+		Shape:    []int{4},
+		Blocks:   []int{1},
+		N:        []float64{1},
+		F:        []int64{1, 2, 3}, // wrong length
+		Settings: DefaultSettings(4),
+	}
+	if _, err := Encode(b); err == nil {
+		t.Error("encoding with inconsistent F length should fail")
+	}
+}
+
+func TestActualBytesMatchRatioRoughly(t *testing.T) {
+	// For a large array, bytes-on-the-wire must approach the asymptotic
+	// ratio: 256×256 float64 input = 512 KiB; ratio ≈ 3.9 for 4×4 blocks
+	// float32/int16.
+	s := DefaultSettings(4, 4)
+	c, _ := NewCompressor(s)
+	x := smoothTensor(1, 256, 256)
+	a, _ := c.Compress(x)
+	data, _ := Encode(a)
+	inputBytes := 256 * 256 * 8
+	measured := float64(inputBytes) / float64(len(data))
+	asymptotic, _ := CompressionRatio(s, []int{256, 256}, 64)
+	if math.Abs(measured-asymptotic)/asymptotic > 0.02 {
+		t.Errorf("measured ratio %.3f vs asymptotic %.3f", measured, asymptotic)
+	}
+}

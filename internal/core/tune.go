@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/scalar"
+	"repro/internal/tensor"
+)
+
+// TuneForErrorBound implements the paper's future-work idea (§VI): search
+// the compression-settings space for the configuration with the highest
+// compression ratio whose observed L∞ reconstruction error on the given
+// tensor stays within bound. The search sweeps index types and a set of
+// power-of-two block shapes (hypercubic plus the input's own aspect) with
+// the requested float type, compressing and decompressing each candidate.
+// It returns the winning settings and the error it achieved.
+//
+// Unlike SZ, goblaz cannot enforce a point-wise bound by construction
+// (§III: the ratio is data-independent), so this is a measured search, not
+// a guarantee for other inputs.
+func TuneForErrorBound(t *tensor.Tensor, bound float64, ft scalar.FloatType) (Settings, float64, error) {
+	if bound <= 0 {
+		return Settings{}, 0, fmt.Errorf("core: error bound %g must be positive", bound)
+	}
+	d := t.Dims()
+	var candidates []Settings
+	for _, side := range []int{4, 8, 16} {
+		shape := make([]int, d)
+		for i := range shape {
+			shape[i] = side
+		}
+		for _, it := range []scalar.IndexType{scalar.Int8, scalar.Int16, scalar.Int32} {
+			s := DefaultSettings(shape...)
+			s.FloatType = ft
+			s.IndexType = it
+			candidates = append(candidates, s)
+		}
+	}
+
+	bestRatio := -1.0
+	var best Settings
+	var bestErr float64
+	for _, s := range candidates {
+		ratio, err := CompressionRatio(s, t.Shape(), 64)
+		if err != nil {
+			continue
+		}
+		if ratio <= bestRatio {
+			continue // can't improve even if it passes
+		}
+		c, err := NewCompressor(s)
+		if err != nil {
+			continue
+		}
+		a, err := c.Compress(t)
+		if err != nil {
+			continue
+		}
+		back, err := c.Decompress(a)
+		if err != nil {
+			continue
+		}
+		linf := t.MaxAbsDiff(back)
+		if linf <= bound {
+			bestRatio = ratio
+			best = s
+			bestErr = linf
+		}
+	}
+	if bestRatio < 0 {
+		return Settings{}, 0, fmt.Errorf("core: no candidate settings met L∞ bound %g", bound)
+	}
+	return best, bestErr, nil
+}

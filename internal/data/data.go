@@ -1,0 +1,227 @@
+// Package data generates the synthetic datasets that stand in for the
+// paper's three external data sources (see DESIGN.md §2 for the
+// substitution rationale):
+//
+//   - Gradient arrays — the §IV-E timing workload ("elements ranging from
+//     0 to 1 arranged in a constant gradient from the lowest indices to
+//     the highest"), used verbatim.
+//   - MRI-like volumes — stand-in for the LGG segmentation dataset:
+//     3-channel-free FLAIR-like volumes with a small, variable first
+//     dimension (20–88) and constant 256×256 slices, values in [0, 1].
+//   - Fission density time series — stand-in for the plutonium DFT
+//     densities: a two-lobed density whose neck thins over time and snaps
+//     ("scission") between time steps 690 and 692, with transient noise
+//     bumps around steps 685–686 and 695–699, negative-log-transformed.
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Gradient returns the §IV-E timing array: X_x = Σ(x−1) / Σ(s−1), elements
+// from 0 at the lowest indices to 1 at the highest.
+func Gradient(shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	sumMax := 0
+	for _, s := range shape {
+		sumMax += s - 1
+	}
+	if sumMax == 0 {
+		sumMax = 1
+	}
+	idx := make([]int, len(shape))
+	i := 0
+	for {
+		s := 0
+		for _, c := range idx {
+			s += c
+		}
+		t.Data()[i] = float64(s) / float64(sumMax)
+		i++
+		if !tensor.NextIndex(idx, shape) {
+			break
+		}
+	}
+	return t
+}
+
+// MRIVolume generates one FLAIR-like brain volume with the given first
+// dimension (the paper's varies 20–88) and 256×256 slices by default.
+// The volume contains an ellipsoidal "skull" shell, smooth low-frequency
+// internal texture, and a few lesion-like bright blobs; values lie in
+// [0, 1] as in the paper's normalized experiment.
+func MRIVolume(seed int64, depth, height, width int) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := tensor.New(depth, height, width)
+	cz, cy, cx := float64(depth)/2, float64(height)/2, float64(width)/2
+	// Semi-axes of the brain ellipsoid.
+	az, ay, ax := cz*0.85, cy*0.7, cx*0.7
+	// Low-frequency texture phases.
+	p1, p2, p3 := rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi
+	// Lesions: 2–4 bright Gaussian blobs inside the ellipsoid.
+	type blob struct{ z, y, x, sigma, amp float64 }
+	blobs := make([]blob, 2+rng.Intn(3))
+	for i := range blobs {
+		blobs[i] = blob{
+			z:     cz + (rng.Float64()-0.5)*az,
+			y:     cy + (rng.Float64()-0.5)*ay,
+			x:     cx + (rng.Float64()-0.5)*ax,
+			sigma: 2 + rng.Float64()*6,
+			amp:   0.3 + rng.Float64()*0.4,
+		}
+	}
+	i := 0
+	for z := 0; z < depth; z++ {
+		for y := 0; y < height; y++ {
+			for x := 0; x < width; x++ {
+				// Normalized ellipsoid radius.
+				rz := (float64(z) - cz) / az
+				ry := (float64(y) - cy) / ay
+				rx := (float64(x) - cx) / ax
+				r := math.Sqrt(rz*rz + ry*ry + rx*rx)
+				v := 0.0
+				switch {
+				case r > 1.05:
+					v = 0 // background
+				case r > 0.92:
+					v = 0.85 // skull shell
+				default:
+					// Smooth interior texture around 0.35.
+					v = 0.35 +
+						0.1*math.Sin(2*math.Pi*float64(z)/float64(depth)+p1)*
+							math.Cos(2*math.Pi*float64(y)/float64(height)+p2) +
+						0.08*math.Sin(4*math.Pi*float64(x)/float64(width)+p3)
+					for _, b := range blobs {
+						d2 := (float64(z)-b.z)*(float64(z)-b.z) +
+							(float64(y)-b.y)*(float64(y)-b.y) +
+							(float64(x)-b.x)*(float64(x)-b.x)
+						v += b.amp * math.Exp(-d2/(2*b.sigma*b.sigma))
+					}
+				}
+				if v < 0 {
+					v = 0
+				} else if v > 1 {
+					v = 1
+				}
+				t.Data()[i] = v
+				i++
+			}
+		}
+	}
+	return t
+}
+
+// MRIDataset generates count volumes whose first dimension varies
+// uniformly in [minDepth, maxDepth] (paper: 20–88, mean 35.7) with
+// height×width slices.
+func MRIDataset(seed int64, count, minDepth, maxDepth, height, width int) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*tensor.Tensor, count)
+	for i := range out {
+		depth := minDepth + rng.Intn(maxDepth-minDepth+1)
+		out[i] = MRIVolume(rng.Int63(), depth, height, width)
+	}
+	return out
+}
+
+// FissionTimeSteps is the list of simulation time steps of the paper's
+// plutonium dataset (§V-C); the scission happens between steps 690 and 692.
+var FissionTimeSteps = []int{665, 670, 675, 680, 685, 686, 687, 688, 689, 690, 692, 693, 694, 695, 699}
+
+// ScissionAfterStep is the time step after which the nucleus splits: the
+// transition 690 → 692 carries the topology change.
+const ScissionAfterStep = 690
+
+// FissionSeries generates the synthetic neutron-density time series on a
+// grid of the given shape (paper: 40×40×66; the long axis is the last).
+// Before scission the density is a single elongated body with a neck that
+// thins as the time step approaches 690; from step 692 on it is two
+// separated fragments. Transient low-amplitude noise bumps are injected
+// at steps 685–686 and 695–699 to reproduce the misleading L2 peaks of
+// Fig. 6a. Each returned tensor is negative-log-transformed:
+// v = −log(density + eps).
+func FissionSeries(seed int64, nz, ny, nx int) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*tensor.Tensor, len(FissionTimeSteps))
+	for si, step := range FissionTimeSteps {
+		out[si] = fissionFrame(rng, step, nz, ny, nx)
+	}
+	return out
+}
+
+func fissionFrame(rng *rand.Rand, step, nz, ny, nx int) *tensor.Tensor {
+	t := tensor.New(nz, ny, nx)
+	cz, cy := float64(nz)/2, float64(ny)/2
+	cx := float64(nx) / 2
+
+	// Schedule: before scission the lobes stay put and only the neck
+	// thins — visible in L2 but moving little probability mass between
+	// blocks. At scission (690 → 692) the neck snaps and the fragments
+	// jump apart: the one transition that redistributes mass on a large
+	// scale, which is what the Wasserstein distance keys on.
+	sep := float64(nx) * 0.16
+	preProgress := float64(step-665) / float64(ScissionAfterStep-665) // 0..1 at 690
+	neckAmp := 0.6 - 0.35*preProgress
+	if step > ScissionAfterStep {
+		sep = float64(nx)*0.26 + float64(step-692)*float64(nx)*0.002
+		neckAmp = 0
+	}
+
+	// Transient noise bumps (small topology-preserving wobbles) at the
+	// steps the paper identifies as misleading peaks.
+	noiseAmp := 0.0
+	switch {
+	case step == 685 || step == 686:
+		noiseAmp = 0.012
+	case step >= 695:
+		noiseAmp = 0.01
+	}
+	nzoff := (rng.Float64() - 0.5) * 2
+	nyoff := (rng.Float64() - 0.5) * 2
+
+	sigma := float64(nz) * 0.18
+	neckSigma := sigma * 0.6
+	i := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				dz := float64(z) - cz
+				dy := float64(y) - cy
+				// Two lobes along the x (long) axis.
+				dx1 := float64(x) - (cx - sep)
+				dx2 := float64(x) - (cx + sep)
+				lobe1 := math.Exp(-(dz*dz + dy*dy + dx1*dx1) / (2 * sigma * sigma))
+				lobe2 := math.Exp(-(dz*dz + dy*dy + dx2*dx2) / (2 * sigma * sigma))
+				// Neck: density bridge at the center.
+				dxc := float64(x) - cx
+				neck := neckAmp * math.Exp(-(dz*dz+dy*dy)/(2*neckSigma*neckSigma)-
+					dxc*dxc/(2*(sep*sep+1)))
+				// Transient noise: a broad, shallow ripple along the long
+				// axis. It perturbs the L2 norm noticeably but changes
+				// every block's mean only a little, so growing the
+				// Wasserstein order suppresses it relative to the
+				// concentrated scission redistribution (Fig. 6b).
+				bump := 0.0
+				if noiseAmp > 0 {
+					bz := float64(z) - (cz + nzoff*sigma)
+					by := float64(y) - (cy + nyoff*sigma)
+					radial := math.Exp(-(bz*bz + by*by) / (2 * sigma * sigma * 4))
+					// The ripple period is shorter than a 16-wide block, so
+					// within any block it largely cancels in the mean.
+					ripple := 0.5 + 0.5*math.Cos(12*math.Pi*float64(x)/float64(nx))
+					bump = noiseAmp * radial * ripple
+				}
+				density := lobe1 + lobe2 + neck + bump
+				// Negative log transform with an additive constant, as the
+				// paper describes (§V-C footnote): the constant keeps the
+				// log from exploding in near-vacuum regions.
+				t.Data()[i] = -math.Log(density + 0.01)
+				i++
+			}
+		}
+	}
+	return t
+}

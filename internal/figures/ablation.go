@@ -1,0 +1,105 @@
+package figures
+
+import (
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/scalar"
+	"repro/internal/transform"
+)
+
+// Ablation studies for the design choices DESIGN.md §5 calls out: the
+// pruning-mask keep fraction (ratio/error trade-off of §III-A(e)) and the
+// orthonormal transform choice.
+
+// PruningRow is one keep-fraction point of the pruning sweep.
+type PruningRow struct {
+	// KeepFraction is the fraction of low-frequency coefficients kept.
+	KeepFraction float64
+	// Ratio is the asymptotic compression ratio at this fraction.
+	Ratio float64
+	// RMSE and Linf are reconstruction errors on the MRI-like volume.
+	RMSE, Linf float64
+}
+
+// PruningSweep measures ratio and reconstruction error across keep
+// fractions on an MRI-like volume with 8×8×8 blocks, float32, int8 (a
+// high-ratio configuration where pruning matters most).
+func PruningSweep(seed int64, fractions []float64) ([]PruningRow, error) {
+	vol := data.MRIVolume(seed, 32, 64, 64)
+	rows := make([]PruningRow, 0, len(fractions))
+	for _, frac := range fractions {
+		s := core.DefaultSettings(8, 8, 8)
+		s.IndexType = scalar.Int8
+		if frac < 1 {
+			mask, err := core.KeepLowFrequency(s.BlockShape, frac)
+			if err != nil {
+				return nil, err
+			}
+			s.Mask = mask
+		}
+		c, err := core.NewCompressor(s)
+		if err != nil {
+			return nil, err
+		}
+		a, err := c.Compress(vol)
+		if err != nil {
+			return nil, err
+		}
+		back, err := c.Decompress(a)
+		if err != nil {
+			return nil, err
+		}
+		ratio, err := core.CompressionRatio(s, vol.Shape(), 64)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PruningRow{
+			KeepFraction: frac,
+			Ratio:        ratio,
+			RMSE:         vol.RMSE(back),
+			Linf:         vol.MaxAbsDiff(back),
+		})
+	}
+	return rows, nil
+}
+
+// DefaultPruningFractions is the sweep used by cmd/benchfigs.
+var DefaultPruningFractions = []float64{1, 0.75, 0.5, 0.25, 0.125, 0.0625}
+
+// TransformRow is one transform of the transform ablation.
+type TransformRow struct {
+	Transform transform.Kind
+	// RMSE and Linf are reconstruction errors on the MRI-like volume.
+	RMSE, Linf float64
+}
+
+// TransformSweep measures reconstruction error for each orthonormal
+// transform at identical settings (ratio is transform-independent).
+func TransformSweep(seed int64) ([]TransformRow, error) {
+	vol := data.MRIVolume(seed, 32, 64, 64)
+	kinds := []transform.Kind{transform.DCT, transform.Haar, transform.WalshHadamard, transform.Identity}
+	rows := make([]TransformRow, 0, len(kinds))
+	for _, k := range kinds {
+		s := core.DefaultSettings(8, 8, 8)
+		s.IndexType = scalar.Int8
+		s.Transform = k
+		c, err := core.NewCompressor(s)
+		if err != nil {
+			return nil, err
+		}
+		a, err := c.Compress(vol)
+		if err != nil {
+			return nil, err
+		}
+		back, err := c.Decompress(a)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TransformRow{
+			Transform: k,
+			RMSE:      vol.RMSE(back),
+			Linf:      vol.MaxAbsDiff(back),
+		})
+	}
+	return rows, nil
+}

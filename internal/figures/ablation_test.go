@@ -1,0 +1,55 @@
+package figures
+
+import (
+	"testing"
+
+	"repro/internal/transform"
+)
+
+func TestPruningSweepTradeOff(t *testing.T) {
+	rows, err := PruningSweep(1, []float64{1, 0.5, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Ratio rises and error rises as fewer coefficients are kept.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Ratio <= rows[i-1].Ratio {
+			t.Errorf("ratio should rise with pruning: %g then %g", rows[i-1].Ratio, rows[i].Ratio)
+		}
+		if rows[i].RMSE < rows[i-1].RMSE {
+			t.Errorf("RMSE should not fall with pruning: %g then %g", rows[i-1].RMSE, rows[i].RMSE)
+		}
+	}
+	// The paper's §IV-C pruning example direction: half the indices ≈
+	// doubles the ratio's F term.
+	gain := rows[1].Ratio / rows[0].Ratio
+	if gain < 1.5 || gain > 2.2 {
+		t.Errorf("keep-half ratio gain %g, expected ≈2×", gain)
+	}
+}
+
+func TestTransformSweepDCTBest(t *testing.T) {
+	rows, err := TransformSweep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := map[transform.Kind]TransformRow{}
+	for _, r := range rows {
+		byKind[r.Transform] = r
+	}
+	// DCT and Haar are close (Haar can edge ahead on data with sharp
+	// shells, as here); both should beat Walsh–Hadamard on worst-case
+	// error, whose square-wave basis rings at discontinuities.
+	dct := byKind[transform.DCT]
+	haar := byKind[transform.Haar]
+	wht := byKind[transform.WalshHadamard]
+	if dct.RMSE > haar.RMSE*2 || haar.RMSE > dct.RMSE*2 {
+		t.Errorf("DCT (%g) and Haar (%g) RMSE should be within 2× of each other", dct.RMSE, haar.RMSE)
+	}
+	if dct.Linf > wht.Linf || haar.Linf > wht.Linf {
+		t.Errorf("WHT L∞ %g should be the worst (dct %g, haar %g)", wht.Linf, dct.Linf, haar.Linf)
+	}
+}

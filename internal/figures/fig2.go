@@ -1,0 +1,79 @@
+package figures
+
+import (
+	"time"
+
+	"repro/internal/baseline/blaz"
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+// Fig2Row is one array size of Fig. 2: "PyBlaz vs. Blaz Operation Time" —
+// compress, decompress, add, multiply on square 2-D float64 arrays with
+// 8×8 blocks and int8 bins. Goblaz (parallel) plays PyBlaz; the
+// single-threaded blaz baseline plays Blaz.
+type Fig2Row struct {
+	Size int
+	// Goblaz times.
+	GoblazCompress, GoblazDecompress, GoblazAdd, GoblazMultiply time.Duration
+	// Blaz times.
+	BlazCompress, BlazDecompress, BlazAdd, BlazMultiply time.Duration
+}
+
+// Fig2 measures every operation at each array size. reps is the
+// best-of-n repetition count (the paper uses warm GPU timings; 3 is
+// plenty for shape).
+func Fig2(sizes []int, reps int) []Fig2Row {
+	c := mustCompressor(fig2Settings())
+	rows := make([]Fig2Row, 0, len(sizes))
+	for _, n := range sizes {
+		x := data.Gradient(n, n)
+		y := data.Gradient(n, n).Apply(func(v float64) float64 { return 1 - v })
+
+		var row Fig2Row
+		row.Size = n
+
+		var ca, cb *core.CompressedArray
+		row.GoblazCompress = Timing(reps, func() { ca = mustCompress(c, x) })
+		cb = mustCompress(c, y)
+		row.GoblazDecompress = Timing(reps, func() {
+			if _, err := c.Decompress(ca); err != nil {
+				panic(err)
+			}
+		})
+		row.GoblazAdd = Timing(reps, func() {
+			if _, err := c.Add(ca, cb); err != nil {
+				panic(err)
+			}
+		})
+		row.GoblazMultiply = Timing(reps, func() {
+			if _, err := c.MulScalar(ca, 1.5); err != nil {
+				panic(err)
+			}
+		})
+
+		var ba, bb *blaz.Compressed
+		row.BlazCompress = Timing(reps, func() {
+			var err error
+			ba, err = blaz.Compress(x.Data(), n, n)
+			if err != nil {
+				panic(err)
+			}
+		})
+		bb, _ = blaz.Compress(y.Data(), n, n)
+		row.BlazDecompress = Timing(reps, func() { blaz.Decompress(ba) })
+		row.BlazAdd = Timing(reps, func() {
+			if _, err := blaz.Add(ba, bb); err != nil {
+				panic(err)
+			}
+		})
+		row.BlazMultiply = Timing(reps, func() { blaz.MulScalar(ba, 1.5) })
+
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// DefaultFig2Sizes is the paper's x-axis, truncated to what a CPU testbed
+// sweeps in reasonable time (the paper goes to 8192 on a GPU).
+var DefaultFig2Sizes = []int{8, 16, 32, 64, 128, 256, 512, 1024}

@@ -1,0 +1,93 @@
+package figures
+
+import (
+	"time"
+
+	"repro/internal/baseline/zfpsim"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/scalar"
+)
+
+// Fig3Row is one array size of Fig. 3: compression and decompression time
+// versus the fixed-rate ZFP-like baseline on the §IV-E gradient arrays.
+// ZFP rates 8/16/32 bits per scalar give ratios ≈8/4/2; goblaz ratios ≈8
+// and ≈4 come from int8 and int16 bin types (as in the paper's caption).
+type Fig3Row struct {
+	Size int
+	// ZfpCompress/ZfpDecompress are indexed by rate: 0 → ratio 8 (8 bpv),
+	// 1 → ratio 4 (16 bpv), 2 → ratio 2 (32 bpv).
+	ZfpCompress, ZfpDecompress [3]time.Duration
+	// GoblazCompress/GoblazDecompress are indexed 0 → ratio ≈8 (int8),
+	// 1 → ratio ≈4 (int16).
+	GoblazCompress, GoblazDecompress [2]time.Duration
+}
+
+// zfpRates are the fixed rates giving ratios 8, 4, 2 for float64 input.
+var zfpRates = [3]int{8, 16, 32}
+
+// Fig3 measures 2-D (dims=2) or 3-D (dims=3) compression/decompression
+// times across sizes.
+func Fig3(dims int, sizes []int, reps int) []Fig3Row {
+	if dims != 2 && dims != 3 {
+		panic("figures: Fig3 needs dims 2 or 3")
+	}
+	// Goblaz settings per the caption: ratios ≈8 and ≈4 via int8/int16.
+	// Block shape 4^d matches ZFP's granularity.
+	blockShape := make([]int, dims)
+	for i := range blockShape {
+		blockShape[i] = 4
+	}
+	var goblaz [2]*core.Compressor
+	for i, it := range []scalar.IndexType{scalar.Int8, scalar.Int16} {
+		s := core.DefaultSettings(blockShape...)
+		s.IndexType = it
+		goblaz[i] = mustCompressor(s)
+	}
+
+	rows := make([]Fig3Row, 0, len(sizes))
+	for _, n := range sizes {
+		shape := make([]int, dims)
+		for i := range shape {
+			shape[i] = n
+		}
+		x := data.Gradient(shape...)
+		var row Fig3Row
+		row.Size = n
+		for ri, bpv := range zfpRates {
+			st := zfpsim.Settings{BitsPerValue: bpv}
+			var a *zfpsim.Compressed
+			row.ZfpCompress[ri] = Timing(reps, func() {
+				var err error
+				a, err = zfpsim.Compress(x, st)
+				if err != nil {
+					panic(err)
+				}
+			})
+			row.ZfpDecompress[ri] = Timing(reps, func() {
+				if _, err := zfpsim.Decompress(a); err != nil {
+					panic(err)
+				}
+			})
+		}
+		for gi := range goblaz {
+			c := goblaz[gi]
+			var a *core.CompressedArray
+			row.GoblazCompress[gi] = Timing(reps, func() { a = mustCompress(c, x) })
+			row.GoblazDecompress[gi] = Timing(reps, func() {
+				if _, err := c.Decompress(a); err != nil {
+					panic(err)
+				}
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// DefaultFig3Sizes matches the paper's 8–512 sweep.
+var DefaultFig3Sizes2D = []int{8, 16, 32, 64, 128, 256, 512}
+
+// DefaultFig3Sizes3D is capped at 128 (128³ = 2M elements) to keep the
+// CPU sweep quick; the paper's GPU goes to 512³.
+var DefaultFig3Sizes3D = []int{8, 16, 32, 64, 128}

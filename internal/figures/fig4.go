@@ -1,0 +1,79 @@
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/scalar"
+	"repro/internal/sim/shallowwater"
+	"repro/internal/tensor"
+)
+
+// Fig4Result holds the shallow-water precision experiment (§V-A, Fig. 4):
+// surface height from an emulated-float16 run and a float32 run, their
+// element-wise difference computed on uncompressed data, and the same
+// difference computed entirely in compressed space with negation +
+// element-wise addition (block shape 16×16, float32, int8 — the paper's
+// settings for this experiment).
+type Fig4Result struct {
+	// HeightF16 and HeightF32 are the surface height fields.
+	HeightF16, HeightF32 *tensor.Tensor
+	// DiffUncompressed is HeightF16 − HeightF32 on raw data.
+	DiffUncompressed *tensor.Tensor
+	// DiffCompressed is the decompressed result of the compressed-space
+	// subtraction.
+	DiffCompressed *tensor.Tensor
+	// AgreementLinf is the L∞ distance between the two difference fields:
+	// how faithfully the compressed-space difference captures the
+	// uncompressed one.
+	AgreementLinf float64
+	// PerturbationLinf is the largest |difference| — the precision-change
+	// perturbation magnitude itself.
+	PerturbationLinf float64
+}
+
+// Fig4 runs both simulations for steps steps on an ny×nx domain and
+// compares the difference fields. The paper uses 200×400 and a 500-day
+// horizon; callers choose smaller values for quick runs.
+func Fig4(ny, nx, steps int) (*Fig4Result, error) {
+	cfg16 := shallowwater.DefaultConfig(scalar.Float16)
+	cfg16.Ny, cfg16.Nx = ny, nx
+	cfg32 := shallowwater.DefaultConfig(scalar.Float32)
+	cfg32.Ny, cfg32.Nx = ny, nx
+
+	s16, err := shallowwater.New(cfg16)
+	if err != nil {
+		return nil, fmt.Errorf("figures: %w", err)
+	}
+	s32, err := shallowwater.New(cfg32)
+	if err != nil {
+		return nil, fmt.Errorf("figures: %w", err)
+	}
+	s16.Run(steps)
+	s32.Run(steps)
+	h16, h32 := s16.Height(), s32.Height()
+
+	// Compressor per the experiment: block 16×16, float32, int8.
+	s := core.DefaultSettings(16, 16)
+	s.IndexType = scalar.Int8
+	c := mustCompressor(s)
+	a16 := mustCompress(c, h16)
+	a32 := mustCompress(c, h32)
+	diffC, err := c.Subtract(a16, a32)
+	if err != nil {
+		return nil, err
+	}
+	decDiff, err := c.Decompress(diffC)
+	if err != nil {
+		return nil, err
+	}
+	diffU := h16.Sub(h32)
+	return &Fig4Result{
+		HeightF16:        h16,
+		HeightF32:        h32,
+		DiffUncompressed: diffU,
+		DiffCompressed:   decDiff,
+		AgreementLinf:    diffU.MaxAbsDiff(decDiff),
+		PerturbationLinf: diffU.AbsMax(),
+	}, nil
+}

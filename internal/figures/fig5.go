@@ -1,0 +1,177 @@
+package figures
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/scalar"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Fig5Config is one point of the Fig. 5 settings grid.
+type Fig5Config struct {
+	FloatType  scalar.FloatType
+	IndexType  scalar.IndexType
+	BlockShape []int
+}
+
+// Fig5BlockShapes is the paper's legend: three hypercubic and three
+// non-hypercubic block shapes.
+var Fig5BlockShapes = [][]int{
+	{4, 4, 4}, {8, 8, 8}, {16, 16, 16},
+	{4, 8, 8}, {4, 16, 16}, {8, 16, 16},
+}
+
+// Fig5FloatTypes and Fig5IndexTypes complete the grid.
+var Fig5FloatTypes = []scalar.FloatType{scalar.BFloat16, scalar.Float16, scalar.Float32, scalar.Float64}
+var Fig5IndexTypes = []scalar.IndexType{scalar.Int8, scalar.Int16}
+
+// Fig5Row is the measured error of the four compressed-space scalar
+// functions for one settings configuration, averaged over the dataset
+// (MAE on the absolute axis, as the paper's squares), plus the mean
+// compression ratio.
+type Fig5Row struct {
+	Config Fig5Config
+	// Mean/Variance/L2 mean absolute and mean relative errors.
+	MeanAbs, MeanRel         float64
+	VarianceAbs, VarianceRel float64
+	L2Abs, L2Rel             float64
+	// SSIMAbs is the mean absolute SSIM error over volume pairs. SSIM has
+	// no relative axis in the paper (it is an index in [0, 1]).
+	SSIMAbs float64
+	// NaNs counts examples where a compressed-space function returned a
+	// non-finite value (the paper's "squares are missing" cases).
+	NaNs int
+	// Ratio is the mean compression ratio over the dataset.
+	Ratio float64
+}
+
+// Fig5 runs the grid over count synthetic MRI volumes of height×width
+// slices (paper: 110 volumes of 256×256; callers shrink for quick runs).
+// Relative errors are relative to the reference value of each function,
+// matching the paper's definition.
+func Fig5(seed int64, count, height, width int) []Fig5Row {
+	vols := data.MRIDataset(seed, count, 20, 88, height, width)
+	refs := make([]struct{ mean, variance, l2 float64 }, len(vols))
+	for i, v := range vols {
+		refs[i].mean = stats.Mean(v)
+		refs[i].variance = stats.Variance(v)
+		refs[i].l2 = stats.L2Norm(v)
+	}
+
+	var rows []Fig5Row
+	for _, bs := range Fig5BlockShapes {
+		for _, ft := range Fig5FloatTypes {
+			for _, it := range Fig5IndexTypes {
+				cfg := Fig5Config{FloatType: ft, IndexType: it, BlockShape: bs}
+				rows = append(rows, fig5One(cfg, vols, refs))
+			}
+		}
+	}
+	return rows
+}
+
+func fig5One(cfg Fig5Config, vols []*tensor.Tensor, refs []struct{ mean, variance, l2 float64 }) Fig5Row {
+	s := core.DefaultSettings(cfg.BlockShape...)
+	s.FloatType = cfg.FloatType
+	s.IndexType = cfg.IndexType
+	c := mustCompressor(s)
+
+	row := Fig5Row{Config: cfg}
+	var nMean, nVar, nL2, nSSIM int
+	var ratioSum float64
+	arrays := make([]*core.CompressedArray, len(vols))
+	for i, v := range vols {
+		arrays[i] = mustCompress(c, v)
+		r, err := core.CompressionRatio(s, v.Shape(), 64)
+		if err != nil {
+			panic(err)
+		}
+		ratioSum += r
+
+		if m, err := c.Mean(arrays[i]); err == nil {
+			if accum(&row.MeanAbs, &row.MeanRel, m, refs[i].mean) {
+				nMean++
+			} else {
+				row.NaNs++
+			}
+		}
+		if v2, err := c.Variance(arrays[i]); err == nil {
+			if accum(&row.VarianceAbs, &row.VarianceRel, v2, refs[i].variance) {
+				nVar++
+			} else {
+				row.NaNs++
+			}
+		}
+		if l, err := c.L2Norm(arrays[i]); err == nil {
+			if accum(&row.L2Abs, &row.L2Rel, l, refs[i].l2) {
+				nL2++
+			} else {
+				row.NaNs++
+			}
+		}
+	}
+	// SSIM between consecutive volume pairs, cropping to matching shapes
+	// (the paper crops or pads one of the pair).
+	opts := core.DefaultSSIMOptions()
+	for i := 0; i+1 < len(vols); i++ {
+		a, b := vols[i], vols[i+1]
+		ca, cb := cropPair(a, b)
+		compA := mustCompress(c, ca)
+		compB := mustCompress(c, cb)
+		got, err := c.StructuralSimilarity(compA, compB, opts)
+		if err != nil {
+			continue
+		}
+		want := stats.SSIM(ca, cb, opts.LuminanceStabilizer, opts.ContrastStabilizer)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			row.NaNs++
+			continue
+		}
+		row.SSIMAbs += math.Abs(got - want)
+		nSSIM++
+	}
+	div := func(sum *float64, n int) {
+		if n > 0 {
+			*sum /= float64(n)
+		}
+	}
+	div(&row.MeanAbs, nMean)
+	div(&row.MeanRel, nMean)
+	div(&row.VarianceAbs, nVar)
+	div(&row.VarianceRel, nVar)
+	div(&row.L2Abs, nL2)
+	div(&row.L2Rel, nL2)
+	div(&row.SSIMAbs, nSSIM)
+	row.Ratio = ratioSum / float64(len(vols))
+	return row
+}
+
+// accum adds |got−want| and |got−want|/|want| to the running sums,
+// returning false (and adding nothing) when got is non-finite.
+func accum(absSum, relSum *float64, got, want float64) bool {
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		return false
+	}
+	d := math.Abs(got - want)
+	*absSum += d
+	if want != 0 {
+		*relSum += d / math.Abs(want)
+	}
+	return true
+}
+
+// cropPair crops both volumes to their common shape.
+func cropPair(a, b *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	as, bs := a.Shape(), b.Shape()
+	common := make([]int, len(as))
+	for d := range as {
+		common[d] = as[d]
+		if bs[d] < common[d] {
+			common[d] = bs[d]
+		}
+	}
+	return a.CropTo(common), b.CropTo(common)
+}

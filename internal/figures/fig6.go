@@ -1,0 +1,113 @@
+package figures
+
+import (
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/scalar"
+	"repro/internal/tensor"
+)
+
+// Fig6Transition is one adjacent-time-step pair of the fission experiment
+// (§V-C): the L2-norm difference computed three ways, as in Fig. 6a —
+// on uncompressed data, on decompressed data, and directly in compressed
+// space.
+type Fig6Transition struct {
+	FromStep, ToStep int
+	// L2Uncompressed is ‖D₂ − D₁‖₂ on the raw arrays.
+	L2Uncompressed float64
+	// L2Decompressed is the same after a compress→decompress round trip.
+	L2Decompressed float64
+	// L2Compressed is computed wholly in compressed space
+	// (negate + add + L2 norm).
+	L2Compressed float64
+	// Wasserstein maps order p to the compressed-space approximate
+	// Wasserstein distance (Fig. 6b).
+	Wasserstein map[float64]float64
+}
+
+// Fig6Result is the full experiment output.
+type Fig6Result struct {
+	Transitions []Fig6Transition
+	// MaxL2Error is the largest |L2Compressed − L2Uncompressed| across
+	// transitions (paper: ≈1.68 against a mean L2 norm of ≈619).
+	MaxL2Error float64
+	// MeanL2 is the mean uncompressed L2 difference.
+	MeanL2 float64
+}
+
+// Fig6Orders is the paper's sweep of Wasserstein orders: small orders keep
+// the noise peaks, p = 68 isolates the scission, p ≥ 80 flattens
+// everything numerically.
+var Fig6Orders = []float64{1, 2, 8, 20, 68, 80}
+
+// Fig6 runs the fission experiment on an nz×ny×nx grid (paper: 40×40×66)
+// with the paper's compressor settings: block 16×16×16, int16, float32.
+func Fig6(seed int64, nz, ny, nx int) (*Fig6Result, error) {
+	series := data.FissionSeries(seed, nz, ny, nx)
+	s := core.DefaultSettings(16, 16, 16)
+	s.FloatType = scalar.Float32
+	s.IndexType = scalar.Int16
+	c := mustCompressor(s)
+
+	compressed := make([]*core.CompressedArray, len(series))
+	decompressed := make([]*tensor.Tensor, len(series))
+	for i, frame := range series {
+		compressed[i] = mustCompress(c, frame)
+		d, err := c.Decompress(compressed[i])
+		if err != nil {
+			return nil, err
+		}
+		decompressed[i] = d
+	}
+
+	res := &Fig6Result{}
+	for i := 1; i < len(series); i++ {
+		tr := Fig6Transition{
+			FromStep:    data.FissionTimeSteps[i-1],
+			ToStep:      data.FissionTimeSteps[i],
+			Wasserstein: make(map[float64]float64),
+		}
+		tr.L2Uncompressed = series[i].Sub(series[i-1]).Norm2()
+		tr.L2Decompressed = decompressed[i].Sub(decompressed[i-1]).Norm2()
+		diff, err := c.Subtract(compressed[i], compressed[i-1])
+		if err != nil {
+			return nil, err
+		}
+		tr.L2Compressed, err = c.L2Norm(diff)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range Fig6Orders {
+			w, err := c.WassersteinDistance(compressed[i], compressed[i-1], p)
+			if err != nil {
+				return nil, err
+			}
+			tr.Wasserstein[p] = w
+		}
+		if e := abs(tr.L2Compressed - tr.L2Uncompressed); e > res.MaxL2Error {
+			res.MaxL2Error = e
+		}
+		res.MeanL2 += tr.L2Uncompressed
+		res.Transitions = append(res.Transitions, tr)
+	}
+	res.MeanL2 /= float64(len(res.Transitions))
+	return res, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ScissionTransitionIndex returns the index in Transitions of the
+// 690 → 692 scission transition.
+func (r *Fig6Result) ScissionTransitionIndex() int {
+	for i, tr := range r.Transitions {
+		if tr.FromStep == data.ScissionAfterStep {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,96 @@
+package figures
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/scalar"
+)
+
+// Fig7Op names one of the timed operations of Fig. 7 (Appendix B).
+type Fig7Op string
+
+// The Fig. 7 operation set.
+const (
+	OpCompress   Fig7Op = "compress"
+	OpDecompress Fig7Op = "decompress"
+	OpNegate     Fig7Op = "negate"
+	OpAdd        Fig7Op = "add"
+	OpMultiply   Fig7Op = "multiply"
+	OpDot        Fig7Op = "dot"
+	OpL2         Fig7Op = "norm2"
+	OpCosine     Fig7Op = "cosine"
+	OpMean       Fig7Op = "mean"
+	OpVariance   Fig7Op = "variance"
+	OpSSIM       Fig7Op = "ssim"
+)
+
+// Fig7Ops lists the operations in the paper's panel order.
+var Fig7Ops = []Fig7Op{
+	OpCompress, OpDecompress, OpNegate, OpAdd, OpMultiply,
+	OpDot, OpL2, OpCosine, OpMean, OpVariance, OpSSIM,
+}
+
+// Fig7Row is one (float type, index type, size) cell: operation → time.
+// The paper's configuration is 3-dimensional cubic arrays, block size 4.
+type Fig7Row struct {
+	FloatType scalar.FloatType
+	IndexType scalar.IndexType
+	Size      int
+	Times     map[Fig7Op]time.Duration
+}
+
+// Fig7FloatTypes and Fig7IndexTypes are the legend of Fig. 7.
+var Fig7FloatTypes = []scalar.FloatType{scalar.BFloat16, scalar.Float16, scalar.Float32, scalar.Float64}
+var Fig7IndexTypes = []scalar.IndexType{scalar.Int8, scalar.Int16, scalar.Int32}
+
+// DefaultFig7Sizes is the paper's 4–1024 sweep truncated for CPU budgets.
+var DefaultFig7Sizes = []int{4, 8, 16, 32, 64, 128}
+
+// Fig7 times every operation for each (float type, index type) pair at
+// each cubic size, block shape 4×4×4.
+func Fig7(sizes []int, floatTypes []scalar.FloatType, indexTypes []scalar.IndexType, reps int) []Fig7Row {
+	var rows []Fig7Row
+	for _, ft := range floatTypes {
+		for _, it := range indexTypes {
+			s := core.DefaultSettings(4, 4, 4)
+			s.FloatType = ft
+			s.IndexType = it
+			c := mustCompressor(s)
+			for _, n := range sizes {
+				x := data.Gradient(n, n, n)
+				y := data.Gradient(n, n, n).Apply(func(v float64) float64 { return 1 - v })
+				row := Fig7Row{FloatType: ft, IndexType: it, Size: n, Times: map[Fig7Op]time.Duration{}}
+
+				var ca, cb *core.CompressedArray
+				row.Times[OpCompress] = Timing(reps, func() { ca = mustCompress(c, x) })
+				cb = mustCompress(c, y)
+				row.Times[OpDecompress] = Timing(reps, func() {
+					if _, err := c.Decompress(ca); err != nil {
+						panic(err)
+					}
+				})
+				must := func(err error) {
+					if err != nil {
+						panic(err)
+					}
+				}
+				row.Times[OpNegate] = Timing(reps, func() { _, err := c.Negate(ca); must(err) })
+				row.Times[OpAdd] = Timing(reps, func() { _, err := c.Add(ca, cb); must(err) })
+				row.Times[OpMultiply] = Timing(reps, func() { _, err := c.MulScalar(ca, 2); must(err) })
+				row.Times[OpDot] = Timing(reps, func() { _, err := c.Dot(ca, cb); must(err) })
+				row.Times[OpL2] = Timing(reps, func() { _, err := c.L2Norm(ca); must(err) })
+				row.Times[OpCosine] = Timing(reps, func() { _, err := c.CosineSimilarity(ca, cb); must(err) })
+				row.Times[OpMean] = Timing(reps, func() { _, err := c.Mean(ca); must(err) })
+				row.Times[OpVariance] = Timing(reps, func() { _, err := c.Variance(ca); must(err) })
+				row.Times[OpSSIM] = Timing(reps, func() {
+					_, err := c.StructuralSimilarity(ca, cb, core.DefaultSSIMOptions())
+					must(err)
+				})
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows
+}

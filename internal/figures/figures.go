@@ -1,0 +1,64 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (§IV-E and §V). Each FigN function produces the same data
+// series the corresponding figure plots; cmd/benchfigs renders them as
+// text tables, the test suite asserts their qualitative shape (who wins,
+// where the peaks are), and bench_test.go exposes the underlying kernels
+// as testing.B benchmarks.
+//
+// Absolute times differ from the paper's GPU testbed by construction; the
+// comparisons preserved are the relative ones (see DESIGN.md §4).
+package figures
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scalar"
+	"repro/internal/tensor"
+)
+
+// Timing measures the best-of-n wall time of fn, following the usual
+// microbenchmark practice of reporting the minimum to suppress scheduler
+// noise.
+func Timing(n int, fn func()) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// paperSettings returns the Fig. 2 configuration: 2-D, float64, int8,
+// 8×8 blocks ("comparable to those in Blaz").
+func fig2Settings() core.Settings {
+	s := core.DefaultSettings(8, 8)
+	s.FloatType = scalar.Float64
+	s.IndexType = scalar.Int8
+	return s
+}
+
+// mustCompressor panics on invalid settings; figure configurations are
+// compile-time constants, so failure is a programming error.
+func mustCompressor(s core.Settings) *core.Compressor {
+	c, err := core.NewCompressor(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// mustCompress panics on error for the same reason.
+func mustCompress(c *core.Compressor, t *tensor.Tensor) *core.CompressedArray {
+	a, err := c.Compress(t)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

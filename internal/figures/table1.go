@@ -1,0 +1,190 @@
+package figures
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/scalar"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Table1Row is one operation of the paper's Table I with its measured
+// error against the decompress-then-operate reference on randomized data.
+type Table1Row struct {
+	// Operation is the Table I name.
+	Operation string
+	// PaperErrorSource is the paper's "Source of Error" column.
+	PaperErrorSource string
+	// MeasuredError is the worst relative (scalar ops) or normalized L∞
+	// (array ops) deviation from the reference over all trials.
+	MeasuredError float64
+}
+
+// Table1 measures every Table I operation on `trials` random 32×32 array
+// pairs using float64/int16/8×8-block settings (so measured error is
+// attributable to the operation, not to storage rounding).
+func Table1(seed int64, trials int) ([]Table1Row, error) {
+	s := core.DefaultSettings(8, 8)
+	s.FloatType = scalar.Float64
+	c, err := core.NewCompressor(s)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mk := func() (*core.CompressedArray, *tensor.Tensor, error) {
+		t := tensor.New(32, 32)
+		for i := range t.Data() {
+			t.Data()[i] = rng.NormFloat64()
+		}
+		a, err := c.Compress(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		dec, err := c.Decompress(a)
+		return a, dec, err
+	}
+
+	rows := map[string]*Table1Row{}
+	add := func(name, src string) *Table1Row {
+		r := &Table1Row{Operation: name, PaperErrorSource: src}
+		rows[name] = r
+		return r
+	}
+	rNeg := add("Negation", "none")
+	rAdd := add("Element-wise addition", "rebinning")
+	rAddS := add("Addition of a scalar", "rebinning")
+	rMulS := add("Multiplication by a scalar", "none")
+	rDot := add("Dot product", "none")
+	rMean := add("Mean", "none")
+	rCov := add("Covariance", "none")
+	rVar := add("Variance", "none")
+	rL2 := add("L2 norm", "none")
+	rCos := add("Cosine similarity", "none")
+	rSSIM := add("SSIM", "none")
+	rW := add("Approx. Wasserstein distance", "error as f(block size)")
+
+	relErr := func(got, want float64) float64 {
+		return math.Abs(got-want) / (1 + math.Abs(want))
+	}
+	track := func(r *Table1Row, e float64) {
+		if e > r.MeasuredError {
+			r.MeasuredError = e
+		}
+	}
+
+	for trial := 0; trial < trials; trial++ {
+		a, da, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		b, db, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		scale := da.AbsMax()
+
+		na, err := c.Negate(a)
+		if err != nil {
+			return nil, err
+		}
+		dna, err := c.Decompress(na)
+		if err != nil {
+			return nil, err
+		}
+		track(rNeg, dna.MaxAbsDiff(da.Neg())/scale)
+
+		sum, err := c.Add(a, b)
+		if err != nil {
+			return nil, err
+		}
+		dsum, err := c.Decompress(sum)
+		if err != nil {
+			return nil, err
+		}
+		track(rAdd, dsum.MaxAbsDiff(da.Add(db))/scale)
+
+		as, err := c.AddScalar(a, 1.5)
+		if err != nil {
+			return nil, err
+		}
+		das, err := c.Decompress(as)
+		if err != nil {
+			return nil, err
+		}
+		track(rAddS, das.MaxAbsDiff(da.AddScalar(1.5))/scale)
+
+		ms, err := c.MulScalar(a, -2.5)
+		if err != nil {
+			return nil, err
+		}
+		dms, err := c.Decompress(ms)
+		if err != nil {
+			return nil, err
+		}
+		track(rMulS, dms.MaxAbsDiff(da.Scale(-2.5))/scale)
+
+		dot, err := c.Dot(a, b)
+		if err != nil {
+			return nil, err
+		}
+		track(rDot, relErr(dot, stats.Dot(da, db)))
+
+		mean, err := c.Mean(a)
+		if err != nil {
+			return nil, err
+		}
+		track(rMean, relErr(mean, stats.Mean(da)))
+
+		cov, err := c.Covariance(a, b)
+		if err != nil {
+			return nil, err
+		}
+		track(rCov, relErr(cov, stats.Covariance(da, db)))
+
+		v, err := c.Variance(a)
+		if err != nil {
+			return nil, err
+		}
+		track(rVar, relErr(v, stats.Variance(da)))
+
+		l2, err := c.L2Norm(a)
+		if err != nil {
+			return nil, err
+		}
+		track(rL2, relErr(l2, stats.L2Norm(da)))
+
+		cs, err := c.CosineSimilarity(a, b)
+		if err != nil {
+			return nil, err
+		}
+		track(rCos, relErr(cs, stats.CosineSimilarity(da, db)))
+
+		ssim, err := c.StructuralSimilarity(a, b, core.DefaultSSIMOptions())
+		if err != nil {
+			return nil, err
+		}
+		track(rSSIM, relErr(ssim, stats.SSIM(da, db, 1e-4, 9e-4)))
+
+		w, err := c.WassersteinDistance(a, b, 2)
+		if err != nil {
+			return nil, err
+		}
+		ma := stats.BlockMeans(da, s.BlockShape)
+		mb := stats.BlockMeans(db, s.BlockShape)
+		track(rW, relErr(w, stats.Wasserstein(ma.Data(), mb.Data(), 2)))
+	}
+
+	order := []string{
+		"Negation", "Element-wise addition", "Addition of a scalar",
+		"Multiplication by a scalar", "Dot product", "Mean", "Covariance",
+		"Variance", "L2 norm", "Cosine similarity", "SSIM",
+		"Approx. Wasserstein distance",
+	}
+	out := make([]Table1Row, 0, len(order))
+	for _, name := range order {
+		out = append(out, *rows[name])
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package series
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// Pipeline compresses frames concurrently while preserving append order:
+// producers hand raw frames to a bounded worker pool whose goroutines run
+// the compressor, and a single committer appends the compressed results
+// in sequence. This is the channel-pipeline idiom applied to the paper's
+// checkpoint-compression use case — the simulation never blocks on
+// compression as long as the pool keeps up.
+type Pipeline struct {
+	s       *Series
+	jobs    chan job
+	wg      sync.WaitGroup
+	results chan result
+	done    chan struct{}
+	errOnce sync.Once
+	err     error
+	next    int // sequence number to hand out
+}
+
+type job struct {
+	seq   int
+	label int
+	frame *tensor.Tensor
+}
+
+type result struct {
+	seq   int
+	label int
+	arr   *core.CompressedArray
+	err   error
+}
+
+// NewPipeline starts workers goroutines compressing into s. Close with
+// Wait. A non-positive workers count uses GOMAXPROCS.
+func NewPipeline(s *Series, workers int) *Pipeline {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pipeline{
+		s:       s,
+		jobs:    make(chan job, workers),
+		results: make(chan result, workers),
+		done:    make(chan struct{}),
+	}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				arr, err := s.comp.Compress(j.frame)
+				p.results <- result{seq: j.seq, label: j.label, arr: arr, err: err}
+			}
+		}()
+	}
+	go p.commit()
+	return p
+}
+
+// commit appends results to the series in sequence order.
+func (p *Pipeline) commit() {
+	defer close(p.done)
+	pending := make(map[int]result)
+	nextCommit := 0
+	for r := range p.results {
+		pending[r.seq] = r
+		for {
+			c, ok := pending[nextCommit]
+			if !ok {
+				break
+			}
+			delete(pending, nextCommit)
+			nextCommit++
+			if c.err != nil {
+				p.errOnce.Do(func() { p.err = c.err })
+				continue
+			}
+			if err := p.s.appendCompressed(c.label, c.arr); err != nil {
+				p.errOnce.Do(func() { p.err = err })
+			}
+		}
+	}
+}
+
+// Submit enqueues one frame. The frame must not be mutated afterwards.
+// Submit must not be called concurrently with itself or after Wait.
+func (p *Pipeline) Submit(label int, frame *tensor.Tensor) {
+	p.jobs <- job{seq: p.next, label: label, frame: frame}
+	p.next++
+}
+
+// Wait drains the pipeline and returns the first error, if any.
+func (p *Pipeline) Wait() error {
+	close(p.jobs)
+	p.wg.Wait()
+	close(p.results)
+	<-p.done
+	return p.err
+}

@@ -1,0 +1,264 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/scalar"
+	"repro/internal/tensor"
+)
+
+func newComp(t *testing.T) *core.Compressor {
+	t.Helper()
+	s := core.DefaultSettings(4, 4)
+	s.FloatType = scalar.Float64
+	c, err := core.NewCompressor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func frame(seed int64, shift float64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := tensor.New(16, 16)
+	for i := range t.Data() {
+		t.Data()[i] = math.Sin(float64(i)/9) + shift + 0.01*rng.NormFloat64()
+	}
+	return t
+}
+
+func TestAppendAndAccessors(t *testing.T) {
+	s := New(newComp(t))
+	if s.Len() != 0 {
+		t.Fatal("new series should be empty")
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Append(100+i, frame(int64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Label(1) != 101 {
+		t.Errorf("Label(1) = %d", s.Label(1))
+	}
+	if s.Frame(2) == nil {
+		t.Error("Frame(2) nil")
+	}
+	bytes, err := s.CompressedBytes()
+	if err != nil || bytes <= 0 {
+		t.Errorf("CompressedBytes = %d, %v", bytes, err)
+	}
+	// Compressed storage must be smaller than raw storage.
+	raw := 3 * 16 * 16 * 8
+	if bytes >= raw {
+		t.Errorf("compressed %d ≥ raw %d", bytes, raw)
+	}
+}
+
+func TestAppendShapeMismatch(t *testing.T) {
+	c := newComp(t)
+	s := New(c)
+	if err := s.Append(0, tensor.New(16, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(1, tensor.New(20, 16)); err == nil {
+		t.Error("appending a different shape should fail")
+	}
+}
+
+func TestL2DistancesAndLargest(t *testing.T) {
+	s := New(newComp(t))
+	shifts := []float64{0, 0.01, 0.02, 1.5, 1.51} // jump between index 2 and 3
+	for i, sh := range shifts {
+		if err := s.Append(i, frame(1, sh)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, err := s.L2Distances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 4 {
+		t.Fatalf("transitions = %d", len(ts))
+	}
+	best, err := LargestTransition(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.FromLabel != 2 || best.ToLabel != 3 {
+		t.Errorf("largest transition %d→%d, want 2→3", best.FromLabel, best.ToLabel)
+	}
+}
+
+func TestWassersteinDistances(t *testing.T) {
+	s := New(newComp(t))
+	for i := 0; i < 3; i++ {
+		if err := s.Append(i, frame(int64(i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, err := s.WassersteinDistances(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range ts {
+		if tr.Distance < 0 || math.IsNaN(tr.Distance) {
+			t.Errorf("bad distance %g", tr.Distance)
+		}
+	}
+}
+
+func TestDistancesNeedTwoFrames(t *testing.T) {
+	s := New(newComp(t))
+	if _, err := s.L2Distances(); err == nil {
+		t.Error("empty series should fail")
+	}
+	s.Append(0, frame(0, 0))
+	if _, err := s.L2Distances(); err == nil {
+		t.Error("single-frame series should fail")
+	}
+	if _, err := LargestTransition(nil); err == nil {
+		t.Error("LargestTransition(nil) should fail")
+	}
+}
+
+func TestPeaks(t *testing.T) {
+	ts := []Transition{
+		{0, 1, 1}, {1, 2, 1}, {2, 3, 10}, {3, 4, 1}, {4, 5, 5},
+	}
+	peaks := Peaks(ts, 3)
+	if len(peaks) != 2 {
+		t.Fatalf("peaks = %v", peaks)
+	}
+	if peaks[0].FromLabel != 2 || peaks[1].FromLabel != 4 {
+		t.Errorf("wrong peaks: %v", peaks)
+	}
+	if Peaks(nil, 3) != nil {
+		t.Error("Peaks(nil) should be nil")
+	}
+}
+
+func TestDistanceMatrix(t *testing.T) {
+	c := newComp(t)
+	s := New(c)
+	const n = 4
+	for i := 0; i < n; i++ {
+		if err := s.Append(i, frame(int64(i), float64(i)*0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := s.DistanceMatrix(c.L2Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if m.At(i, i) != 0 {
+			t.Errorf("diagonal (%d,%d) = %g", i, i, m.At(i, i))
+		}
+		for j := 0; j < n; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Errorf("matrix not symmetric at (%d,%d)", i, j)
+			}
+			if i != j && m.At(i, j) <= 0 {
+				t.Errorf("off-diagonal (%d,%d) = %g", i, j, m.At(i, j))
+			}
+		}
+	}
+	// Distance should grow with shift separation.
+	if !(m.At(0, 3) > m.At(0, 1)) {
+		t.Error("distances should grow with separation")
+	}
+	empty := New(c)
+	if _, err := empty.DistanceMatrix(c.L2Distance); err == nil {
+		t.Error("empty matrix should fail")
+	}
+}
+
+func TestPipelinePreservesOrder(t *testing.T) {
+	c := newComp(t)
+	serial := New(c)
+	piped := New(c)
+
+	frames := make([]*tensor.Tensor, 12)
+	for i := range frames {
+		frames[i] = frame(int64(i), float64(i)*0.1)
+		if err := serial.Append(i, frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := NewPipeline(piped, 4)
+	for i, f := range frames {
+		p.Submit(i, f)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if piped.Len() != serial.Len() {
+		t.Fatalf("pipeline stored %d frames, want %d", piped.Len(), serial.Len())
+	}
+	for i := 0; i < piped.Len(); i++ {
+		if piped.Label(i) != i {
+			t.Fatalf("order broken: label at %d is %d", i, piped.Label(i))
+		}
+		a, b := piped.Frame(i), serial.Frame(i)
+		for j := range a.F {
+			if a.F[j] != b.F[j] {
+				t.Fatalf("frame %d differs between pipeline and serial append", i)
+			}
+		}
+	}
+}
+
+func TestPipelineErrorPropagates(t *testing.T) {
+	c := newComp(t)
+	s := New(c)
+	p := NewPipeline(s, 2)
+	p.Submit(0, tensor.New(16, 16))
+	p.Submit(1, tensor.New(8, 8)) // shape mismatch at commit
+	if err := p.Wait(); err == nil {
+		t.Error("shape mismatch should surface from Wait")
+	}
+}
+
+func TestFissionViaSeries(t *testing.T) {
+	// The §V-C pipeline expressed through the series API.
+	settings := core.DefaultSettings(16, 16, 16)
+	c, err := core.NewCompressor(settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+	for i, f := range data.FissionSeries(9, 32, 32, 48) {
+		if err := s.Append(data.FissionTimeSteps[i], f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, err := s.L2Distances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := LargestTransition(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.FromLabel != data.ScissionAfterStep {
+		t.Errorf("scission detected after %d, want %d", best.FromLabel, data.ScissionAfterStep)
+	}
+	// The scission must be among the peaks at 3× median.
+	peaks := Peaks(ts, 3)
+	found := false
+	for _, p := range peaks {
+		if p.FromLabel == data.ScissionAfterStep {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("scission transition missing from peaks")
+	}
+}

@@ -1,0 +1,226 @@
+// Package shallowwater implements the 2-D shallow-water simulation used in
+// the paper's first experiment (§V-A), standing in for the
+// ShallowWaters.jl runs the authors used. The solver integrates the
+// rotating shallow-water equations on a rectangular non-periodic domain
+// with a double-gyre wind forcing in the x direction and a seamount
+// topography — the configuration named in the paper — and, crucially,
+// supports emulated working precision: after every time step the entire
+// model state is rounded through a reduced-precision float type, so a
+// float16 run drifts away from a float32 run exactly as the paper's
+// precision-tuning experiment requires.
+//
+// The discretization is a simple collocated-grid explicit scheme, which is
+// adequate here: the experiment only needs two runs at different working
+// precisions whose surface-height fields diverge plausibly over time.
+package shallowwater
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/scalar"
+	"repro/internal/tensor"
+)
+
+// Config describes a simulation setup. Zero values are replaced by the
+// defaults of DefaultConfig.
+type Config struct {
+	// Ny, Nx is the grid (first dimension y, second x), e.g. 200×400.
+	Ny, Nx int
+	// Precision is the emulated working precision applied to the state
+	// after every step.
+	Precision scalar.FloatType
+	// Gravity, Depth, Coriolis, Drag, WindStress, Dt are model parameters
+	// in nondimensional units.
+	Gravity, Depth, Coriolis, Drag, WindStress, Dt float64
+	// SeamountHeight in (0,1) is the fractional depth reduction at the
+	// seamount peak; SeamountSigma its radius in cells.
+	SeamountHeight, SeamountSigma float64
+}
+
+// DefaultConfig returns the paper-like setup: 200×400 domain, double-gyre
+// wind forcing, seamount topography, non-periodic boundary.
+func DefaultConfig(precision scalar.FloatType) Config {
+	return Config{
+		Ny: 200, Nx: 400,
+		Precision:      precision,
+		Gravity:        1.0,
+		Depth:          1.0,
+		Coriolis:       0.05,
+		Drag:           0.002,
+		WindStress:     0.0005,
+		Dt:             0.2,
+		SeamountHeight: 0.5,
+		SeamountSigma:  20,
+	}
+}
+
+// Sim is a running simulation. Create with New; advance with Step.
+type Sim struct {
+	cfg     Config
+	h, u, v *tensor.Tensor // height anomaly and velocities, shape (Ny, Nx)
+	depth   *tensor.Tensor // local fluid depth including seamount
+	windX   []float64      // per-row double-gyre wind forcing
+	step    int
+}
+
+// New validates cfg and builds the simulation.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Ny < 4 || cfg.Nx < 4 {
+		return nil, fmt.Errorf("shallowwater: grid %dx%d too small", cfg.Ny, cfg.Nx)
+	}
+	if !cfg.Precision.Valid() {
+		return nil, fmt.Errorf("shallowwater: invalid precision %d", cfg.Precision)
+	}
+	if cfg.Dt <= 0 || cfg.Gravity <= 0 || cfg.Depth <= 0 {
+		return nil, fmt.Errorf("shallowwater: non-positive Dt/Gravity/Depth")
+	}
+	// CFL for gravity waves on unit spacing.
+	if c := cfg.Dt * math.Sqrt(cfg.Gravity*cfg.Depth); c > 0.7 {
+		return nil, fmt.Errorf("shallowwater: CFL number %.2f too large (reduce Dt)", c)
+	}
+	s := &Sim{
+		cfg: cfg,
+		h:   tensor.New(cfg.Ny, cfg.Nx),
+		u:   tensor.New(cfg.Ny, cfg.Nx),
+		v:   tensor.New(cfg.Ny, cfg.Nx),
+	}
+	// Seamount topography: local depth dips by SeamountHeight at the
+	// domain center.
+	s.depth = tensor.New(cfg.Ny, cfg.Nx)
+	cy, cx := float64(cfg.Ny)/2, float64(cfg.Nx)/2
+	sig2 := 2 * cfg.SeamountSigma * cfg.SeamountSigma
+	for y := 0; y < cfg.Ny; y++ {
+		for x := 0; x < cfg.Nx; x++ {
+			d2 := (float64(y)-cy)*(float64(y)-cy) + (float64(x)-cx)*(float64(x)-cx)
+			s.depth.Set(cfg.Depth*(1-cfg.SeamountHeight*math.Exp(-d2/sig2)), y, x)
+		}
+	}
+	// Double-gyre wind: τx(y) = −τ0·cos(2πy/Ly).
+	s.windX = make([]float64, cfg.Ny)
+	for y := range s.windX {
+		s.windX[y] = -cfg.WindStress * math.Cos(2*math.Pi*float64(y)/float64(cfg.Ny-1))
+	}
+	return s, nil
+}
+
+// StepCount returns the number of steps taken so far.
+func (s *Sim) StepCount() int { return s.step }
+
+// Height returns the current surface height anomaly field (a copy).
+func (s *Sim) Height() *tensor.Tensor { return s.h.Clone() }
+
+// Step advances the simulation by one time step and applies the emulated
+// working precision to the whole state.
+func (s *Sim) Step() {
+	cfg := s.cfg
+	ny, nx := cfg.Ny, cfg.Nx
+	h, u, v := s.h.Data(), s.u.Data(), s.v.Data()
+	depth := s.depth.Data()
+	nh := make([]float64, len(h))
+	nu := make([]float64, len(u))
+	nv := make([]float64, len(v))
+
+	at := func(f []float64, y, x int) float64 {
+		if y < 0 {
+			y = 0
+		}
+		if y >= ny {
+			y = ny - 1
+		}
+		if x < 0 {
+			x = 0
+		}
+		if x >= nx {
+			x = nx - 1
+		}
+		return f[y*nx+x]
+	}
+
+	// Forward-backward (symplectic) update: velocities from the old
+	// height, then height from the new velocities. A plain
+	// forward-time/centered-space step is unconditionally unstable for
+	// the wave part; this variant is stable under the CFL check in New.
+	tensor.ParallelFor(ny, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < nx; x++ {
+				i := y*nx + x
+				dhdx := (at(h, y, x+1) - at(h, y, x-1)) / 2
+				dhdy := (at(h, y+1, x) - at(h, y-1, x)) / 2
+				// Nonlinear momentum advection — the source of the
+				// sensitive dependence that makes runs at different
+				// working precisions visibly diverge (§V-A's premise).
+				dudx := (at(u, y, x+1) - at(u, y, x-1)) / 2
+				dudy := (at(u, y+1, x) - at(u, y-1, x)) / 2
+				dvdx := (at(v, y, x+1) - at(v, y, x-1)) / 2
+				dvdyA := (at(v, y+1, x) - at(v, y-1, x)) / 2
+				advU := u[i]*dudx + v[i]*dudy
+				advV := u[i]*dvdx + v[i]*dvdyA
+				// Laplacian eddy viscosity keeps the nonlinear terms from
+				// piling energy into the grid scale.
+				lapU := at(u, y+1, x) + at(u, y-1, x) + at(u, y, x+1) + at(u, y, x-1) - 4*u[i]
+				lapV := at(v, y+1, x) + at(v, y-1, x) + at(v, y, x+1) + at(v, y, x-1) - 4*v[i]
+				nu[i] = u[i] + cfg.Dt*(-advU+cfg.Coriolis*v[i]-cfg.Gravity*dhdx-
+					cfg.Drag*u[i]+s.windX[y]/depth[i]) + 0.05*lapU
+				nv[i] = v[i] + cfg.Dt*(-advV-cfg.Coriolis*u[i]-cfg.Gravity*dhdy-
+					cfg.Drag*v[i]) + 0.05*lapV
+			}
+		}
+	})
+
+	// Non-periodic boundary: no flow through the walls.
+	for x := 0; x < nx; x++ {
+		nv[x] = 0
+		nv[(ny-1)*nx+x] = 0
+	}
+	for y := 0; y < ny; y++ {
+		nu[y*nx] = 0
+		nu[y*nx+nx-1] = 0
+	}
+
+	tensor.ParallelFor(ny, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < nx; x++ {
+				i := y*nx + x
+				dudx := (at(nu, y, x+1) - at(nu, y, x-1)) / 2
+				dvdy := (at(nv, y+1, x) - at(nv, y-1, x)) / 2
+				// Mild Laplacian smoothing damps the checkerboard mode the
+				// collocated grid admits.
+				lap := at(h, y+1, x) + at(h, y-1, x) + at(h, y, x+1) + at(h, y, x-1) - 4*h[i]
+				nh[i] = h[i] + cfg.Dt*(-depth[i]*(dudx+dvdy)) + 0.05*lap
+			}
+		}
+	})
+
+	// Emulate the working precision: the entire state lives in the
+	// reduced-precision type between steps.
+	if p := cfg.Precision; p.Bits() < 64 {
+		for i := range nh {
+			nh[i] = p.Round(nh[i])
+			nu[i] = p.Round(nu[i])
+			nv[i] = p.Round(nv[i])
+		}
+	}
+	copy(h, nh)
+	copy(u, nu)
+	copy(v, nv)
+	s.step++
+}
+
+// Run advances n steps.
+func (s *Sim) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// Energy returns the total (kinetic + potential) energy, useful as a
+// stability diagnostic in tests.
+func (s *Sim) Energy() float64 {
+	e := 0.0
+	h, u, v := s.h.Data(), s.u.Data(), s.v.Data()
+	for i := range h {
+		e += 0.5*s.cfg.Depth*(u[i]*u[i]+v[i]*v[i]) + 0.5*s.cfg.Gravity*h[i]*h[i]
+	}
+	return e
+}

@@ -1,0 +1,157 @@
+package shallowwater
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/scalar"
+)
+
+func smallConfig(p scalar.FloatType) Config {
+	cfg := DefaultConfig(p)
+	cfg.Ny, cfg.Nx = 40, 80
+	return cfg
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Ny: 2, Nx: 80, Precision: scalar.Float32, Gravity: 1, Depth: 1, Dt: 0.1},
+		func() Config {
+			c := smallConfig(scalar.Float32)
+			c.Dt = 0
+			return c
+		}(),
+		func() Config {
+			c := smallConfig(scalar.Float32)
+			c.Dt = 5 // CFL violation
+			return c
+		}(),
+		func() Config {
+			c := smallConfig(scalar.FloatType(9))
+			return c
+		}(),
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestSimulationDevelopsFlow(t *testing.T) {
+	s, err := New(smallConfig(scalar.Float64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StepCount() != 0 {
+		t.Error("fresh sim should be at step 0")
+	}
+	s.Run(500)
+	if s.StepCount() != 500 {
+		t.Errorf("StepCount = %d", s.StepCount())
+	}
+	h := s.Height()
+	if h.AbsMax() == 0 {
+		t.Fatal("wind forcing should produce a non-flat surface")
+	}
+	for _, v := range h.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("simulation produced non-finite values")
+		}
+	}
+}
+
+func TestSimulationStable(t *testing.T) {
+	s, err := New(smallConfig(scalar.Float64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(200)
+	e1 := s.Energy()
+	s.Run(2000)
+	e2 := s.Energy()
+	// With drag, energy must saturate rather than blow up.
+	if e2 > 100*e1+1 {
+		t.Errorf("energy grew from %g to %g: unstable", e1, e2)
+	}
+	if math.IsNaN(e2) || math.IsInf(e2, 0) {
+		t.Fatal("energy non-finite")
+	}
+}
+
+func TestHeightReturnsCopy(t *testing.T) {
+	s, _ := New(smallConfig(scalar.Float64))
+	s.Run(10)
+	h := s.Height()
+	h.Fill(999)
+	if s.Height().AbsMax() == 999 {
+		t.Error("Height must return a copy")
+	}
+}
+
+func TestPrecisionRunsDiverge(t *testing.T) {
+	// The core of §V-A: a float16 run must drift away from a float32 run,
+	// and the drift must grow with time.
+	s16, err := New(smallConfig(scalar.Float16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s32, err := New(smallConfig(scalar.Float32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s16.Run(300)
+	s32.Run(300)
+	d1 := s16.Height().MaxAbsDiff(s32.Height())
+	s16.Run(700)
+	s32.Run(700)
+	d2 := s16.Height().MaxAbsDiff(s32.Height())
+	if d1 <= 0 {
+		t.Fatal("float16 and float32 runs should already differ at step 300")
+	}
+	if d2 <= d1 {
+		t.Errorf("precision drift should grow: %g → %g", d1, d2)
+	}
+	// But both stay finite / same order of magnitude.
+	if s16.Height().AbsMax() > 100*s32.Height().AbsMax()+1 {
+		t.Error("float16 run diverged wildly")
+	}
+}
+
+func TestFloat32MatchesFloat64Closely(t *testing.T) {
+	sa, _ := New(smallConfig(scalar.Float32))
+	sb, _ := New(smallConfig(scalar.Float64))
+	sa.Run(200)
+	sb.Run(200)
+	d := sa.Height().MaxAbsDiff(sb.Height())
+	amp := sb.Height().AbsMax()
+	if d > amp*1e-3 {
+		t.Errorf("float32 drift %g too large vs amplitude %g", d, amp)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := New(smallConfig(scalar.Float32))
+	b, _ := New(smallConfig(scalar.Float32))
+	a.Run(100)
+	b.Run(100)
+	if a.Height().MaxAbsDiff(b.Height()) != 0 {
+		t.Error("identical configs must produce identical runs")
+	}
+}
+
+func TestBoundaryNoFlow(t *testing.T) {
+	s, _ := New(smallConfig(scalar.Float64))
+	s.Run(100)
+	ny, nx := s.cfg.Ny, s.cfg.Nx
+	for x := 0; x < nx; x++ {
+		if s.v.Data()[x] != 0 || s.v.Data()[(ny-1)*nx+x] != 0 {
+			t.Fatal("v must vanish at y walls")
+		}
+	}
+	for y := 0; y < ny; y++ {
+		if s.u.Data()[y*nx] != 0 || s.u.Data()[y*nx+nx-1] != 0 {
+			t.Fatal("u must vanish at x walls")
+		}
+	}
+}

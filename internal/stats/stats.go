@@ -1,0 +1,145 @@
+// Package stats implements the uncompressed reference operations the
+// paper compares its compressed-space operations against (the "plain
+// PyTorch" side of the Fig. 5 error study): mean, variance, covariance,
+// dot product, L2 norm, cosine similarity, global SSIM, softmax, and the
+// p-order one-dimensional Wasserstein distance.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Mean returns the arithmetic mean of t.
+func Mean(t *tensor.Tensor) float64 { return t.Mean() }
+
+// Variance returns the population variance of t.
+func Variance(t *tensor.Tensor) float64 {
+	mu := t.Mean()
+	s := 0.0
+	for _, v := range t.Data() {
+		d := v - mu
+		s += d * d
+	}
+	return s / float64(t.Len())
+}
+
+// Covariance returns the population covariance of a and b.
+func Covariance(a, b *tensor.Tensor) float64 {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("stats: shape mismatch %v vs %v", a.Shape(), b.Shape()))
+	}
+	muA, muB := a.Mean(), b.Mean()
+	s := 0.0
+	ad, bd := a.Data(), b.Data()
+	for i := range ad {
+		s += (ad[i] - muA) * (bd[i] - muB)
+	}
+	return s / float64(a.Len())
+}
+
+// Dot returns the dot product of a and b flattened.
+func Dot(a, b *tensor.Tensor) float64 { return a.Dot(b) }
+
+// L2Norm returns the Euclidean norm of t flattened.
+func L2Norm(t *tensor.Tensor) float64 { return t.Norm2() }
+
+// CosineSimilarity returns the cosine of the angle between a and b
+// flattened.
+func CosineSimilarity(a, b *tensor.Tensor) float64 {
+	return a.Dot(b) / (a.Norm2() * b.Norm2())
+}
+
+// SSIM returns the global structural similarity index between a and b
+// using luminance/contrast stabilizers sl, sc and unit weights — the
+// uncompressed counterpart of core.StructuralSimilarity.
+func SSIM(a, b *tensor.Tensor, sl, sc float64) float64 {
+	muA, muB := a.Mean(), b.Mean()
+	varA, varB := Variance(a), Variance(b)
+	cov := Covariance(a, b)
+	sigA, sigB := math.Sqrt(varA), math.Sqrt(varB)
+	l := (2*muA*muB + sl) / (muA*muA + muB*muB + sl)
+	c := (2*sigA*sigB + sc) / (varA + varB + sc)
+	s := (cov + sc/2) / (sigA*sigB + sc/2)
+	return l * c * s
+}
+
+// Softmax returns e^x / Σe^x over the flattened tensor, computed stably.
+func Softmax(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	max := xs[0]
+	for _, v := range xs[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range xs {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Wasserstein returns the p-order distance between two equal-length mass
+// vectors under the paper's sorted-coupling definition (Algorithm 13
+// applied to uncompressed data): each vector is pushed through softmax if
+// it does not sum to 1, both are sorted, and the distance is
+// (Σ|a_i − b_i|^p / n)^(1/p).
+func Wasserstein(pa, pb []float64, p float64) float64 {
+	if len(pa) != len(pb) {
+		panic(fmt.Sprintf("stats: length mismatch %d vs %d", len(pa), len(pb)))
+	}
+	if p <= 0 {
+		panic(fmt.Sprintf("stats: order p = %g must be positive", p))
+	}
+	a := append([]float64(nil), pa...)
+	b := append([]float64(nil), pb...)
+	if s := sum(a); math.Abs(s-1) > 1e-9 {
+		a = Softmax(a)
+	}
+	if s := sum(b); math.Abs(s-1) > 1e-9 {
+		b = Softmax(b)
+	}
+	sort.Float64s(a)
+	sort.Float64s(b)
+	acc := 0.0
+	for i := range a {
+		acc += math.Pow(math.Abs(a[i]-b[i]), p)
+	}
+	return math.Pow(acc/float64(len(a)), 1/p)
+}
+
+// BlockMeans returns the mean of every block of t under the given block
+// shape (zero-padded), shaped like the block arrangement — the
+// uncompressed counterpart of core.BlockMeans.
+func BlockMeans(t *tensor.Tensor, blockShape []int) *tensor.Tensor {
+	b := tensor.BlockTensor(t, blockShape)
+	out := tensor.New(b.Blocks...)
+	vol := float64(b.BlockVol())
+	for k := 0; k < b.NumBlocks(); k++ {
+		s := 0.0
+		for _, v := range b.Block(k) {
+			s += v
+		}
+		out.Data()[k] = s / vol
+	}
+	return out
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestMeanVariance(t *testing.T) {
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 4)
+	if Mean(x) != 2.5 {
+		t.Errorf("Mean = %g", Mean(x))
+	}
+	if Variance(x) != 1.25 {
+		t.Errorf("Variance = %g", Variance(x))
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	a := tensor.FromSlice([]float64{1, 2, 3, 4}, 4)
+	b := tensor.FromSlice([]float64{2, 4, 6, 8}, 4)
+	if got := Covariance(a, b); got != 2.5 {
+		t.Errorf("Covariance = %g, want 2.5", got)
+	}
+	if got := Covariance(a, a); got != Variance(a) {
+		t.Errorf("Cov(a,a) = %g, Var = %g", got, Variance(a))
+	}
+	neg := tensor.FromSlice([]float64{4, 3, 2, 1}, 4)
+	if got := Covariance(a, neg); got != -1.25 {
+		t.Errorf("anti-correlated covariance = %g", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("shape mismatch should panic")
+			}
+		}()
+		Covariance(a, tensor.New(5))
+	}()
+}
+
+func TestDotL2Cosine(t *testing.T) {
+	a := tensor.FromSlice([]float64{3, 4}, 2)
+	b := tensor.FromSlice([]float64{4, 3}, 2)
+	if Dot(a, b) != 24 {
+		t.Errorf("Dot = %g", Dot(a, b))
+	}
+	if L2Norm(a) != 5 {
+		t.Errorf("L2 = %g", L2Norm(a))
+	}
+	if got := CosineSimilarity(a, b); math.Abs(got-24.0/25.0) > 1e-15 {
+		t.Errorf("cos = %g", got)
+	}
+	if got := CosineSimilarity(a, a); math.Abs(got-1) > 1e-15 {
+		t.Errorf("cos(a,a) = %g", got)
+	}
+}
+
+func TestSSIMIdentical(t *testing.T) {
+	x := tensor.FromSlice([]float64{0.1, 0.5, 0.9, 0.3}, 4)
+	if got := SSIM(x, x, 1e-4, 9e-4); math.Abs(got-1) > 1e-12 {
+		t.Errorf("SSIM(x,x) = %g", got)
+	}
+}
+
+func TestSSIMDecreasesWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(32, 32)
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float64()
+	}
+	small := x.Map(func(v float64) float64 { return v + 0.01*rng.NormFloat64() })
+	big := x.Map(func(v float64) float64 { return v + 0.5*rng.NormFloat64() })
+	sSmall := SSIM(x, small, 1e-4, 9e-4)
+	sBig := SSIM(x, big, 1e-4, 9e-4)
+	if !(sSmall > sBig) {
+		t.Errorf("SSIM should decrease with noise: %g vs %g", sSmall, sBig)
+	}
+	if sSmall < 0.8 {
+		t.Errorf("small-noise SSIM %g unexpectedly low", sSmall)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	out := Softmax([]float64{1, 2, 3})
+	sum := 0.0
+	for _, v := range out {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("softmax sum = %g", sum)
+	}
+	if !(out[2] > out[1] && out[1] > out[0]) {
+		t.Errorf("softmax not monotone: %v", out)
+	}
+	// Stability with large inputs.
+	out = Softmax([]float64{1000, 1001})
+	if math.IsNaN(out[0]) || math.IsNaN(out[1]) {
+		t.Error("softmax overflow")
+	}
+	if len(Softmax(nil)) != 0 {
+		t.Error("empty softmax")
+	}
+}
+
+func TestWassersteinBasics(t *testing.T) {
+	a := []float64{0.25, 0.25, 0.25, 0.25}
+	if d := Wasserstein(a, a, 2); d != 0 {
+		t.Errorf("W(a,a) = %g", d)
+	}
+	b := []float64{0.1, 0.4, 0.4, 0.1}
+	d1 := Wasserstein(a, b, 1)
+	d2 := Wasserstein(b, a, 1)
+	if d1 != d2 {
+		t.Errorf("asymmetric: %g vs %g", d1, d2)
+	}
+	if d1 <= 0 {
+		t.Errorf("W = %g, want > 0", d1)
+	}
+	// Already-normalized distributions must not be softmaxed: check the
+	// exact sorted-coupling value. sorted a = [.25×4], sorted b =
+	// [.1,.1,.4,.4]; |diffs| = [.15,.15,.15,.15]; mean = .15.
+	if math.Abs(d1-0.15) > 1e-12 {
+		t.Errorf("W1 = %g, want 0.15", d1)
+	}
+}
+
+func TestWassersteinSoftmaxApplied(t *testing.T) {
+	// Non-distributions are softmaxed first (Algorithm 13).
+	a := []float64{1, 2, 3, 4}
+	b := []float64{4, 3, 2, 1}
+	// After softmax both have the same sorted values → distance 0.
+	if d := Wasserstein(a, b, 2); d != 0 {
+		t.Errorf("W after softmax = %g, want 0 (same multiset)", d)
+	}
+	c := []float64{0, 0, 0, 10}
+	if d := Wasserstein(a, c, 2); d <= 0 {
+		t.Errorf("W = %g, want > 0", d)
+	}
+}
+
+func TestWassersteinPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("length mismatch should panic")
+			}
+		}()
+		Wasserstein([]float64{1}, []float64{1, 2}, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("p ≤ 0 should panic")
+			}
+		}()
+		Wasserstein([]float64{1}, []float64{1}, 0)
+	}()
+}
+
+func TestBlockMeans(t *testing.T) {
+	x := tensor.FromSlice([]float64{
+		1, 1, 2, 2,
+		1, 1, 2, 2,
+		3, 3, 4, 4,
+		3, 3, 4, 4,
+	}, 4, 4)
+	m := BlockMeans(x, []int{2, 2})
+	want := []float64{1, 2, 3, 4}
+	for i, v := range m.Data() {
+		if v != want[i] {
+			t.Fatalf("BlockMeans = %v, want %v", m.Data(), want)
+		}
+	}
+}
+
+func TestBlockMeansWithPadding(t *testing.T) {
+	// 3-long vector, blocks of 4: mean over the zero-padded block.
+	x := tensor.FromSlice([]float64{4, 4, 4}, 3)
+	m := BlockMeans(x, []int{4})
+	if m.Data()[0] != 3 { // (4+4+4+0)/4
+		t.Errorf("padded block mean = %g, want 3", m.Data()[0])
+	}
+}
+
+// Property: higher-order Wasserstein emphasizes the largest deviation:
+// W_p → max|sorted diff| as p → ∞, so W_8 ≥ W_1 ... actually for
+// normalized mean-power means W_p is non-decreasing in p (power mean
+// inequality).
+func TestWassersteinOrderMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(32)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64()
+			b[i] = rng.Float64()
+		}
+		w1 := Wasserstein(a, b, 1)
+		w2 := Wasserstein(a, b, 2)
+		w8 := Wasserstein(a, b, 8)
+		return w1 <= w2+1e-12 && w2 <= w8+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SSIM is symmetric.
+func TestSSIMSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16
+		a, b := tensor.New(n, n), tensor.New(n, n)
+		for i := range a.Data() {
+			a.Data()[i] = rng.Float64()
+			b.Data()[i] = rng.Float64()
+		}
+		s1 := SSIM(a, b, 1e-4, 9e-4)
+		s2 := SSIM(b, a, 1e-4, 9e-4)
+		return math.Abs(s1-s2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package tensor
+
+import "fmt"
+
+// Blocked is a tensor reorganized into contiguous blocks: the blocking step
+// of the compression pipeline (§III-A(b) of the paper). Block k occupies
+// Data[k·blockVol : (k+1)·blockVol] in row-major order within the block,
+// and blocks themselves are ordered row-major by block index.
+type Blocked struct {
+	// Shape is the original (uncropped) array shape s.
+	Shape []int
+	// BlockShape is the block shape i.
+	BlockShape []int
+	// Blocks is the block-count shape b = ⌈s ⊘ i⌉.
+	Blocks []int
+	// Data holds all blocks contiguously; its length is ∏b · ∏i.
+	Data []float64
+}
+
+// NumBlocks returns the total number of blocks ∏b.
+func (b *Blocked) NumBlocks() int { return Prod(b.Blocks) }
+
+// BlockVol returns the number of elements per block ∏i.
+func (b *Blocked) BlockVol() int { return Prod(b.BlockShape) }
+
+// Block returns the slice holding block k (not a copy).
+func (b *Blocked) Block(k int) []float64 {
+	v := b.BlockVol()
+	return b.Data[k*v : (k+1)*v]
+}
+
+// PaddedShape returns the zero-padded shape b⊙i.
+func (b *Blocked) PaddedShape() []int { return Mul(b.Blocks, b.BlockShape) }
+
+// Clone returns a deep copy of b.
+func (b *Blocked) Clone() *Blocked {
+	c := &Blocked{
+		Shape:      append([]int(nil), b.Shape...),
+		BlockShape: append([]int(nil), b.BlockShape...),
+		Blocks:     append([]int(nil), b.Blocks...),
+		Data:       make([]float64, len(b.Data)),
+	}
+	copy(c.Data, b.Data)
+	return c
+}
+
+// ValidBlockShape reports whether every extent of i is a power of two, the
+// restriction the paper places on block shapes.
+func ValidBlockShape(i []int) bool {
+	for _, e := range i {
+		if e <= 0 || e&(e-1) != 0 {
+			return false
+		}
+	}
+	return len(i) > 0
+}
+
+// BlockTensor pads t with zeros to a multiple of blockShape in every
+// dimension and gathers it into contiguous blocks.
+func BlockTensor(t *Tensor, blockShape []int) *Blocked {
+	if len(blockShape) != t.Dims() {
+		panic(fmt.Sprintf("tensor: block shape %v does not match tensor dims %d", blockShape, t.Dims()))
+	}
+	for _, e := range blockShape {
+		if e <= 0 {
+			panic(fmt.Sprintf("tensor: invalid block shape %v", blockShape))
+		}
+	}
+	s := t.Shape()
+	blocks := CeilDiv(s, blockShape)
+	blockVol := Prod(blockShape)
+	numBlocks := Prod(blocks)
+	out := &Blocked{
+		Shape:      append([]int(nil), s...),
+		BlockShape: append([]int(nil), blockShape...),
+		Blocks:     blocks,
+		Data:       make([]float64, numBlocks*blockVol),
+	}
+
+	d := t.Dims()
+	blockIdx := make([]int, d)
+	inner := make([]int, d)
+	src := make([]int, d)
+	for k := 0; k < numBlocks; k++ {
+		dst := out.Block(k)
+		for i := range inner {
+			inner[i] = 0
+		}
+		pos := 0
+		for {
+			inRange := true
+			for dd := 0; dd < d; dd++ {
+				src[dd] = blockIdx[dd]*blockShape[dd] + inner[dd]
+				if src[dd] >= s[dd] {
+					inRange = false
+				}
+			}
+			if inRange {
+				dst[pos] = t.data[t.Offset(src)]
+			}
+			pos++
+			if !NextIndex(inner, blockShape) {
+				break
+			}
+		}
+		NextIndex(blockIdx, blocks)
+	}
+	return out
+}
+
+// Unblock scatters the blocks back into a dense tensor and crops to the
+// original shape. It is the exact inverse of BlockTensor.
+func (b *Blocked) Unblock() *Tensor {
+	out := New(b.Shape...)
+	d := len(b.Shape)
+	blockIdx := make([]int, d)
+	inner := make([]int, d)
+	dst := make([]int, d)
+	numBlocks := b.NumBlocks()
+	for k := 0; k < numBlocks; k++ {
+		src := b.Block(k)
+		for i := range inner {
+			inner[i] = 0
+		}
+		pos := 0
+		for {
+			inRange := true
+			for dd := 0; dd < d; dd++ {
+				dst[dd] = blockIdx[dd]*b.BlockShape[dd] + inner[dd]
+				if dst[dd] >= b.Shape[dd] {
+					inRange = false
+				}
+			}
+			if inRange {
+				out.data[out.Offset(dst)] = src[pos]
+			}
+			pos++
+			if !NextIndex(inner, b.BlockShape) {
+				break
+			}
+		}
+		NextIndex(blockIdx, b.Blocks)
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelThreshold is the minimum number of work items below which
+// ParallelFor runs serially; goroutine fan-out costs more than it saves
+// for tiny inputs. Exposed so benchmarks can ablate it.
+var ParallelThreshold = 256
+
+// ParallelFor partitions [0, n) into contiguous chunks and invokes fn on
+// each chunk, fanning out over up to GOMAXPROCS goroutines. fn must be
+// safe to call concurrently on disjoint ranges. Small n runs serially.
+//
+// This is the repository's CUDA stand-in: compression, decompression and
+// every block-wise compressed-space operation distribute their block loop
+// through ParallelFor.
+func ParallelFor(n int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if n < ParallelThreshold || workers == 1 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// ParallelBlocks applies fn to every block index of b in parallel.
+func ParallelBlocks(b *Blocked, fn func(k int)) {
+	ParallelFor(b.NumBlocks(), func(start, end int) {
+		for k := start; k < end; k++ {
+			fn(k)
+		}
+	})
+}

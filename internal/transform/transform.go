@@ -1,0 +1,268 @@
+// Package transform implements the orthonormal block transforms used by
+// the compressor: the type-II discrete cosine transform (the paper's
+// default), the Haar wavelet transform, and the identity transform.
+//
+// A transform of size s is represented by an s×s orthonormal matrix H with
+// H[α][γ] = element α of basis function γ; the forward transform of a line
+// x is c[γ] = Σ_α x[α]·H[α][γ] and, because H is orthonormal, the inverse
+// is x[α] = Σ_γ c[γ]·H[α][γ]ᵀ. N-dimensional blocks are transformed
+// separably, one axis at a time (Einstein-summation form of §III-A(c)).
+//
+// Every transform here has a constant first basis vector 1/√s, so the
+// first coefficient of a block is the block mean scaled by √(∏i) — the
+// property the compressed-space mean, covariance and Wasserstein
+// operations rely on.
+package transform
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Kind selects one of the supported orthonormal transforms.
+type Kind uint8
+
+// Supported transforms.
+const (
+	DCT Kind = iota // type-II discrete cosine transform (default)
+	Haar
+	Identity
+	WalshHadamard
+	numKinds
+)
+
+// ParseKind converts a user-facing name to a Kind.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "dct":
+		return DCT, nil
+	case "haar":
+		return Haar, nil
+	case "identity", "id":
+		return Identity, nil
+	case "walsh-hadamard", "wht", "hadamard":
+		return WalshHadamard, nil
+	}
+	return 0, fmt.Errorf("transform: unknown transform %q", name)
+}
+
+// String returns the canonical name.
+func (k Kind) String() string {
+	switch k {
+	case DCT:
+		return "dct"
+	case Haar:
+		return "haar"
+	case Identity:
+		return "identity"
+	case WalshHadamard:
+		return "walsh-hadamard"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined transform kind.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// Transform caches the orthonormal matrices of one transform kind for the
+// block sizes in use. It is safe for concurrent use.
+type Transform struct {
+	kind Kind
+	mu   sync.RWMutex
+	mats map[int][]float64 // size → flat s×s matrix, H[α*s+γ]
+}
+
+// New returns a Transform of the given kind.
+func New(kind Kind) *Transform {
+	if !kind.Valid() {
+		panic(fmt.Sprintf("transform: invalid kind %d", kind))
+	}
+	return &Transform{kind: kind, mats: make(map[int][]float64)}
+}
+
+// Kind returns the transform kind.
+func (t *Transform) Kind() Kind { return t.kind }
+
+// Matrix returns the flat s×s orthonormal matrix for block size s,
+// computing and caching it on first use. Entry (α, γ) is at index α*s+γ.
+func (t *Transform) Matrix(s int) []float64 {
+	t.mu.RLock()
+	m, ok := t.mats[s]
+	t.mu.RUnlock()
+	if ok {
+		return m
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m, ok = t.mats[s]; ok {
+		return m
+	}
+	switch t.kind {
+	case DCT:
+		m = dctMatrix(s)
+	case Haar:
+		m = haarMatrix(s)
+	case Identity:
+		m = identityMatrix(s)
+	case WalshHadamard:
+		m = hadamardMatrix(s)
+	}
+	t.mats[s] = m
+	return m
+}
+
+// dctMatrix builds the orthonormal DCT-II basis of size s:
+// H[α][γ] = √((1+[γ>0])/s)·cos(π·γ·(2α+1)/(2s)), 0-based, matching the
+// paper's Appendix A (1-based: H_ij = √((1+(j>1))/s)·cos(πi(2j+1)/2s)).
+func dctMatrix(s int) []float64 {
+	m := make([]float64, s*s)
+	for alpha := 0; alpha < s; alpha++ {
+		for gamma := 0; gamma < s; gamma++ {
+			scale := math.Sqrt(2 / float64(s))
+			if gamma == 0 {
+				scale = math.Sqrt(1 / float64(s))
+			}
+			m[alpha*s+gamma] = scale * math.Cos(math.Pi*float64(gamma)*(2*float64(alpha)+1)/(2*float64(s)))
+		}
+	}
+	return m
+}
+
+// haarMatrix builds the orthonormal Haar wavelet basis of size s, which
+// must be a power of two. Column 0 is the constant 1/√s; column k (k ≥ 1)
+// is a scaled step wavelet.
+func haarMatrix(s int) []float64 {
+	if s&(s-1) != 0 {
+		panic(fmt.Sprintf("transform: Haar requires power-of-two size, got %d", s))
+	}
+	m := make([]float64, s*s)
+	inv := 1 / math.Sqrt(float64(s))
+	for alpha := 0; alpha < s; alpha++ {
+		m[alpha*s] = inv
+	}
+	col := 1
+	for level := 1; level < s; level *= 2 {
+		// 'level' wavelets at this scale, each supported on s/level samples.
+		width := s / level
+		amp := math.Sqrt(float64(level) / float64(s))
+		for j := 0; j < level; j++ {
+			start := j * width
+			for alpha := start; alpha < start+width/2; alpha++ {
+				m[alpha*s+col] = amp
+			}
+			for alpha := start + width/2; alpha < start+width; alpha++ {
+				m[alpha*s+col] = -amp
+			}
+			col++
+		}
+	}
+	return m
+}
+
+// hadamardMatrix builds the orthonormal Walsh–Hadamard basis of size s
+// (a power of two) via the Sylvester construction H_{2n} = [H H; H −H],
+// scaled by 1/√s. Column 0 is the constant 1/√s, so the mean-based
+// operations work under this transform too.
+func hadamardMatrix(s int) []float64 {
+	if s&(s-1) != 0 {
+		panic(fmt.Sprintf("transform: Walsh-Hadamard requires power-of-two size, got %d", s))
+	}
+	m := make([]float64, s*s)
+	inv := 1 / math.Sqrt(float64(s))
+	for i := 0; i < s; i++ {
+		for j := 0; j < s; j++ {
+			// Entry sign is (−1)^(popcount(i AND j)).
+			if popcount(uint(i&j))%2 == 0 {
+				m[i*s+j] = inv
+			} else {
+				m[i*s+j] = -inv
+			}
+		}
+	}
+	return m
+}
+
+func popcount(v uint) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+func identityMatrix(s int) []float64 {
+	m := make([]float64, s*s)
+	for i := 0; i < s; i++ {
+		m[i*s+i] = 1
+	}
+	return m
+}
+
+// ForwardBlock transforms one block (row-major, given shape) in place,
+// applying the 1-D transform separably along every axis. scratch must be
+// at least as long as the block; it is used to avoid allocation.
+func (t *Transform) ForwardBlock(block []float64, shape []int, scratch []float64) {
+	t.applyBlock(block, shape, scratch, false)
+}
+
+// InverseBlock inverts ForwardBlock in place (up to floating-point
+// rounding), using the transpose of the orthonormal matrix.
+func (t *Transform) InverseBlock(block []float64, shape []int, scratch []float64) {
+	t.applyBlock(block, shape, scratch, true)
+}
+
+func (t *Transform) applyBlock(block []float64, shape []int, scratch []float64, inverse bool) {
+	vol := 1
+	for _, e := range shape {
+		vol *= e
+	}
+	if len(block) != vol {
+		panic(fmt.Sprintf("transform: block length %d does not match shape %v", len(block), shape))
+	}
+	if len(scratch) < vol {
+		panic("transform: scratch too small")
+	}
+	stride := vol
+	for d := 0; d < len(shape); d++ {
+		L := shape[d]
+		stride /= L
+		if L == 1 {
+			continue
+		}
+		H := t.Matrix(L)
+		applyAxis(block, scratch, vol, L, stride, H, inverse)
+	}
+}
+
+// applyAxis applies the transform along one axis. The block is row-major;
+// for an axis of length L and (inner) stride st, the lines start at offsets
+// o = outer*L*st + inner for outer ∈ [0, vol/(L·st)) and inner ∈ [0, st).
+func applyAxis(block, scratch []float64, vol, L, st int, H []float64, inverse bool) {
+	outerCount := vol / (L * st)
+	for outer := 0; outer < outerCount; outer++ {
+		base := outer * L * st
+		for inner := 0; inner < st; inner++ {
+			o := base + inner
+			// Gather, transform, scatter.
+			for gamma := 0; gamma < L; gamma++ {
+				acc := 0.0
+				if inverse {
+					// x[α] = Σ_γ c[γ]·H[α][γ]: here gamma plays α.
+					for alpha := 0; alpha < L; alpha++ {
+						acc += block[o+alpha*st] * H[gamma*L+alpha]
+					}
+				} else {
+					// c[γ] = Σ_α x[α]·H[α][γ].
+					for alpha := 0; alpha < L; alpha++ {
+						acc += block[o+alpha*st] * H[alpha*L+gamma]
+					}
+				}
+				scratch[gamma] = acc
+			}
+			for gamma := 0; gamma < L; gamma++ {
+				block[o+gamma*st] = scratch[gamma]
+			}
+		}
+	}
+}
