@@ -1,11 +1,15 @@
 // Command goblaz is the compressor CLI: it compresses and decompresses
 // files of raw little-endian float64 arrays and reports compression
-// statistics.
+// statistics. Backends are selected through the codec registry with
+// -codec; the default is the paper's compressor configured by the
+// individual flags.
 //
 //	goblaz compress   -shape 200,400 -block 16,16 -float float32 -index int16 in.f64 out.blz
+//	goblaz compress   -shape 200,400 -codec zfp:rate=16 in.f64 out.zfp
 //	goblaz decompress out.blz back.f64
 //	goblaz info       out.blz
-//	goblaz stats      -shape 200,400 -block 16,16 in.f64     (ratio + error report)
+//	goblaz stats      -shape 200,400 -codec sz:mode=curvefit,tol=1e-4 in.f64
+//	goblaz codecs     (list registered codecs)
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/scalar"
 	"repro/internal/tensor"
@@ -39,6 +44,8 @@ func main() {
 		err = runInfo(args)
 	case "stats":
 		err = runStats(args)
+	case "codecs":
+		err = runCodecs(args)
 	default:
 		usage()
 	}
@@ -50,10 +57,11 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  goblaz compress   -shape N,M[,K] [-block ...] [-float T] [-index T] [-transform T] [-keep F] IN OUT
+  goblaz compress   -shape N,M[,K] [-codec SPEC | -block ... -float T -index T -transform T -keep F] IN OUT
   goblaz decompress IN OUT
   goblaz info       IN
-  goblaz stats      -shape N,M[,K] [options] IN`)
+  goblaz stats      -shape N,M[,K] [options] IN
+  goblaz codecs`)
 	os.Exit(2)
 }
 
@@ -63,6 +71,7 @@ type options struct {
 	indexT       scalar.IndexType
 	transformK   transform.Kind
 	keep         float64
+	codecSpec    string
 }
 
 func parseOptions(name string, args []string) (*options, []string, error) {
@@ -74,9 +83,11 @@ func parseOptions(name string, args []string) (*options, []string, error) {
 	indexStr := fs.String("index", "int16", "index type: int8|int16|int32|int64")
 	trStr := fs.String("transform", "dct", "transform: dct|haar|identity")
 	keep := fs.Float64("keep", 1, "fraction of low-frequency coefficients to keep (0,1]")
+	codecSpec := fs.String("codec", "", `registry codec spec, e.g. "zfp:rate=16" or "sz:mode=curvefit,tol=1e-4" (overrides the goblaz flags)`)
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, err
 	}
+	o.codecSpec = *codecSpec
 	var err error
 	if *shapeStr != "" {
 		o.shape, err = parseInts(*shapeStr)
@@ -162,6 +173,59 @@ func writeTensor(path string, t *tensor.Tensor) error {
 	return os.WriteFile(path, raw, 0o644)
 }
 
+// --- codec container: how non-default backends round-trip through files ---
+//
+// Files written with -codec are self-describing: a 4-byte magic, the
+// big-endian uint16 length of the canonical codec spec, the spec string,
+// then the codec's encoded payload. Decompression reconstructs the codec
+// from the embedded spec via the registry, so no flags are needed. The
+// default goblaz path keeps the paper's own serialization format (§IV-B),
+// which is already self-describing.
+var codecMagic = []byte("GCDC")
+
+func writeCodecFile(path string, cd codec.Codec, payload []byte) error {
+	spec := cd.Spec()
+	if len(spec) > 0xFFFF {
+		return fmt.Errorf("codec spec %q too long", spec)
+	}
+	buf := make([]byte, 0, len(codecMagic)+2+len(spec)+len(payload))
+	buf = append(buf, codecMagic...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(spec)))
+	buf = append(buf, spec...)
+	buf = append(buf, payload...)
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// splitCodecFile recognizes the codec container and returns the embedded
+// spec and payload; ok is false for legacy core-format files.
+func splitCodecFile(blob []byte) (spec string, payload []byte, ok bool, err error) {
+	if len(blob) < len(codecMagic) || string(blob[:len(codecMagic)]) != string(codecMagic) {
+		return "", nil, false, nil
+	}
+	if len(blob) < len(codecMagic)+2 {
+		return "", nil, false, fmt.Errorf("truncated codec header")
+	}
+	n := int(binary.BigEndian.Uint16(blob[len(codecMagic):]))
+	rest := blob[len(codecMagic)+2:]
+	if len(rest) < n {
+		return "", nil, false, fmt.Errorf("truncated codec header")
+	}
+	return string(rest[:n]), rest[n:], true, nil
+}
+
+// lookupCoder resolves a spec to a codec that supports byte serialization.
+func lookupCoder(spec string) (codec.Coder, error) {
+	cd, err := codec.Lookup(spec)
+	if err != nil {
+		return nil, err
+	}
+	coder, ok := cd.(codec.Coder)
+	if !ok {
+		return nil, fmt.Errorf("codec %q does not support file serialization", cd.Name())
+	}
+	return coder, nil
+}
+
 func runCompress(args []string) error {
 	o, rest, err := parseOptions("compress", args)
 	if err != nil {
@@ -170,15 +234,35 @@ func runCompress(args []string) error {
 	if o.shape == nil || len(rest) != 2 {
 		return fmt.Errorf("compress needs -shape and IN OUT paths")
 	}
+	t, err := readTensor(rest[0], o.shape)
+	if err != nil {
+		return err
+	}
+	if o.codecSpec != "" {
+		coder, err := lookupCoder(o.codecSpec)
+		if err != nil {
+			return err
+		}
+		c, err := coder.Compress(t)
+		if err != nil {
+			return err
+		}
+		payload, err := coder.Encode(c)
+		if err != nil {
+			return err
+		}
+		if err := writeCodecFile(rest[1], coder, payload); err != nil {
+			return err
+		}
+		fmt.Printf("compressed %d → %d bytes with %s (ratio %.2f)\n",
+			t.Len()*8, len(payload), coder.Spec(), float64(t.Len()*8)/float64(len(payload)))
+		return nil
+	}
 	s, err := o.settings()
 	if err != nil {
 		return err
 	}
 	c, err := core.NewCompressor(s)
-	if err != nil {
-		return err
-	}
-	t, err := readTensor(rest[0], o.shape)
 	if err != nil {
 		return err
 	}
@@ -206,6 +290,27 @@ func runDecompress(args []string) error {
 	if err != nil {
 		return err
 	}
+	if spec, payload, ok, err := splitCodecFile(blob); err != nil {
+		return err
+	} else if ok {
+		coder, err := lookupCoder(spec)
+		if err != nil {
+			return err
+		}
+		c, err := coder.Decode(payload)
+		if err != nil {
+			return err
+		}
+		t, err := coder.Decompress(c)
+		if err != nil {
+			return err
+		}
+		if err := writeTensor(args[1], t); err != nil {
+			return err
+		}
+		fmt.Printf("decompressed to %v with %s (%d bytes)\n", t.Shape(), spec, t.Len()*8)
+		return nil
+	}
 	a, err := core.Decode(blob)
 	if err != nil {
 		return err
@@ -225,6 +330,20 @@ func runDecompress(args []string) error {
 	return nil
 }
 
+func runCodecs(args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("codecs takes no arguments")
+	}
+	for _, name := range codec.List() {
+		cd, err := codec.Lookup(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s default spec: %s\n", name, cd.Spec())
+	}
+	return nil
+}
+
 func runInfo(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("info needs one path")
@@ -232,6 +351,13 @@ func runInfo(args []string) error {
 	blob, err := os.ReadFile(args[0])
 	if err != nil {
 		return err
+	}
+	if spec, payload, ok, err := splitCodecFile(blob); err != nil {
+		return err
+	} else if ok {
+		fmt.Printf("codec:        %s\n", spec)
+		fmt.Printf("payload:      %d bytes\n", len(payload))
+		return nil
 	}
 	a, err := core.Decode(blob)
 	if err != nil {
@@ -260,6 +386,32 @@ func runStats(args []string) error {
 	}
 	if o.shape == nil || len(rest) != 1 {
 		return fmt.Errorf("stats needs -shape and one IN path")
+	}
+	if o.codecSpec != "" {
+		cd, err := codec.Lookup(o.codecSpec)
+		if err != nil {
+			return err
+		}
+		t, err := readTensor(rest[0], o.shape)
+		if err != nil {
+			return err
+		}
+		c, err := cd.Compress(t)
+		if err != nil {
+			return err
+		}
+		back, err := cd.Decompress(c)
+		if err != nil {
+			return err
+		}
+		size := cd.EncodedSize(c)
+		fmt.Printf("codec:             %s\n", cd.Spec())
+		fmt.Printf("measured ratio:    %.2f (%d → %d bytes)\n",
+			float64(t.Len()*8)/float64(size), t.Len()*8, size)
+		fmt.Printf("L∞ error:          %.6g\n", t.MaxAbsDiff(back))
+		fmt.Printf("RMSE:              %.6g\n", t.RMSE(back))
+		fmt.Printf("value range:       [%.6g, %.6g]\n", t.Min(), t.Max())
+		return nil
 	}
 	s, err := o.settings()
 	if err != nil {

@@ -101,6 +101,75 @@ func TestCLIErrors(t *testing.T) {
 	}
 }
 
+func TestCodecFlagRoundTripCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	// Smooth 2-D data: every backend (including the very lossy blaz
+	// baseline) reconstructs it within a small bound.
+	const rows, cols = 24, 16
+	data := make([]float64, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			data[r*cols+c] = float64(r)/rows + float64(c)/cols
+		}
+	}
+	writeRaw(t, in, data)
+	want := tensor.FromSlice(data, rows, cols)
+
+	for _, tc := range []struct {
+		spec string
+		tol  float64
+	}{
+		{"zfp:rate=32", 1e-4},
+		{"sz:mode=curvefit,tol=1e-4", 1e-4},
+		{"blaz", 0.05},
+		{"goblaz:block=8x8,float=float64", 1e-3},
+	} {
+		out := filepath.Join(dir, "out.bin")
+		back := filepath.Join(dir, "back.f64")
+		if err := runCompress([]string{"-shape", "24,16", "-codec", tc.spec, in, out}); err != nil {
+			t.Fatalf("%s: compress: %v", tc.spec, err)
+		}
+		if err := runInfo([]string{out}); err != nil {
+			t.Fatalf("%s: info: %v", tc.spec, err)
+		}
+		// No flags needed: the container embeds the codec spec.
+		if err := runDecompress([]string{out, back}); err != nil {
+			t.Fatalf("%s: decompress: %v", tc.spec, err)
+		}
+		got, err := readTensor(back, []int{rows, cols})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := got.MaxAbsDiff(want); e > tc.tol {
+			t.Errorf("%s: CLI round trip error %g exceeds %g", tc.spec, e, tc.tol)
+		}
+	}
+}
+
+func TestCodecFlagStatsAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	writeRaw(t, in, make([]float64, 64))
+
+	if err := runStats([]string{"-shape", "8,8", "-codec", "zfp:rate=16", in}); err != nil {
+		t.Fatalf("stats -codec: %v", err)
+	}
+	if err := runCodecs(nil); err != nil {
+		t.Fatalf("codecs: %v", err)
+	}
+	if err := runCodecs([]string{"extra"}); err == nil {
+		t.Error("codecs with arguments should fail")
+	}
+	out := filepath.Join(dir, "out.bin")
+	if err := runCompress([]string{"-shape", "8,8", "-codec", "nosuch", in, out}); err == nil {
+		t.Error("unknown codec spec should fail")
+	}
+	if err := runCompress([]string{"-shape", "8,8", "-codec", "zfp:rate=banana", in, out}); err == nil {
+		t.Error("malformed codec spec should fail")
+	}
+}
+
 func TestParseInts(t *testing.T) {
 	got, err := parseInts(" 3, 224,224 ")
 	if err != nil || len(got) != 3 || got[0] != 3 || got[2] != 224 {

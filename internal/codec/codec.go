@@ -1,0 +1,67 @@
+// Package codec defines the pluggable compressor seam of the repository:
+// a uniform Codec interface over the paper's primary compressor
+// (internal/core, "goblaz") and its three comparators (blaz, szsim,
+// zfpsim), plus a registry that constructs any backend from a spec string
+// such as
+//
+//	goblaz:block=8x8,float=float64,index=int8
+//	blaz
+//	sz:mode=curvefit,tol=1e-4
+//	zfp:rate=16
+//
+// CLIs, benchmarks, figure drivers, and the series pipeline all select
+// backends through this seam, so adding a compressor means writing one
+// adapter and one Register call — not editing four call sites.
+package codec
+
+import "repro/internal/tensor"
+
+// Compressed is a codec-specific opaque compressed representation. Each
+// adapter returns its backend's native type (*core.CompressedArray,
+// *blaz.Compressed, ...); callers must only pass it back to the codec
+// that produced it.
+type Compressed interface{}
+
+// Codec is the uniform compressor interface. Implementations are safe for
+// concurrent use.
+type Codec interface {
+	// Name returns the registry name of the backend ("goblaz", "blaz",
+	// "sz", "zfp").
+	Name() string
+	// Spec returns the canonical spec string that reconstructs this codec
+	// via Lookup.
+	Spec() string
+	// Compress compresses a tensor.
+	Compress(t *tensor.Tensor) (Compressed, error)
+	// Decompress reconstructs a tensor from a Compressed previously
+	// produced by this codec (same backend and parameters).
+	Decompress(c Compressed) (*tensor.Tensor, error)
+	// EncodedSize returns the serialized size of c in bytes.
+	EncodedSize(c Compressed) int
+}
+
+// Ops is the optional compressed-space arithmetic sub-interface, for
+// backends that operate on compressed arrays without decompression
+// (goblaz implements all of Table I; blaz supports add and scalar
+// multiplication). Callers discover support with a type assertion:
+//
+//	if ops, ok := cd.(codec.Ops); ok { ... }
+type Ops interface {
+	Codec
+	// Add returns the compressed element-wise sum a + b.
+	Add(a, b Compressed) (Compressed, error)
+	// Negate returns the compressed element-wise negation −a.
+	Negate(a Compressed) (Compressed, error)
+	// MulScalar returns the compressed element-wise product x·a.
+	MulScalar(a Compressed, x float64) (Compressed, error)
+}
+
+// Coder is the optional serialization sub-interface for backends whose
+// compressed form round-trips through bytes (all four built-ins).
+type Coder interface {
+	Codec
+	// Encode serializes c.
+	Encode(c Compressed) ([]byte, error)
+	// Decode reverses Encode.
+	Decode(data []byte) (Compressed, error)
+}

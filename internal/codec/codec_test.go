@@ -1,0 +1,360 @@
+package codec
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/tensor"
+)
+
+// roundTripCases lists every registered backend with a spec and the
+// absolute error its round trip must stay within on the smooth [0, 1]
+// gradient dataset.
+var roundTripCases = []struct {
+	spec string
+	tol  float64
+}{
+	{"goblaz", 1e-3},
+	{"goblaz:block=8x8,float=float64,index=int16,transform=dct", 1e-3},
+	{"goblaz:block=4x4,keep=0.5", 0.1},
+	{"blaz", 0.05},
+	{"sz:tol=1e-4", 1e-4},
+	{"sz:mode=curvefit,tol=1e-4", 1e-4},
+	{"zfp:rate=32", 1e-4},
+	{"zfp:rate=16", 1e-2},
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	x := data.Gradient(48, 40)
+	raw := x.Len() * 8
+	for _, tc := range roundTripCases {
+		t.Run(tc.spec, func(t *testing.T) {
+			cd, err := Lookup(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := cd.Compress(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := cd.Decompress(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !back.SameShape(x) {
+				t.Fatalf("round trip shape %v, want %v", back.Shape(), x.Shape())
+			}
+			if e := x.MaxAbsDiff(back); e > tc.tol {
+				t.Errorf("round-trip L∞ error %g exceeds %g", e, tc.tol)
+			}
+			if size := cd.EncodedSize(c); size <= 0 || size >= raw {
+				t.Errorf("EncodedSize = %d, want in (0, %d)", size, raw)
+			}
+		})
+	}
+}
+
+func TestEncodedSizeMatchesEncodeLength(t *testing.T) {
+	// EncodedSize is computed arithmetically where possible; it must agree
+	// with the actual serialized length for every Coder backend.
+	x := data.Gradient(40, 24)
+	for _, spec := range []string{"goblaz", "goblaz:block=8x8,keep=0.5", "blaz", "sz", "zfp:rate=8"} {
+		cd, err := Lookup(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coder, ok := cd.(Coder)
+		if !ok {
+			t.Fatalf("%s must be a Coder", spec)
+		}
+		c, err := cd.Compress(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := coder.Encode(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := cd.EncodedSize(c), len(blob)
+		// Serialization may add a bounded header (shape, settings) on top
+		// of the payload EncodedSize reports.
+		if got > want || want-got > 64 {
+			t.Errorf("%s: EncodedSize = %d, Encode length = %d", spec, got, want)
+		}
+	}
+}
+
+func TestEveryRegisteredCodecHasDefaultSpec(t *testing.T) {
+	names := List()
+	if len(names) < 4 {
+		t.Fatalf("List() = %v, want at least goblaz, blaz, sz, zfp", names)
+	}
+	for _, want := range []string{"goblaz", "blaz", "sz", "zfp"} {
+		cd, err := Lookup(want)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", want, err)
+		}
+		if cd.Name() != want {
+			t.Errorf("Name() = %q, want %q", cd.Name(), want)
+		}
+		// The canonical spec must reconstruct an equivalent codec.
+		if _, err := Lookup(cd.Spec()); err != nil {
+			t.Errorf("Lookup(Spec() = %q): %v", cd.Spec(), err)
+		}
+	}
+}
+
+func TestEncodeDecodeAllCodecs(t *testing.T) {
+	x := data.Gradient(32, 32)
+	for _, name := range List() {
+		t.Run(name, func(t *testing.T) {
+			cd, err := Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coder, ok := cd.(Coder)
+			if !ok {
+				t.Skipf("codec %q is not a Coder", name)
+			}
+			c, err := cd.Compress(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := coder.Encode(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := coder.Decode(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := cd.Decompress(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaBytes, err := cd.Decompress(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := direct.MaxAbsDiff(viaBytes); d != 0 {
+				t.Errorf("byte round trip drifted by %g", d)
+			}
+		})
+	}
+}
+
+func TestOpsMatchDecompressedSpace(t *testing.T) {
+	x := data.Gradient(32, 32)
+	y := data.Gradient(32, 32).Apply(func(v float64) float64 { return 1 - v })
+	for _, spec := range []string{"goblaz:block=8x8,float=float64,index=int16", "blaz"} {
+		t.Run(spec, func(t *testing.T) {
+			cd, err := Lookup(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops, ok := cd.(Ops)
+			if !ok {
+				t.Fatalf("codec %q must implement Ops", spec)
+			}
+			ca, err := ops.Compress(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cb, err := ops.Compress(y)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sum, err := ops.Add(ca, cb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ops.Decompress(sum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := x.Clone().Add(y)
+			if e := got.MaxAbsDiff(want); e > 0.1 {
+				t.Errorf("compressed-space add error %g", e)
+			}
+
+			neg, err := ops.Negate(ca)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err = ops.Decompress(neg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := got.MaxAbsDiff(x.Clone().Neg()); e > 0.1 {
+				t.Errorf("compressed-space negate error %g", e)
+			}
+
+			scaled, err := ops.MulScalar(ca, 2.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err = ops.Decompress(scaled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := got.MaxAbsDiff(x.Clone().Scale(2.5)); e > 0.25 {
+				t.Errorf("compressed-space multiply error %g", e)
+			}
+		})
+	}
+}
+
+func TestSZHonorsErrorBoundOnRoughData(t *testing.T) {
+	// Pseudo-random rough data: the bound must hold point-wise anyway.
+	x := tensor.New(40, 40)
+	for i := range x.Data() {
+		x.Data()[i] = math.Sin(float64(i)*12.9898) * 43758.5453
+	}
+	for _, mode := range []string{"lorenzo", "curvefit"} {
+		cd, err := Lookup("sz:mode=" + mode + ",tol=0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := cd.Compress(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := cd.Decompress(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := x.MaxAbsDiff(back); e > 0.5 {
+			t.Errorf("mode %s: error %g exceeds bound 0.5", mode, e)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	name, p, err := ParseSpec("goblaz:block=4x4,keep=0.5")
+	if err != nil || name != "goblaz" || p["block"] != "4x4" || p["keep"] != "0.5" {
+		t.Fatalf("ParseSpec = %q, %v, %v", name, p, err)
+	}
+	name, p, err = ParseSpec("blaz")
+	if err != nil || name != "blaz" || len(p) != 0 {
+		t.Fatalf("bare name: %q, %v, %v", name, p, err)
+	}
+}
+
+func TestMalformedSpecs(t *testing.T) {
+	bad := []string{
+		"",                        // empty
+		":tol=1",                  // empty name
+		"sz:",                     // trailing colon
+		"sz:tol",                  // missing =
+		"sz:=1",                   // empty key
+		"sz:tol=",                 // empty value
+		"sz:tol=1,tol=2",          // duplicate key
+		"nosuchcodec",             // unregistered
+		"sz:bogus=1",              // unknown parameter
+		"sz:tol=abc",              // non-numeric
+		"sz:mode=spline",          // unknown mode
+		"sz:tol=-1",               // bound must be positive
+		"zfp:rate=banana",         // non-integer
+		"zfp:rate=0",              // out of range
+		"goblaz:block=5x5",        // non-power-of-two block
+		"goblaz:block=4y4",        // bad list syntax
+		"goblaz:float=float128",   // unknown float type
+		"goblaz:index=uint8",      // unknown index type
+		"goblaz:transform=fft",    // unknown transform
+		"goblaz:keep=0",           // keep fraction out of (0, 1]
+		"goblaz:keep=2",           // keep fraction out of (0, 1]
+		"blaz:block=8x8",          // blaz takes no parameters
+		"goblaz:block=4x4,blok=8", // typo key must not be ignored
+	}
+	for _, spec := range bad {
+		if _, err := Lookup(spec); err == nil {
+			t.Errorf("Lookup(%q) should fail", spec)
+		}
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("duplicate Register must panic")
+		} else if !strings.Contains(r.(string), "goblaz") {
+			t.Errorf("panic %v should name the duplicate codec", r)
+		}
+	}()
+	Register("goblaz", newGoblaz)
+}
+
+func TestRegisterRejectsEmptyAndNil(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    Factory
+	}{{"", newGoblaz}, {"x-nil", nil}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%q, %v) must panic", tc.name, tc.f)
+				}
+			}()
+			Register(tc.name, tc.f)
+		}()
+	}
+}
+
+func TestForeignCompressedRejected(t *testing.T) {
+	x := data.Gradient(16, 16)
+	gob, err := Lookup("goblaz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zfp, err := Lookup("zfp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := zfp.Compress(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gob.Decompress(c); err == nil {
+		t.Error("decompressing a zfp payload with goblaz should fail")
+	}
+	if gob.EncodedSize(c) != 0 {
+		t.Error("EncodedSize of a foreign payload should be 0")
+	}
+}
+
+func TestBlazRequires2D(t *testing.T) {
+	cd, err := Lookup("blaz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cd.Compress(data.Gradient(8, 8, 8)); err == nil {
+		t.Error("blaz must reject 3-D input")
+	}
+}
+
+func TestFromCompressorInteroperates(t *testing.T) {
+	c, err := core.NewCompressor(core.DefaultSettings(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := FromCompressor(c)
+	x := data.Gradient(20, 20)
+	a, err := c.Compress(x) // compressed by the raw compressor...
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := cd.Decompress(a) // ...decompressed through the codec seam
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := x.MaxAbsDiff(back); e > 1e-3 {
+		t.Errorf("FromCompressor round trip error %g", e)
+	}
+	if _, err := Lookup(cd.Spec()); err != nil {
+		t.Errorf("Lookup(FromCompressor Spec %q): %v", cd.Spec(), err)
+	}
+}

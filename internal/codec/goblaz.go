@@ -1,0 +1,180 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/scalar"
+	"repro/internal/tensor"
+	"repro/internal/transform"
+)
+
+func init() {
+	Register("goblaz", newGoblaz)
+}
+
+// goblazCodec adapts internal/core — the paper's compressor — to the
+// Codec interface. It implements Ops (full compressed-space arithmetic)
+// and Coder.
+type goblazCodec struct {
+	c    *core.Compressor
+	spec string
+}
+
+// newGoblaz builds the paper's compressor from spec parameters:
+//
+//	block=4x4        block shape, x-separated powers of two
+//	float=float32    bfloat16|float16|float32|float64 (bf16/fp16/... aliases)
+//	index=int16      int8|int16|int32|int64
+//	transform=dct    dct|haar|walsh-hadamard|identity
+//	keep=1           fraction of low-frequency coefficients kept, (0,1]
+func newGoblaz(p Params) (Codec, error) {
+	block, err := p.TakeInts("block", []int{4, 4})
+	if err != nil {
+		return nil, err
+	}
+	s := core.Settings{BlockShape: block}
+	floatName, _ := p.Take("float")
+	if floatName == "" {
+		floatName = "float32"
+	}
+	if s.FloatType, err = scalar.ParseFloatType(floatName); err != nil {
+		return nil, err
+	}
+	indexName, _ := p.Take("index")
+	if indexName == "" {
+		indexName = "int16"
+	}
+	if s.IndexType, err = scalar.ParseIndexType(indexName); err != nil {
+		return nil, err
+	}
+	trName, _ := p.Take("transform")
+	if trName == "" {
+		trName = "dct"
+	}
+	if s.Transform, err = transform.ParseKind(trName); err != nil {
+		return nil, err
+	}
+	keep, err := p.TakeFloat("keep", 1)
+	if err != nil {
+		return nil, err
+	}
+	if keep <= 0 || keep > 1 {
+		return nil, fmt.Errorf("codec: goblaz keep fraction %g out of (0, 1]", keep)
+	}
+	if keep < 1 {
+		if s.Mask, err = core.KeepLowFrequency(block, keep); err != nil {
+			return nil, err
+		}
+	}
+	c, err := core.NewCompressor(s)
+	if err != nil {
+		return nil, err
+	}
+	spec := goblazSpec(s)
+	if keep < 1 {
+		spec += fmt.Sprintf(",keep=%g", keep)
+	}
+	return &goblazCodec{c: c, spec: spec}, nil
+}
+
+func goblazSpec(s core.Settings) string {
+	block := ""
+	for i, e := range s.BlockShape {
+		if i > 0 {
+			block += "x"
+		}
+		block += fmt.Sprint(e)
+	}
+	return fmt.Sprintf("goblaz:block=%s,float=%v,index=%v,transform=%v",
+		block, s.FloatType, s.IndexType, s.Transform)
+}
+
+// FromCompressor wraps an existing core.Compressor as a Codec, for callers
+// (like internal/series) that already hold one. A pruning mask that did
+// not come from a keep= fraction is not representable in the returned
+// Spec, which is then only approximate.
+func FromCompressor(c *core.Compressor) Codec {
+	return &goblazCodec{c: c, spec: goblazSpec(c.Settings())}
+}
+
+// Compressor exposes the wrapped core.Compressor for callers that need
+// the full Table I operation set beyond Ops.
+func (g *goblazCodec) Compressor() *core.Compressor { return g.c }
+
+func (g *goblazCodec) Name() string { return "goblaz" }
+func (g *goblazCodec) Spec() string { return g.spec }
+
+func (g *goblazCodec) arr(c Compressed) (*core.CompressedArray, error) {
+	a, ok := c.(*core.CompressedArray)
+	if !ok {
+		return nil, fmt.Errorf("codec: goblaz given foreign compressed type %T", c)
+	}
+	return a, nil
+}
+
+func (g *goblazCodec) Compress(t *tensor.Tensor) (Compressed, error) {
+	return g.c.Compress(t)
+}
+
+func (g *goblazCodec) Decompress(c Compressed) (*tensor.Tensor, error) {
+	a, err := g.arr(c)
+	if err != nil {
+		return nil, err
+	}
+	return g.c.Decompress(a)
+}
+
+func (g *goblazCodec) EncodedSize(c Compressed) int {
+	a, err := g.arr(c)
+	if err != nil {
+		return 0
+	}
+	bits, err := core.CompressedSizeBits(a.Settings, a.Shape)
+	if err != nil {
+		return 0
+	}
+	// Encode adds 8 magic bits and 2 transform bits beyond the §IV-C
+	// inventory and pads to a whole byte.
+	return int((bits + 10 + 7) / 8)
+}
+
+func (g *goblazCodec) Add(a, b Compressed) (Compressed, error) {
+	aa, err := g.arr(a)
+	if err != nil {
+		return nil, err
+	}
+	ba, err := g.arr(b)
+	if err != nil {
+		return nil, err
+	}
+	return g.c.Add(aa, ba)
+}
+
+func (g *goblazCodec) Negate(a Compressed) (Compressed, error) {
+	aa, err := g.arr(a)
+	if err != nil {
+		return nil, err
+	}
+	return g.c.Negate(aa)
+}
+
+func (g *goblazCodec) MulScalar(a Compressed, x float64) (Compressed, error) {
+	aa, err := g.arr(a)
+	if err != nil {
+		return nil, err
+	}
+	return g.c.MulScalar(aa, x)
+}
+
+func (g *goblazCodec) Encode(c Compressed) ([]byte, error) {
+	a, err := g.arr(c)
+	if err != nil {
+		return nil, err
+	}
+	return core.Encode(a)
+}
+
+func (g *goblazCodec) Decode(data []byte) (Compressed, error) {
+	return core.Decode(data)
+}

@@ -3,15 +3,21 @@ package figures
 import (
 	"time"
 
-	"repro/internal/baseline/blaz"
-	"repro/internal/core"
+	"repro/internal/codec"
 	"repro/internal/data"
+	"repro/internal/tensor"
+)
+
+// Fig. 2's two contenders as registry specs. Goblaz (parallel) plays
+// PyBlaz; the single-threaded blaz baseline plays Blaz. Both use 8×8
+// blocks, float64 values, and int8 bins ("comparable to those in Blaz").
+const (
+	Fig2GoblazSpec = "goblaz:block=8x8,float=float64,index=int8"
+	Fig2BlazSpec   = "blaz"
 )
 
 // Fig2Row is one array size of Fig. 2: "PyBlaz vs. Blaz Operation Time" —
-// compress, decompress, add, multiply on square 2-D float64 arrays with
-// 8×8 blocks and int8 bins. Goblaz (parallel) plays PyBlaz; the
-// single-threaded blaz baseline plays Blaz.
+// compress, decompress, add, multiply on square 2-D float64 arrays.
 type Fig2Row struct {
 	Size int
 	// Goblaz times.
@@ -20,11 +26,48 @@ type Fig2Row struct {
 	BlazCompress, BlazDecompress, BlazAdd, BlazMultiply time.Duration
 }
 
+// mustOps constructs a codec from its registry spec and requires the
+// compressed-space operation set; figure configurations are compile-time
+// constants, so failure is a programming error.
+func mustOps(spec string) codec.Ops {
+	cd, err := codec.Lookup(spec)
+	if err != nil {
+		panic(err)
+	}
+	ops, ok := cd.(codec.Ops)
+	if !ok {
+		panic("figures: codec " + spec + " does not support compressed-space ops")
+	}
+	return ops
+}
+
+// timeCodecOps measures best-of-reps compress, decompress, add, and
+// scalar-multiply times of one codec on the pair (x, y) — the four
+// operations on Fig. 2's y-axis, driven codec-generically.
+func timeCodecOps(cd codec.Ops, x, y *tensor.Tensor, reps int) (compress, decompress, add, mul time.Duration) {
+	var ca, cb codec.Compressed
+	var err error
+	check := func() {
+		if err != nil {
+			panic(err)
+		}
+	}
+	compress = Timing(reps, func() { ca, err = cd.Compress(x); check() })
+	cb, err = cd.Compress(y)
+	check()
+	decompress = Timing(reps, func() { _, err = cd.Decompress(ca); check() })
+	add = Timing(reps, func() { _, err = cd.Add(ca, cb); check() })
+	mul = Timing(reps, func() { _, err = cd.MulScalar(ca, 1.5); check() })
+	return compress, decompress, add, mul
+}
+
 // Fig2 measures every operation at each array size. reps is the
 // best-of-n repetition count (the paper uses warm GPU timings; 3 is
-// plenty for shape).
+// plenty for shape). Both backends are constructed through the codec
+// registry and timed by the same codec-generic driver.
 func Fig2(sizes []int, reps int) []Fig2Row {
-	c := mustCompressor(fig2Settings())
+	gob := mustOps(Fig2GoblazSpec)
+	bl := mustOps(Fig2BlazSpec)
 	rows := make([]Fig2Row, 0, len(sizes))
 	for _, n := range sizes {
 		x := data.Gradient(n, n)
@@ -32,43 +75,10 @@ func Fig2(sizes []int, reps int) []Fig2Row {
 
 		var row Fig2Row
 		row.Size = n
-
-		var ca, cb *core.CompressedArray
-		row.GoblazCompress = Timing(reps, func() { ca = mustCompress(c, x) })
-		cb = mustCompress(c, y)
-		row.GoblazDecompress = Timing(reps, func() {
-			if _, err := c.Decompress(ca); err != nil {
-				panic(err)
-			}
-		})
-		row.GoblazAdd = Timing(reps, func() {
-			if _, err := c.Add(ca, cb); err != nil {
-				panic(err)
-			}
-		})
-		row.GoblazMultiply = Timing(reps, func() {
-			if _, err := c.MulScalar(ca, 1.5); err != nil {
-				panic(err)
-			}
-		})
-
-		var ba, bb *blaz.Compressed
-		row.BlazCompress = Timing(reps, func() {
-			var err error
-			ba, err = blaz.Compress(x.Data(), n, n)
-			if err != nil {
-				panic(err)
-			}
-		})
-		bb, _ = blaz.Compress(y.Data(), n, n)
-		row.BlazDecompress = Timing(reps, func() { blaz.Decompress(ba) })
-		row.BlazAdd = Timing(reps, func() {
-			if _, err := blaz.Add(ba, bb); err != nil {
-				panic(err)
-			}
-		})
-		row.BlazMultiply = Timing(reps, func() { blaz.MulScalar(ba, 1.5) })
-
+		row.GoblazCompress, row.GoblazDecompress, row.GoblazAdd, row.GoblazMultiply =
+			timeCodecOps(gob, x, y, reps)
+		row.BlazCompress, row.BlazDecompress, row.BlazAdd, row.BlazMultiply =
+			timeCodecOps(bl, x, y, reps)
 		rows = append(rows, row)
 	}
 	return rows

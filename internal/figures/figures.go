@@ -13,7 +13,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/scalar"
 	"repro/internal/tensor"
 )
 
@@ -33,15 +32,6 @@ func Timing(n int, fn func()) time.Duration {
 		}
 	}
 	return best
-}
-
-// paperSettings returns the Fig. 2 configuration: 2-D, float64, int8,
-// 8×8 blocks ("comparable to those in Blaz").
-func fig2Settings() core.Settings {
-	s := core.DefaultSettings(8, 8)
-	s.FloatType = scalar.Float64
-	s.IndexType = scalar.Int8
-	return s
 }
 
 // mustCompressor panics on invalid settings; figure configurations are

@@ -1,21 +1,28 @@
 package series
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/tensor"
 )
 
 // Pipeline compresses frames concurrently while preserving append order:
 // producers hand raw frames to a bounded worker pool whose goroutines run
-// the compressor, and a single committer appends the compressed results
+// a codec, and a single committer hands the compressed results to a sink
 // in sequence. This is the channel-pipeline idiom applied to the paper's
 // checkpoint-compression use case — the simulation never blocks on
 // compression as long as the pool keeps up.
+//
+// The pipeline is codec-generic: any backend constructible through the
+// codec registry (goblaz, blaz, sz, zfp, or a future addition) can feed
+// any sink, not just a Series of core arrays.
 type Pipeline struct {
-	s       *Series
+	cd      codec.Codec
+	sink    func(label int, c codec.Compressed) error
 	jobs    chan job
 	wg      sync.WaitGroup
 	results chan result
@@ -34,18 +41,34 @@ type job struct {
 type result struct {
 	seq   int
 	label int
-	arr   *core.CompressedArray
+	c     codec.Compressed
 	err   error
 }
 
-// NewPipeline starts workers goroutines compressing into s. Close with
-// Wait. A non-positive workers count uses GOMAXPROCS.
+// NewPipeline starts workers goroutines compressing into s with the
+// series' own compressor. Close with Wait. A non-positive workers count
+// uses GOMAXPROCS.
 func NewPipeline(s *Series, workers int) *Pipeline {
+	return NewCodecPipeline(codec.FromCompressor(s.comp), func(label int, c codec.Compressed) error {
+		a, ok := c.(*core.CompressedArray)
+		if !ok {
+			return fmt.Errorf("series: codec produced %T, want *core.CompressedArray", c)
+		}
+		return s.appendCompressed(label, a)
+	}, workers)
+}
+
+// NewCodecPipeline starts workers goroutines compressing frames with cd
+// and committing them to sink in submission order. sink is called from a
+// single goroutine. Close with Wait. A non-positive workers count uses
+// GOMAXPROCS.
+func NewCodecPipeline(cd codec.Codec, sink func(label int, c codec.Compressed) error, workers int) *Pipeline {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	p := &Pipeline{
-		s:       s,
+		cd:      cd,
+		sink:    sink,
 		jobs:    make(chan job, workers),
 		results: make(chan result, workers),
 		done:    make(chan struct{}),
@@ -55,8 +78,8 @@ func NewPipeline(s *Series, workers int) *Pipeline {
 		go func() {
 			defer p.wg.Done()
 			for j := range p.jobs {
-				arr, err := s.comp.Compress(j.frame)
-				p.results <- result{seq: j.seq, label: j.label, arr: arr, err: err}
+				c, err := p.cd.Compress(j.frame)
+				p.results <- result{seq: j.seq, label: j.label, c: c, err: err}
 			}
 		}()
 	}
@@ -64,7 +87,7 @@ func NewPipeline(s *Series, workers int) *Pipeline {
 	return p
 }
 
-// commit appends results to the series in sequence order.
+// commit hands results to the sink in sequence order.
 func (p *Pipeline) commit() {
 	defer close(p.done)
 	pending := make(map[int]result)
@@ -82,7 +105,7 @@ func (p *Pipeline) commit() {
 				p.errOnce.Do(func() { p.err = c.err })
 				continue
 			}
-			if err := p.s.appendCompressed(c.label, c.arr); err != nil {
+			if err := p.sink(c.label, c.c); err != nil {
 				p.errOnce.Do(func() { p.err = err })
 			}
 		}

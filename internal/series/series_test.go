@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/scalar"
@@ -211,6 +212,47 @@ func TestPipelinePreservesOrder(t *testing.T) {
 			if a.F[j] != b.F[j] {
 				t.Fatalf("frame %d differs between pipeline and serial append", i)
 			}
+		}
+	}
+}
+
+func TestCodecPipelineGeneric(t *testing.T) {
+	// The pipeline is codec-generic: drive it with a registry backend that
+	// is not the paper's compressor and collect frames through a sink.
+	cd, err := codec.Lookup("zfp:rate=32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type stored struct {
+		label int
+		c     codec.Compressed
+	}
+	var got []stored
+	p := NewCodecPipeline(cd, func(label int, c codec.Compressed) error {
+		got = append(got, stored{label, c})
+		return nil
+	}, 3)
+	frames := make([]*tensor.Tensor, 9)
+	for i := range frames {
+		frames[i] = frame(int64(i), float64(i)*0.1)
+		p.Submit(10+i, frames[i])
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("sink received %d frames, want %d", len(got), len(frames))
+	}
+	for i, s := range got {
+		if s.label != 10+i {
+			t.Fatalf("order broken: label at %d is %d", i, s.label)
+		}
+		back, err := cd.Decompress(s.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := back.MaxAbsDiff(frames[i]); e > 1e-4 {
+			t.Errorf("frame %d round trip error %g", i, e)
 		}
 	}
 }

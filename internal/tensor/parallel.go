@@ -2,47 +2,83 @@ package tensor
 
 import (
 	"runtime"
-	"sync"
+	"sync/atomic"
 )
 
-// ParallelThreshold is the minimum number of work items below which
-// ParallelFor runs serially; goroutine fan-out costs more than it saves
-// for tiny inputs. Exposed so benchmarks can ablate it.
-var ParallelThreshold = 256
+// parallelThreshold is the minimum number of work items below which
+// ParallelFor runs serially; fan-out costs more than it saves for tiny
+// inputs. Atomic so benchmarks can ablate it while other goroutines are
+// inside ParallelFor without a data race.
+var parallelThreshold atomic.Int64
 
-// ParallelFor partitions [0, n) into contiguous chunks and invokes fn on
-// each chunk, fanning out over up to GOMAXPROCS goroutines. fn must be
-// safe to call concurrently on disjoint ranges. Small n runs serially.
+func init() { parallelThreshold.Store(256) }
+
+// ParallelThreshold returns the current serial/parallel cutoff.
+func ParallelThreshold() int { return int(parallelThreshold.Load()) }
+
+// SetParallelThreshold sets the serial/parallel cutoff and returns the
+// previous value so benchmarks can restore it. Values ≤ 0 are treated
+// as 1 (always parallel above a single item).
+func SetParallelThreshold(n int) int {
+	if n <= 0 {
+		n = 1
+	}
+	return int(parallelThreshold.Swap(int64(n)))
+}
+
+// ParallelFor partitions [0, n) into contiguous chunks and runs fn on
+// each chunk across the shared worker pool. fn must be safe to call
+// concurrently on disjoint ranges. Small n runs serially. The fan-out
+// width follows the current GOMAXPROCS, so -cpu benchmark passes and the
+// serial ablation behave as if the goroutines were spawned per call.
 //
 // This is the repository's CUDA stand-in: compression, decompression and
 // every block-wise compressed-space operation distribute their block loop
-// through ParallelFor.
+// through ParallelFor. The calling goroutine executes the final chunk
+// itself, chunks that do not fit in the pool queue run inline on the
+// caller, and while waiting the caller helps drain the shared queue —
+// so submission never blocks and nesting cannot deadlock (see pool.go).
 func ParallelFor(n int, fn func(start, end int)) {
 	if n <= 0 {
 		return
 	}
 	workers := runtime.GOMAXPROCS(0)
-	if n < ParallelThreshold || workers == 1 {
-		fn(0, n)
-		return
-	}
 	if workers > n {
 		workers = n
 	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			fn(s, e)
-		}(start, end)
+	if n < ParallelThreshold() || workers <= 1 {
+		fn(0, n)
+		return
 	}
-	wg.Wait()
+	ensurePool()
+	chunk := (n + workers - 1) / workers
+	// workers ∈ [2, n] so chunk < n: at least one chunk precedes the
+	// final one and remaining below starts ≥ 1.
+	var remaining atomic.Int64
+	done := make(chan struct{})
+	remaining.Store(int64((n - 1) / chunk)) // chunks submitted below
+	start := 0
+	for ; start+chunk < n; start += chunk {
+		t := task{fn: fn, start: start, end: start + chunk, remaining: &remaining, done: done}
+		select {
+		case poolTasks <- t:
+		default:
+			t.run()
+		}
+	}
+	fn(start, n)
+	// Help drain the queue until this call's chunks have all finished.
+	// Pulled tasks may belong to other ParallelFor calls; running them is
+	// what keeps nested fan-out from deadlocking when every pool worker
+	// is occupied by an outer chunk.
+	for {
+		select {
+		case <-done:
+			return
+		case t := <-poolTasks:
+			t.run()
+		}
+	}
 }
 
 // ParallelBlocks applies fn to every block index of b in parallel.

@@ -1,0 +1,80 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The shared worker pool behind ParallelFor. The original implementation
+// spawned fresh goroutines on every call, so each compression,
+// decompression, or block-wise compressed-space operation paid the
+// spawn-and-schedule cost again; the pool is started once and reused by
+// every caller in the process. The worker count grows to match the
+// current GOMAXPROCS (it never shrinks — surplus workers just idle on the
+// queue, and the per-call fan-out width is what bounds concurrency), so
+// ascending `go test -cpu` passes get the parallelism their label claims.
+//
+// Deadlock freedom: submitters never block on the queue (a full queue
+// runs the chunk inline), and a submitter waiting for its chunks helps
+// drain the shared queue instead of parking. Even if every pool worker
+// is stuck inside an outer chunk whose nested chunks sit in the queue,
+// each waiting submitter pulls queued tasks itself, so some queued task
+// always makes progress and nesting cannot deadlock.
+
+// task is one contiguous chunk of a ParallelFor loop. remaining counts
+// the call's outstanding chunks; the goroutine that finishes the last
+// one closes done.
+type task struct {
+	fn         func(start, end int)
+	start, end int
+	remaining  *atomic.Int64
+	done       chan struct{}
+}
+
+func (t task) run() {
+	t.fn(t.start, t.end)
+	if t.remaining.Add(-1) == 0 {
+		close(t.done)
+	}
+}
+
+// poolQueueDepth is the fixed task-queue capacity. Deep enough that a
+// full fan-out from many concurrent ParallelFor callers fits; overflow
+// degrades to inline execution on the submitter, which is correct and
+// applies natural backpressure.
+const poolQueueDepth = 1024
+
+var (
+	poolOnce  sync.Once
+	poolMu    sync.Mutex
+	poolWidth atomic.Int64
+	poolTasks chan task
+)
+
+// ensurePool starts the queue on first use and grows the worker count up
+// to the current GOMAXPROCS. The fast path is one atomic load.
+func ensurePool() {
+	poolOnce.Do(func() { poolTasks = make(chan task, poolQueueDepth) })
+	want := int64(runtime.GOMAXPROCS(0))
+	if poolWidth.Load() >= want {
+		return
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	for poolWidth.Load() < want {
+		go func() {
+			for t := range poolTasks {
+				t.run()
+			}
+		}()
+		poolWidth.Add(1)
+	}
+}
+
+// PoolWorkers returns the current number of persistent workers: the
+// high-water mark of GOMAXPROCS over the process so far.
+func PoolWorkers() int {
+	ensurePool()
+	return int(poolWidth.Load())
+}
