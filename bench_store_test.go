@@ -1,0 +1,143 @@
+package repro
+
+// BenchmarkStoreRoundTrip* — the durable multi-frame I/O path: packing a
+// checkpoint series through the parallel pipeline into the seekable
+// store container, sequential read-back, and random access by label.
+// This keeps the perf trajectory honest about disk-format overhead, not
+// just in-memory codec speed.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/data"
+	"repro/internal/series"
+	"repro/internal/store"
+	"repro/internal/tensor"
+)
+
+var storeBenchSpecs = []string{
+	"goblaz:block=8x8,float=float64,index=int8",
+	"zfp:rate=16",
+}
+
+const storeBenchFrames = 8
+
+func storeBenchFrame(k, n int) *tensor.Tensor {
+	t := data.Gradient(n, n)
+	for i := range t.Data() {
+		t.Data()[i] += float64(k) * 0.1
+	}
+	return t
+}
+
+// packStore writes a store of storeBenchFrames n×n frames and returns
+// its path.
+func packStore(b *testing.B, dir, spec string, n int) string {
+	b.Helper()
+	coder, ok := mustCodec(b, spec).(codec.Coder)
+	if !ok {
+		b.Fatalf("codec %q does not serialize", spec)
+	}
+	path := filepath.Join(dir, "bench.gbz")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := store.NewWriter(f, coder.Spec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := series.NewCodecPipeline(coder, w.Sink(coder), 0)
+	for k := 0; k < storeBenchFrames; k++ {
+		p.Submit(k, storeBenchFrame(k, n))
+	}
+	if err := p.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+func BenchmarkStoreRoundTripWrite(b *testing.B) {
+	for _, spec := range storeBenchSpecs {
+		for _, n := range []int{64, 256} {
+			b.Run(fmt.Sprintf("codec=%s/size=%d", mustCodec(b, spec).Name(), n), func(b *testing.B) {
+				dir := b.TempDir()
+				b.SetBytes(int64(storeBenchFrames) * int64(n*n) * 8)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					packStore(b, dir, spec, n)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkStoreRoundTripRead(b *testing.B) {
+	for _, spec := range storeBenchSpecs {
+		for _, n := range []int{64, 256} {
+			b.Run(fmt.Sprintf("codec=%s/size=%d", mustCodec(b, spec).Name(), n), func(b *testing.B) {
+				path := packStore(b, b.TempDir(), spec, n)
+				r, err := store.Open(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer r.Close()
+				b.SetBytes(int64(storeBenchFrames) * int64(n*n) * 8)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for k := 0; k < r.Len(); k++ {
+						if _, err := r.Decompress(k); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkStoreRoundTripRandomAccess(b *testing.B) {
+	// One frame by label out of the middle: the seek-and-decode latency a
+	// serving layer pays per request.
+	for _, spec := range storeBenchSpecs {
+		const n = 256
+		b.Run(fmt.Sprintf("codec=%s/size=%d", mustCodec(b, spec).Name(), n), func(b *testing.B) {
+			path := packStore(b, b.TempDir(), spec, n)
+			r, err := store.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			b.SetBytes(int64(n*n) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.DecompressLabel(storeBenchFrames / 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStoreIndexOpen(b *testing.B) {
+	// Opening cost: header + footer parse only, independent of payload.
+	path := packStore(b, b.TempDir(), "zfp:rate=16", 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := store.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+	}
+}

@@ -46,6 +46,14 @@ func main() {
 		err = runStats(args)
 	case "codecs":
 		err = runCodecs(args)
+	case "pack":
+		err = runPack(args)
+	case "unpack":
+		err = runUnpack(args)
+	case "inspect":
+		err = runInspect(args)
+	case "serve":
+		err = runServe(args)
 	default:
 		usage()
 	}
@@ -61,7 +69,11 @@ func usage() {
   goblaz decompress IN OUT
   goblaz info       IN
   goblaz stats      -shape N,M[,K] [options] IN
-  goblaz codecs`)
+  goblaz codecs
+  goblaz pack       -shape N,M[,K] [-codec SPEC] [-workers N] OUT FRAME...
+  goblaz unpack     [-frame LABEL] IN OUTPREFIX
+  goblaz inspect    IN
+  goblaz serve      [-addr HOST:PORT] IN`)
 	os.Exit(2)
 }
 
@@ -72,6 +84,7 @@ type options struct {
 	transformK   transform.Kind
 	keep         float64
 	codecSpec    string
+	workers      int
 }
 
 func parseOptions(name string, args []string) (*options, []string, error) {
@@ -84,10 +97,12 @@ func parseOptions(name string, args []string) (*options, []string, error) {
 	trStr := fs.String("transform", "dct", "transform: dct|haar|identity")
 	keep := fs.Float64("keep", 1, "fraction of low-frequency coefficients to keep (0,1]")
 	codecSpec := fs.String("codec", "", `registry codec spec, e.g. "zfp:rate=16" or "sz:mode=curvefit,tol=1e-4" (overrides the goblaz flags)`)
+	workers := fs.Int("workers", 0, "parallel compression workers for pack (default GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, err
 	}
 	o.codecSpec = *codecSpec
+	o.workers = *workers
 	var err error
 	if *shapeStr != "" {
 		o.shape, err = parseInts(*shapeStr)

@@ -1,0 +1,305 @@
+package main
+
+// The store subcommands: pack a series of raw frames into the seekable
+// multi-frame container (internal/store), unpack frames back out,
+// inspect the index, and serve frames over HTTP.
+//
+//	goblaz pack    -shape 64,64 -codec zfp:rate=16 [-workers 4] out.gbz f0.f64 f1.f64 ...
+//	goblaz unpack  [-frame LABEL] out.gbz prefix        → prefix<label>.f64
+//	goblaz inspect out.gbz
+//	goblaz serve   -addr :8080 out.gbz
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/series"
+	"repro/internal/store"
+)
+
+// packCoder resolves the -codec spec, or the goblaz flag set when no
+// spec was given, to a serializing codec. The flag path goes through the
+// registry too — the store header must embed a spec that reconstructs
+// the exact codec, and a registry spec (unlike codec.FromCompressor's
+// approximate one) round-trips the keep= pruning fraction.
+func packCoder(o *options) (codec.Coder, error) {
+	spec := o.codecSpec
+	if spec == "" {
+		block := make([]string, len(o.block))
+		for i, e := range o.block {
+			block[i] = strconv.Itoa(e)
+		}
+		spec = fmt.Sprintf("goblaz:block=%s,float=%v,index=%v,transform=%v",
+			strings.Join(block, "x"), o.floatT, o.indexT, o.transformK)
+		if o.keep < 1 {
+			spec += fmt.Sprintf(",keep=%g", o.keep)
+		}
+	}
+	return lookupCoder(spec)
+}
+
+func runPack(args []string) error {
+	o, paths, err := parseOptions("pack", args)
+	if err != nil {
+		return err
+	}
+	if o.shape == nil || len(paths) < 2 {
+		return fmt.Errorf("pack needs -shape, an OUT path, and at least one frame file")
+	}
+	out, frames := paths[0], paths[1:]
+	coder, err := packCoder(o)
+	if err != nil {
+		return err
+	}
+	// Build in a temp file and rename on success, so a mid-pack failure
+	// neither leaves a truncated store nor clobbers an existing one.
+	f, err := os.CreateTemp(filepath.Dir(out), ".goblaz-pack-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if tmp != "" {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	w, err := store.NewWriter(f, coder.Spec())
+	if err != nil {
+		return err
+	}
+	p := series.NewCodecPipeline(coder, w.Sink(coder), o.workers)
+	for label, path := range frames {
+		t, err := readTensor(path, o.shape)
+		if err != nil {
+			// Surface the bad input now; the pipeline still owns earlier
+			// frames, so drain it — and report its failure too, if any.
+			return errors.Join(fmt.Errorf("frame %d (%s): %w", label, path, err), p.Wait())
+		}
+		p.Submit(label, t)
+	}
+	if err := p.Wait(); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, out); err != nil {
+		return err
+	}
+	tmp = ""
+	st, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	raw := int64(len(frames)) * int64(tensor8Bytes(o.shape))
+	fmt.Printf("packed %d frames, %d → %d bytes with %s (ratio %.2f)\n",
+		len(frames), raw, st.Size(), coder.Spec(), float64(raw)/float64(st.Size()))
+	return nil
+}
+
+func tensor8Bytes(shape []int) int {
+	n := 8
+	for _, e := range shape {
+		n *= e
+	}
+	return n
+}
+
+func runUnpack(args []string) error {
+	fs := flag.NewFlagSet("unpack", flag.ExitOnError)
+	frame := fs.Int("frame", -1, "unpack only the frame with this label")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 2 {
+		return fmt.Errorf("unpack needs IN and OUTPREFIX paths")
+	}
+	r, err := store.Open(rest[0])
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	unpackOne := func(i int) error {
+		info := r.Info(i)
+		t, err := r.Decompress(i)
+		if err != nil {
+			return err
+		}
+		path := fmt.Sprintf("%s%d.f64", rest[1], info.Label)
+		if err := writeTensor(path, t); err != nil {
+			return err
+		}
+		fmt.Printf("frame %d (label %d) → %s %v\n", i, info.Label, path, t.Shape())
+		return nil
+	}
+	if *frame >= 0 {
+		i, ok := r.IndexOf(*frame)
+		if !ok {
+			return fmt.Errorf("no frame with label %d", *frame)
+		}
+		return unpackOne(i)
+	}
+	for i := 0; i < r.Len(); i++ {
+		if err := unpackOne(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runInspect(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("inspect needs one path")
+	}
+	r, err := store.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	fmt.Printf("codec:   %s\n", r.Spec())
+	fmt.Printf("frames:  %d\n", r.Len())
+	var total int64
+	for _, e := range r.Frames() {
+		total += e.Length
+	}
+	fmt.Printf("payload: %d bytes\n", total)
+	if r.Len() > 0 {
+		fmt.Printf("%8s %8s %12s %10s %10s\n", "frame", "label", "offset", "length", "crc32")
+		for i, e := range r.Frames() {
+			fmt.Printf("%8d %8d %12d %10d %10x\n", i, e.Label, e.Offset, e.Length, e.CRC32)
+		}
+	}
+	return nil
+}
+
+// frameMeta is the JSON shape of one index entry served by /v1/frames.
+type frameMeta struct {
+	Index  int    `json:"index"`
+	Label  int    `json:"label"`
+	Offset int64  `json:"offset"`
+	Length int64  `json:"length"`
+	CRC32  string `json:"crc32"`
+}
+
+// newStoreHandler serves a store over HTTP:
+//
+//	GET /healthz                   liveness
+//	GET /v1/store                  {"spec": ..., "frames": n}
+//	GET /v1/frames                 JSON index
+//	GET /v1/frames/{label}         decompressed frame, little-endian
+//	                               float64 bytes; X-Goblaz-Shape header
+//	GET /v1/frames/{label}/payload raw compressed payload
+//
+// Decompression happens per request and the store reader is safe for
+// concurrent use, so the handler needs no locking.
+func newStoreHandler(r *store.Reader) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/store", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, map[string]any{"spec": r.Spec(), "frames": r.Len()})
+	})
+	mux.HandleFunc("GET /v1/frames", func(w http.ResponseWriter, req *http.Request) {
+		metas := make([]frameMeta, r.Len())
+		for i, e := range r.Frames() {
+			metas[i] = frameMeta{
+				Index:  i,
+				Label:  e.Label,
+				Offset: e.Offset,
+				Length: e.Length,
+				CRC32:  fmt.Sprintf("%08x", e.CRC32),
+			}
+		}
+		writeJSON(w, metas)
+	})
+	frameIndex := func(w http.ResponseWriter, req *http.Request) (int, bool) {
+		label, err := strconv.Atoi(req.PathValue("label"))
+		if err != nil {
+			http.Error(w, "bad frame label", http.StatusBadRequest)
+			return 0, false
+		}
+		i, ok := r.IndexOf(label)
+		if !ok {
+			http.Error(w, "no such frame", http.StatusNotFound)
+			return 0, false
+		}
+		return i, true
+	}
+	mux.HandleFunc("GET /v1/frames/{label}", func(w http.ResponseWriter, req *http.Request) {
+		i, ok := frameIndex(w, req)
+		if !ok {
+			return
+		}
+		t, err := r.Decompress(i)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		shape := make([]string, len(t.Shape()))
+		for d, e := range t.Shape() {
+			shape[d] = strconv.Itoa(e)
+		}
+		raw := make([]byte, t.Len()*8)
+		for j, v := range t.Data() {
+			binary.LittleEndian.PutUint64(raw[j*8:], math.Float64bits(v))
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Goblaz-Shape", strings.Join(shape, ","))
+		w.Write(raw)
+	})
+	mux.HandleFunc("GET /v1/frames/{label}/payload", func(w http.ResponseWriter, req *http.Request) {
+		i, ok := frameIndex(w, req)
+		if !ok {
+			return
+		}
+		payload, err := r.Payload(i)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(payload)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("serve needs one store path")
+	}
+	r, err := store.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	fmt.Printf("serving %s (%d frames, codec %s) on %s\n", fs.Arg(0), r.Len(), r.Spec(), *addr)
+	return http.ListenAndServe(*addr, newStoreHandler(r))
+}

@@ -1,0 +1,270 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/store"
+	"repro/internal/tensor"
+)
+
+// packInputs writes n raw frame files and returns their paths plus the
+// frame tensors.
+func packInputs(t *testing.T, dir string, n, rows, cols int) ([]string, []*tensor.Tensor) {
+	t.Helper()
+	paths := make([]string, n)
+	frames := make([]*tensor.Tensor, n)
+	for k := 0; k < n; k++ {
+		data := make([]float64, rows*cols)
+		for i := range data {
+			data[i] = math.Sin(float64(i)/5) + float64(k)*0.5
+		}
+		paths[k] = filepath.Join(dir, "frame"+string(rune('a'+k))+".f64")
+		writeRaw(t, paths[k], data)
+		frames[k] = tensor.FromSlice(data, rows, cols)
+	}
+	return paths, frames
+}
+
+func TestPackUnpackRoundTripEveryCodec(t *testing.T) {
+	const rows, cols, n = 24, 16, 3
+	for _, name := range codec.List() {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			inputs, frames := packInputs(t, dir, n, rows, cols)
+			out := filepath.Join(dir, "series.gbz")
+
+			args := []string{"-shape", "24,16", "-codec", name, "-workers", "2", out}
+			if err := runPack(append(args, inputs...)); err != nil {
+				t.Fatalf("pack: %v", err)
+			}
+			if err := runInspect([]string{out}); err != nil {
+				t.Fatalf("inspect: %v", err)
+			}
+			prefix := filepath.Join(dir, "back")
+			if err := runUnpack([]string{out, prefix}); err != nil {
+				t.Fatalf("unpack: %v", err)
+			}
+
+			cd, err := codec.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < n; k++ {
+				got, err := readTensor(prefix+string(rune('0'+k))+".f64", []int{rows, cols})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Bit-exact against the direct compress→decompress path:
+				// the store must add no loss beyond the codec's own.
+				c, err := cd.Compress(frames[k])
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := cd.Decompress(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.MaxAbsDiff(want) != 0 {
+					t.Errorf("frame %d: unpack differs from direct codec round trip", k)
+				}
+			}
+		})
+	}
+}
+
+func TestUnpackSingleFrame(t *testing.T) {
+	dir := t.TempDir()
+	inputs, _ := packInputs(t, dir, 3, 8, 8)
+	out := filepath.Join(dir, "s.gbz")
+	if err := runPack(append([]string{"-shape", "8,8", out}, inputs...)); err != nil {
+		t.Fatal(err)
+	}
+	prefix := filepath.Join(dir, "one")
+	if err := runUnpack([]string{"-frame", "1", out, prefix}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(prefix + "1.f64"); err != nil {
+		t.Errorf("frame 1 not unpacked: %v", err)
+	}
+	if _, err := os.Stat(prefix + "0.f64"); err == nil {
+		t.Error("-frame 1 should not unpack frame 0")
+	}
+	if err := runUnpack([]string{"-frame", "9", out, prefix}); err == nil {
+		t.Error("unknown label should fail")
+	}
+}
+
+func TestPackFlagCodecWithPruning(t *testing.T) {
+	// The flag-driven path must embed a spec that round-trips keep=: a
+	// store packed with -keep 0.5 has to decode with its own header.
+	dir := t.TempDir()
+	inputs, _ := packInputs(t, dir, 2, 8, 8)
+	out := filepath.Join(dir, "pruned.gbz")
+	args := []string{"-shape", "8,8", "-block", "4,4", "-float", "float64", "-keep", "0.5", out}
+	if err := runPack(append(args, inputs...)); err != nil {
+		t.Fatalf("pack: %v", err)
+	}
+	r, err := store.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if want := "keep=0.5"; !strings.Contains(r.Spec(), want) {
+		t.Errorf("spec %q should contain %q", r.Spec(), want)
+	}
+	if _, err := r.DecompressLabel(1); err != nil {
+		t.Errorf("store packed with pruning does not decode itself: %v", err)
+	}
+}
+
+func TestPackFailureLeavesNoPartialStore(t *testing.T) {
+	// A mid-pack error must not clobber an existing store at the output
+	// path or leave a truncated temp file behind.
+	dir := t.TempDir()
+	inputs, _ := packInputs(t, dir, 2, 8, 8)
+	out := filepath.Join(dir, "keep.gbz")
+	if err := runPack(append([]string{"-shape", "8,8", out}, inputs...)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]string{"-shape", "8,8", out, inputs[0]}, filepath.Join(dir, "missing.f64"))
+	if err := runPack(bad); err == nil {
+		t.Fatal("pack with a missing frame should fail")
+	}
+	after, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("failed pack clobbered the existing store")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".goblaz-pack-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestStoreCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	writeRaw(t, in, make([]float64, 16))
+
+	if err := runPack([]string{filepath.Join(dir, "o.gbz"), in}); err == nil {
+		t.Error("pack without -shape should fail")
+	}
+	if err := runPack([]string{"-shape", "4,4", filepath.Join(dir, "o.gbz")}); err == nil {
+		t.Error("pack without frames should fail")
+	}
+	if err := runPack([]string{"-shape", "8,8", filepath.Join(dir, "o.gbz"), in}); err == nil {
+		t.Error("pack with wrong-sized frame should fail")
+	}
+	if err := runUnpack([]string{in, filepath.Join(dir, "p")}); err == nil {
+		t.Error("unpack of a non-store should fail")
+	}
+	if err := runInspect([]string{in}); err == nil {
+		t.Error("inspect of a non-store should fail")
+	}
+	if err := runInspect(nil); err == nil {
+		t.Error("inspect without a path should fail")
+	}
+}
+
+func TestServeHandler(t *testing.T) {
+	const rows, cols = 8, 8
+	dir := t.TempDir()
+	inputs, frames := packInputs(t, dir, 2, rows, cols)
+	out := filepath.Join(dir, "s.gbz")
+	if err := runPack(append([]string{"-shape", "8,8", "-codec", "zfp:rate=32", out}, inputs...)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := store.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	srv := httptest.NewServer(newStoreHandler(r))
+	defer srv.Close()
+
+	get := func(path string, wantStatus int) []byte {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s = %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	get("/healthz", 200)
+
+	var meta struct {
+		Spec   string `json:"spec"`
+		Frames int    `json:"frames"`
+	}
+	if err := json.Unmarshal(get("/v1/store", 200), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Spec != "zfp:rate=32" || meta.Frames != 2 {
+		t.Errorf("/v1/store = %+v", meta)
+	}
+
+	var index []frameMeta
+	if err := json.Unmarshal(get("/v1/frames", 200), &index); err != nil {
+		t.Fatal(err)
+	}
+	if len(index) != 2 || index[1].Label != 1 || index[1].Length <= 0 {
+		t.Errorf("/v1/frames = %+v", index)
+	}
+
+	// A served frame decodes to the zfp round trip of the original.
+	body := get("/v1/frames/1", 200)
+	if len(body) != rows*cols*8 {
+		t.Fatalf("frame body = %d bytes, want %d", len(body), rows*cols*8)
+	}
+	got := make([]float64, rows*cols)
+	for i := range got {
+		got[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[i*8:]))
+	}
+	cd, _ := codec.Lookup("zfp:rate=32")
+	c, _ := cd.Compress(frames[1])
+	want, _ := cd.Decompress(c)
+	if tensor.FromSlice(got, rows, cols).MaxAbsDiff(want) != 0 {
+		t.Error("served frame differs from codec round trip")
+	}
+
+	payload := get("/v1/frames/0/payload", 200)
+	direct, err := r.Payload(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != string(direct) {
+		t.Error("served payload differs from store payload")
+	}
+
+	get("/v1/frames/7", 404)
+	get("/v1/frames/banana", 400)
+}

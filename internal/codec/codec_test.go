@@ -277,6 +277,31 @@ func TestMalformedSpecs(t *testing.T) {
 	}
 }
 
+func TestNonPositiveParametersRejected(t *testing.T) {
+	// One case per built-in codec: zero or negative sizes must fail with a
+	// clear error at the registry layer, not panic downstream.
+	for _, tc := range []struct {
+		codec string
+		specs []string
+	}{
+		{"goblaz", []string{"goblaz:block=0x8", "goblaz:block=-4x4", "goblaz:block=8x0", "goblaz:block=-1"}},
+		{"sz", []string{"sz:tol=0", "sz:tol=-1e-4"}},
+		{"zfp", []string{"zfp:rate=0", "zfp:rate=-16"}},
+		{"blaz", []string{"blaz:block=0x8"}}, // blaz takes no parameters at all
+	} {
+		for _, spec := range tc.specs {
+			cd, err := Lookup(spec)
+			if err == nil {
+				t.Errorf("%s: Lookup(%q) = %v, want error", tc.codec, spec, cd.Spec())
+				continue
+			}
+			if !strings.Contains(err.Error(), "codec") {
+				t.Errorf("%s: Lookup(%q) error %q should identify the codec layer", tc.codec, spec, err)
+			}
+		}
+	}
+}
+
 func TestDuplicateRegisterPanics(t *testing.T) {
 	defer func() {
 		if r := recover(); r == nil {

@@ -50,8 +50,11 @@ func (p Params) TakeFloat(key string, def float64) (float64, error) {
 	return f, nil
 }
 
-// TakeInts removes key and parses it as an "x"-separated integer list
-// (e.g. block=8x8); def is returned when the key is absent.
+// TakeInts removes key and parses it as an "x"-separated list of positive
+// integers (e.g. block=8x8); def is returned when the key is absent. The
+// lists in codec specs are all extents, so zero and negative entries are
+// rejected here — at the registry layer — rather than passed through to
+// panic deep inside a factory's backend.
 func (p Params) TakeInts(key string, def []int) ([]int, error) {
 	v, ok := p.Take(key)
 	if !ok {
@@ -63,6 +66,9 @@ func (p Params) TakeInts(key string, def []int) ([]int, error) {
 		n, err := strconv.Atoi(part)
 		if err != nil {
 			return nil, fmt.Errorf("codec: parameter %s=%q is not an x-separated integer list", key, v)
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("codec: parameter %s=%q has non-positive extent %d", key, v, n)
 		}
 		out[i] = n
 	}

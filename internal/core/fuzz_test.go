@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"testing"
 
+	"repro/internal/bits"
 	"repro/internal/scalar"
 	"repro/internal/tensor"
 )
@@ -34,6 +35,7 @@ func FuzzDecode(f *testing.F) {
 	f.Add(blob[:len(blob)/2])
 	f.Add([]byte{magicByte})
 	f.Add([]byte{})
+	f.Add(blockVolOverflowStream())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec, err := Decode(data)
@@ -54,6 +56,34 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("decoded array not decompressible: %v", err)
 		}
 	})
+}
+
+// blockVolOverflowStream crafts a header whose block extents are each
+// within the per-extent bound but whose product is 2^63: without an
+// overflow guard the volume wraps to a negative int, bypasses the
+// Remaining() bounds check, and panics allocating the mask.
+func blockVolOverflowStream() []byte {
+	var w bits.Writer
+	w.WriteBits(magicByte, 8)
+	w.WriteBits(0, 2) // transform: dct
+	w.WriteBits(uint64(scalar.Float32), 2)
+	w.WriteBits(uint64(scalar.Int8), 2)
+	for i := 0; i < 4; i++ { // shape 1×1×1×1
+		w.WriteBits(1, 64)
+	}
+	w.WriteBits(shapeEnd, 64)
+	for _, e := range []uint64{1 << 20, 1 << 20, 1 << 20, 1 << 3} {
+		w.WriteBits(e, 64)
+	}
+	return w.Bytes()
+}
+
+// TestDecodeRejectsBlockVolumeOverflow pins the overflow fix outside the
+// fuzz harness so it runs in every plain `go test`.
+func TestDecodeRejectsBlockVolumeOverflow(t *testing.T) {
+	if _, err := Decode(blockVolOverflowStream()); err == nil {
+		t.Fatal("header with 2^63 block volume must be rejected")
+	}
 }
 
 // TestGoldenStreamFormat pins the serialized byte layout: any change to

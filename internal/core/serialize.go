@@ -124,6 +124,12 @@ func Decode(data []byte) (*CompressedArray, error) {
 		if e == 0 || e > 1<<20 {
 			return nil, fmt.Errorf("core: implausible block extent %d", e)
 		}
+		// Extents are individually bounded but there can be 16 of them;
+		// guard the product exactly like numBlocks below, or a crafted
+		// header wraps blockVol and bypasses the Remaining() check.
+		if blockVol > (1<<40)/int(e) {
+			return nil, errors.New("core: implausible block volume")
+		}
 		blockShape[d] = int(e)
 		blockVol *= int(e)
 	}

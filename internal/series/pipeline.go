@@ -20,16 +20,20 @@ import (
 // The pipeline is codec-generic: any backend constructible through the
 // codec registry (goblaz, blaz, sz, zfp, or a future addition) can feed
 // any sink, not just a Series of core arrays.
+//
+// The number of frames in flight (queued, compressing, or awaiting
+// in-order commit) is bounded: when a worker stalls or the sink is slow,
+// Submit blocks instead of buffering every completed frame in memory.
 type Pipeline struct {
 	cd      codec.Codec
 	sink    func(label int, c codec.Compressed) error
 	jobs    chan job
+	inFly   chan struct{} // in-flight window; bounds the reorder buffer
 	wg      sync.WaitGroup
 	results chan result
 	done    chan struct{}
-	errOnce sync.Once
-	err     error
-	next    int // sequence number to hand out
+	err     error // written only by commit, read after done closes
+	next    int   // sequence number to hand out
 }
 
 type job struct {
@@ -60,7 +64,8 @@ func NewPipeline(s *Series, workers int) *Pipeline {
 
 // NewCodecPipeline starts workers goroutines compressing frames with cd
 // and committing them to sink in submission order. sink is called from a
-// single goroutine. Close with Wait. A non-positive workers count uses
+// single goroutine; after the first compression or sink error it is never
+// called again. Close with Wait. A non-positive workers count uses
 // GOMAXPROCS.
 func NewCodecPipeline(cd codec.Codec, sink func(label int, c codec.Compressed) error, workers int) *Pipeline {
 	if workers <= 0 {
@@ -70,6 +75,7 @@ func NewCodecPipeline(cd codec.Codec, sink func(label int, c codec.Compressed) e
 		cd:      cd,
 		sink:    sink,
 		jobs:    make(chan job, workers),
+		inFly:   make(chan struct{}, 2*workers),
 		results: make(chan result, workers),
 		done:    make(chan struct{}),
 	}
@@ -87,7 +93,10 @@ func NewCodecPipeline(cd codec.Codec, sink func(label int, c codec.Compressed) e
 	return p
 }
 
-// commit hands results to the sink in sequence order.
+// commit hands results to the sink in sequence order. After the first
+// error nothing more reaches the sink — a failed frame must not leave a
+// silent gap in the middle of a committed series — and the error names
+// the frame that failed.
 func (p *Pipeline) commit() {
 	defer close(p.done)
 	pending := make(map[int]result)
@@ -101,20 +110,26 @@ func (p *Pipeline) commit() {
 			}
 			delete(pending, nextCommit)
 			nextCommit++
+			<-p.inFly // frame retired: reopen the submission window
+			if p.err != nil {
+				continue // drain, but commit nothing past the failure
+			}
 			if c.err != nil {
-				p.errOnce.Do(func() { p.err = c.err })
+				p.err = fmt.Errorf("series: compressing frame %d (label %d): %w", c.seq, c.label, c.err)
 				continue
 			}
 			if err := p.sink(c.label, c.c); err != nil {
-				p.errOnce.Do(func() { p.err = err })
+				p.err = fmt.Errorf("series: committing frame %d (label %d): %w", c.seq, c.label, err)
 			}
 		}
 	}
 }
 
 // Submit enqueues one frame. The frame must not be mutated afterwards.
+// Submit blocks while the in-flight window (2×workers frames) is full.
 // Submit must not be called concurrently with itself or after Wait.
 func (p *Pipeline) Submit(label int, frame *tensor.Tensor) {
+	p.inFly <- struct{}{}
 	p.jobs <- job{seq: p.next, label: label, frame: frame}
 	p.next++
 }

@@ -1,0 +1,236 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/tensor"
+)
+
+// Reader provides random access to the frames of a store. Opening parses
+// only the header and footer index; frame payloads are read and decoded
+// lazily, one ReadAt per access, so a multi-gigabyte store costs index
+// memory only. The codec named by the header spec is constructed on
+// first decode.
+//
+// A Reader is safe for concurrent use: ReadAt is positioned I/O (no
+// shared file cursor), the index is immutable after open, and registry
+// codecs are documented concurrency-safe.
+type Reader struct {
+	r      io.ReaderAt
+	closer io.Closer // set when Open owns the file
+	spec   string
+	frames []FrameInfo
+	index  map[int]int // label → frame position
+
+	coderOnce sync.Once
+	coder     codec.Coder
+	coderErr  error
+}
+
+// Open opens a store file for random access. The returned Reader owns
+// the file handle; release it with Close.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := NewReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closer = f
+	return r, nil
+}
+
+// NewReader parses a store from any positioned reader of the given total
+// size — an *os.File, a *bytes.Reader over a memory-mapped or in-memory
+// image, etc.
+func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
+	// Header: magic, version, spec.
+	minHeader := headerSize("") + 1 // at least one spec byte
+	if size < minHeader+trailerSize {
+		return nil, truncErr("store")
+	}
+	hdr := make([]byte, len(headerMagic)+1+2)
+	if _, err := r.ReadAt(hdr, 0); err != nil {
+		return nil, truncErr("header")
+	}
+	if string(hdr[:len(headerMagic)]) != headerMagic {
+		return nil, fmt.Errorf("store: not a store file (bad magic)")
+	}
+	if v := hdr[len(headerMagic)]; v != version {
+		return nil, fmt.Errorf("store: unsupported version %d", v)
+	}
+	specLen := int64(binary.BigEndian.Uint16(hdr[len(headerMagic)+1:]))
+	if specLen == 0 {
+		return nil, fmt.Errorf("store: empty codec spec")
+	}
+	headerEnd := int64(len(hdr)) + specLen
+	if headerEnd+trailerSize > size {
+		return nil, truncErr("header")
+	}
+	spec := make([]byte, specLen)
+	if _, err := r.ReadAt(spec, int64(len(hdr))); err != nil {
+		return nil, truncErr("header")
+	}
+
+	// Trailer: locate and validate the footer.
+	trailer := make([]byte, trailerSize)
+	if _, err := r.ReadAt(trailer, size-trailerSize); err != nil {
+		return nil, truncErr("trailer")
+	}
+	if string(trailer[20:]) != trailerMagic {
+		return nil, fmt.Errorf("store: missing trailer (file truncated or not a store)")
+	}
+	footerOff := int64(binary.BigEndian.Uint64(trailer))
+	count := binary.BigEndian.Uint64(trailer[8:])
+	footerCRC := binary.BigEndian.Uint32(trailer[16:])
+	if count > uint64((size-headerEnd-trailerSize)/entrySize) {
+		return nil, truncErr("footer")
+	}
+	if footerOff != size-trailerSize-int64(count)*entrySize || footerOff < headerEnd {
+		return nil, fmt.Errorf("store: footer offset %d inconsistent with file size %d and %d frames",
+			footerOff, size, count)
+	}
+	footer := make([]byte, int64(count)*entrySize)
+	if _, err := r.ReadAt(footer, footerOff); err != nil {
+		return nil, truncErr("footer")
+	}
+	if got := crc32.ChecksumIEEE(footer); got != footerCRC {
+		return nil, fmt.Errorf("%w: footer has %08x, trailer says %08x", ErrCRCMismatch, got, footerCRC)
+	}
+
+	frames := make([]FrameInfo, count)
+	index := make(map[int]int, count)
+	for i := range frames {
+		e := parseEntry(footer[i*entrySize:])
+		// Compare by subtraction, not e.Offset+e.Length: a crafted length
+		// near 2^63 would wrap the sum negative and slip past the check,
+		// then panic allocating the payload buffer.
+		if e.Length < 0 || e.Offset < headerEnd || e.Offset > footerOff || e.Length > footerOff-e.Offset {
+			return nil, fmt.Errorf("store: frame %d spans [%d, %d), outside the data region [%d, %d)",
+				i, e.Offset, e.Offset+e.Length, headerEnd, footerOff)
+		}
+		if _, dup := index[e.Label]; dup {
+			return nil, fmt.Errorf("store: duplicate frame label %d", e.Label)
+		}
+		frames[i] = e
+		index[e.Label] = i
+	}
+	return &Reader{r: r, spec: string(spec), frames: frames, index: index}, nil
+}
+
+// Close releases the file handle when the Reader was built by Open; it
+// is a no-op for NewReader.
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}
+
+// Spec returns the codec spec string embedded in the header.
+func (r *Reader) Spec() string { return r.spec }
+
+// Len returns the number of frames.
+func (r *Reader) Len() int { return len(r.frames) }
+
+// Info returns the index entry of frame i.
+func (r *Reader) Info(i int) FrameInfo { return r.frames[i] }
+
+// Frames returns a copy of the full frame index, in commit order.
+func (r *Reader) Frames() []FrameInfo {
+	return append([]FrameInfo(nil), r.frames...)
+}
+
+// IndexOf returns the position of the frame with the given label.
+func (r *Reader) IndexOf(label int) (int, bool) {
+	i, ok := r.index[label]
+	return i, ok
+}
+
+// Coder returns the codec that wrote this store, constructing it from
+// the header spec on first use.
+func (r *Reader) Coder() (codec.Coder, error) {
+	r.coderOnce.Do(func() {
+		cd, err := codec.Lookup(r.spec)
+		if err != nil {
+			r.coderErr = err
+			return
+		}
+		coder, ok := cd.(codec.Coder)
+		if !ok {
+			r.coderErr = fmt.Errorf("store: codec %q does not support byte serialization", cd.Name())
+			return
+		}
+		r.coder = coder
+	})
+	return r.coder, r.coderErr
+}
+
+// Payload reads the raw encoded bytes of frame i and verifies their
+// checksum.
+func (r *Reader) Payload(i int) ([]byte, error) {
+	if i < 0 || i >= len(r.frames) {
+		return nil, fmt.Errorf("store: frame %d out of range [0, %d)", i, len(r.frames))
+	}
+	e := r.frames[i]
+	buf := make([]byte, e.Length)
+	if _, err := r.r.ReadAt(buf, e.Offset); err != nil {
+		return nil, fmt.Errorf("store: reading frame %d: %w", i, err)
+	}
+	if got := crc32.ChecksumIEEE(buf); got != e.CRC32 {
+		return nil, fmt.Errorf("%w: frame %d (label %d) has %08x, index says %08x",
+			ErrCRCMismatch, i, e.Label, got, e.CRC32)
+	}
+	return buf, nil
+}
+
+// Frame reads and decodes frame i into the codec's compressed
+// representation, on which compressed-space operations (codec.Ops) can
+// run without full decompression.
+func (r *Reader) Frame(i int) (codec.Compressed, error) {
+	coder, err := r.Coder()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := r.Payload(i)
+	if err != nil {
+		return nil, err
+	}
+	return coder.Decode(payload)
+}
+
+// Decompress reads, decodes, and fully decompresses frame i.
+func (r *Reader) Decompress(i int) (*tensor.Tensor, error) {
+	coder, err := r.Coder()
+	if err != nil {
+		return nil, err
+	}
+	c, err := r.Frame(i)
+	if err != nil {
+		return nil, err
+	}
+	return coder.Decompress(c)
+}
+
+// DecompressLabel is Decompress keyed by frame label.
+func (r *Reader) DecompressLabel(label int) (*tensor.Tensor, error) {
+	i, ok := r.IndexOf(label)
+	if !ok {
+		return nil, fmt.Errorf("store: no frame with label %d", label)
+	}
+	return r.Decompress(i)
+}

@@ -1,0 +1,77 @@
+// Package store implements a durable, seekable container for a series of
+// compressed frames — the paper's checkpoint-series use case made
+// random-access on disk instead of resident in memory.
+//
+// A store file is self-describing and laid out for single-pass writing
+// and O(1) frame lookup (all integers big-endian):
+//
+//	header   "GBZS" | version (1 byte) | spec length (uint16) | codec spec
+//	frames   codec-encoded payloads, back to back, in commit order
+//	footer   one 28-byte entry per frame:
+//	             label  int64
+//	             offset uint64   absolute file offset of the payload
+//	             length uint64   payload length in bytes
+//	             crc32  uint32   IEEE CRC of the payload
+//	trailer  footer offset (uint64) | frame count (uint64) |
+//	         footer CRC32 (uint32) | "GBZE"          — 24 bytes, fixed
+//
+// The codec spec in the header is a registry spec string (see
+// internal/codec), so a Reader can reconstruct the exact codec that wrote
+// the frames without any out-of-band configuration. The index lives in a
+// footer rather than the header so a Writer never needs to seek — it can
+// stream to a pipe or socket — while a Reader finds the index from the
+// fixed-size trailer at the end of the file.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	headerMagic  = "GBZS"
+	trailerMagic = "GBZE"
+	version      = 1
+
+	entrySize   = 8 + 8 + 8 + 4 // label, offset, length, crc32
+	trailerSize = 8 + 8 + 4 + 4 // footer offset, count, footer crc, magic
+)
+
+// ErrCRCMismatch reports a frame or footer whose stored checksum does not
+// match its bytes; unwrap with errors.Is.
+var ErrCRCMismatch = errors.New("store: CRC mismatch")
+
+// FrameInfo is one footer index entry: where a frame's encoded payload
+// lives and how to verify it.
+type FrameInfo struct {
+	Label  int   // caller-assigned frame label (e.g. simulation time step)
+	Offset int64 // absolute file offset of the payload
+	Length int64 // payload length in bytes
+	CRC32  uint32
+}
+
+func headerSize(spec string) int64 {
+	return int64(len(headerMagic) + 1 + 2 + len(spec))
+}
+
+func appendEntry(buf []byte, e FrameInfo) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.Label))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.Offset))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.Length))
+	buf = binary.BigEndian.AppendUint32(buf, e.CRC32)
+	return buf
+}
+
+func parseEntry(buf []byte) FrameInfo {
+	return FrameInfo{
+		Label:  int(int64(binary.BigEndian.Uint64(buf))),
+		Offset: int64(binary.BigEndian.Uint64(buf[8:])),
+		Length: int64(binary.BigEndian.Uint64(buf[16:])),
+		CRC32:  binary.BigEndian.Uint32(buf[24:]),
+	}
+}
+
+func truncErr(what string) error {
+	return fmt.Errorf("store: truncated %s", what)
+}

@@ -1,0 +1,129 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/codec"
+)
+
+// Writer appends frames to a store stream in a single forward pass: the
+// header goes out at construction, each Append streams one payload, and
+// Close emits the footer index and trailer. The underlying writer never
+// needs to seek, so a Writer can target a file, a pipe, or a socket.
+//
+// Writer is not safe for concurrent use; when fed from a
+// series.Pipeline (see Sink), the pipeline's single committer goroutine
+// provides the required serialization — frames then compress in parallel
+// but land in submission order.
+type Writer struct {
+	w       io.Writer
+	off     int64
+	spec    string
+	entries []FrameInfo
+	labels  map[int]struct{}
+	err     error // sticky: first write failure poisons the Writer
+	closed  bool
+}
+
+// NewWriter writes the store header for the given codec spec and returns
+// a Writer appending to w. The spec should come from codec.Coder.Spec()
+// so a Reader can reconstruct the codec.
+func NewWriter(w io.Writer, spec string) (*Writer, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("store: empty codec spec")
+	}
+	if len(spec) > 0xFFFF {
+		return nil, fmt.Errorf("store: codec spec %d bytes long, max %d", len(spec), 0xFFFF)
+	}
+	hdr := make([]byte, 0, headerSize(spec))
+	hdr = append(hdr, headerMagic...)
+	hdr = append(hdr, version)
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(spec)))
+	hdr = append(hdr, spec...)
+	if _, err := w.Write(hdr); err != nil {
+		return nil, fmt.Errorf("store: writing header: %w", err)
+	}
+	return &Writer{
+		w:      w,
+		off:    int64(len(hdr)),
+		spec:   spec,
+		labels: map[int]struct{}{},
+	}, nil
+}
+
+// Append streams one encoded frame payload and records its index entry.
+// Labels must be unique within a store: the index is also a by-label
+// lookup table.
+func (w *Writer) Append(label int, payload []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("store: Append after Close")
+	}
+	if _, dup := w.labels[label]; dup {
+		return fmt.Errorf("store: duplicate frame label %d", label)
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		w.err = fmt.Errorf("store: writing frame %d (label %d): %w", len(w.entries), label, err)
+		return w.err
+	}
+	w.labels[label] = struct{}{}
+	w.entries = append(w.entries, FrameInfo{
+		Label:  label,
+		Offset: w.off,
+		Length: int64(len(payload)),
+		CRC32:  crc32.ChecksumIEEE(payload),
+	})
+	w.off += int64(len(payload))
+	return nil
+}
+
+// Count returns the number of frames appended so far.
+func (w *Writer) Count() int { return len(w.entries) }
+
+// Close writes the footer index and trailer. It does not close the
+// underlying writer. A store closed with zero frames is valid and opens
+// as an empty Reader.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	buf := make([]byte, 0, len(w.entries)*entrySize+trailerSize)
+	for _, e := range w.entries {
+		buf = appendEntry(buf, e)
+	}
+	footerCRC := crc32.ChecksumIEEE(buf)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(w.off))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(w.entries)))
+	buf = binary.BigEndian.AppendUint32(buf, footerCRC)
+	buf = append(buf, trailerMagic...)
+	if _, err := w.w.Write(buf); err != nil {
+		w.err = fmt.Errorf("store: writing footer: %w", err)
+		return w.err
+	}
+	return nil
+}
+
+// Sink adapts the Writer into a series pipeline sink: each committed
+// frame is serialized with coder and appended. The store's spec must
+// match the coder's so the file decodes with the codec that wrote it.
+//
+//	w, _ := store.NewWriter(f, coder.Spec())
+//	p := series.NewCodecPipeline(coder, w.Sink(coder), workers)
+func (w *Writer) Sink(coder codec.Coder) func(label int, c codec.Compressed) error {
+	return func(label int, c codec.Compressed) error {
+		payload, err := coder.Encode(c)
+		if err != nil {
+			return err
+		}
+		return w.Append(label, payload)
+	}
+}
