@@ -1,0 +1,100 @@
+package repro
+
+// BenchmarkQuery* — the compressed-domain query engine. The paper's
+// pitch is analytics without decompression; these put a number on it:
+// CompressedSpace runs aggregates through codec.Ops (payload decode
+// only, O(blocks) arithmetic), DecodeFallback forces the same plan
+// through decode-then-compute on the same frames, and CachedRegion
+// shows the decoded-frame LRU absorbing repeated reads for codecs with
+// no partial-decode path.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+const queryBenchSpec = "goblaz:block=8x8,float=float64,index=int8"
+
+func openQueryStore(b *testing.B, spec string, n int) *store.Reader {
+	b.Helper()
+	path := packStore(b, b.TempDir(), spec, n)
+	r, err := store.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { r.Close() })
+	return r
+}
+
+var queryBenchAggs = &query.Request{
+	Aggregates: []string{query.AggMean, query.AggVariance, query.AggL2Norm},
+}
+
+func BenchmarkQueryCompressedSpace(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("size=%d", n), func(b *testing.B) {
+			r := openQueryStore(b, queryBenchSpec, n)
+			e := query.New(r, query.Options{})
+			b.SetBytes(int64(storeBenchFrames) * int64(n*n) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := e.Run(queryBenchAggs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.ExecutedInCompressedSpace {
+					b.Fatal("benchmark must measure the compressed-space path")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkQueryDecodeFallback(b *testing.B) {
+	// The same frames and the same plan with the compressed-space paths
+	// disabled and a cold cache: what every query would cost without
+	// codec.Ops.
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("size=%d", n), func(b *testing.B) {
+			r := openQueryStore(b, queryBenchSpec, n)
+			e := query.New(r, query.Options{ForceDecode: true})
+			b.SetBytes(int64(storeBenchFrames) * int64(n*n) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := e.Run(queryBenchAggs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.ExecutedInCompressedSpace {
+					b.Fatal("benchmark must measure the decode path")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkQueryCachedRegion(b *testing.B) {
+	// Repeated region reads against a codec with no partial-decode
+	// path (zfp): the first query decodes every frame, the rest hit the
+	// LRU. Run with the cache off to see what it saves.
+	const n = 256
+	req := &query.Request{Region: &query.RegionRequest{Offset: []int{16, 16}, Shape: []int{32, 32}}}
+	for _, cacheBytes := range []int64{0, 64 << 20} {
+		b.Run(fmt.Sprintf("cache=%d", cacheBytes), func(b *testing.B) {
+			r := openQueryStore(b, "zfp:rate=16", n)
+			e := query.New(r, query.Options{CacheBytes: cacheBytes})
+			if _, err := e.Run(req); err != nil { // warm
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -54,6 +54,8 @@ func main() {
 		err = runInspect(args)
 	case "serve":
 		err = runServe(args)
+	case "query":
+		err = runQuery(args)
 	default:
 		usage()
 	}
@@ -73,7 +75,9 @@ func usage() {
   goblaz pack       -shape N,M[,K] [-codec SPEC] [-workers N] OUT FRAME...
   goblaz unpack     [-frame LABEL] IN OUTPREFIX
   goblaz inspect    IN
-  goblaz serve      [-addr HOST:PORT] IN`)
+  goblaz serve      [-addr HOST:PORT] [-cache-bytes N] IN
+  goblaz query      [-labels GLOB] [-from I] [-to I] [-aggs LIST] [-metric KIND [-against LABEL] [-peak P]]
+                    [-region OFF:SHAPE] [-point IDX] [-req JSON|@FILE|-] [-cache-bytes N] IN`)
 	os.Exit(2)
 }
 

@@ -10,6 +10,7 @@ package main
 //	goblaz serve   -addr :8080 out.gbz
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -18,11 +19,15 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/codec"
+	"repro/internal/query"
 	"repro/internal/series"
 	"repro/internal/store"
 )
@@ -198,16 +203,25 @@ type frameMeta struct {
 
 // newStoreHandler serves a store over HTTP:
 //
-//	GET /healthz                   liveness
-//	GET /v1/store                  {"spec": ..., "frames": n}
-//	GET /v1/frames                 JSON index
-//	GET /v1/frames/{label}         decompressed frame, little-endian
-//	                               float64 bytes; X-Goblaz-Shape header
-//	GET /v1/frames/{label}/payload raw compressed payload
+//	GET  /healthz                   liveness
+//	GET  /v1/store                  {"spec": ..., "frames": n}
+//	GET  /v1/frames                 JSON index
+//	GET  /v1/frames/{label}         decompressed frame, little-endian
+//	                                float64 bytes; X-Goblaz-Shape header;
+//	                                ETag from the frame's index CRC32
+//	GET  /v1/frames/{label}/payload raw compressed payload (same ETag)
+//	POST /v1/query                  compressed-domain query (internal/query
+//	                                request JSON → result JSON)
+//	GET  /v1/frames/{label}/stats   aggregate convenience route
+//	                                (?aggs=mean,stddev,... — default all)
+//	GET  /v1/frames/{label}/region  region convenience route
+//	                                (?offset=3,5&shape=7,9)
 //
-// Decompression happens per request and the store reader is safe for
-// concurrent use, so the handler needs no locking.
-func newStoreHandler(r *store.Reader) http.Handler {
+// Frame and payload reads happen per request; query routes share eng's
+// decoded-frame LRU across requests. The store reader, the engine, and
+// the cache are all safe for concurrent use, so the handler needs no
+// locking.
+func newStoreHandler(r *store.Reader, eng *query.Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -246,6 +260,9 @@ func newStoreHandler(r *store.Reader) http.Handler {
 		if !ok {
 			return
 		}
+		if frameNotModified(w, req, r.Info(i)) {
+			return
+		}
 		t, err := r.Decompress(i)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -268,6 +285,9 @@ func newStoreHandler(r *store.Reader) http.Handler {
 		if !ok {
 			return
 		}
+		if frameNotModified(w, req, r.Info(i)) {
+			return
+		}
 		payload, err := r.Payload(i)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -276,19 +296,117 @@ func newStoreHandler(r *store.Reader) http.Handler {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(payload)
 	})
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, req *http.Request) {
+		dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		var qr query.Request
+		if err := dec.Decode(&qr); err != nil {
+			http.Error(w, "bad query JSON: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, ok := runQueryRequest(w, eng, &qr)
+		if ok {
+			writeJSON(w, res)
+		}
+	})
+	// frameQuery answers a convenience route scoped to one frame with
+	// just that frame's result, keeping the 400/404 semantics of the
+	// other /v1/frames/{label} routes. Selection uses the canonical
+	// label of the resolved frame, not the raw path segment — "01"
+	// resolves to the frame labeled 1 but would match no label as a
+	// glob.
+	frameQuery := func(w http.ResponseWriter, req *http.Request, qr *query.Request) {
+		i, ok := frameIndex(w, req)
+		if !ok {
+			return
+		}
+		qr.Select = query.Selector{Labels: strconv.Itoa(r.Info(i).Label)}
+		res, ok := runQueryRequest(w, eng, qr)
+		if ok {
+			writeJSON(w, res.Frames[0])
+		}
+	}
+	mux.HandleFunc("GET /v1/frames/{label}/stats", func(w http.ResponseWriter, req *http.Request) {
+		aggs := []string{
+			query.AggMean, query.AggVariance, query.AggStdDev,
+			query.AggMin, query.AggMax, query.AggL2Norm,
+		}
+		if v := req.FormValue("aggs"); v != "" {
+			aggs = strings.Split(v, ",")
+		}
+		frameQuery(w, req, &query.Request{Aggregates: aggs})
+	})
+	mux.HandleFunc("GET /v1/frames/{label}/region", func(w http.ResponseWriter, req *http.Request) {
+		offset, err := parseInts(req.FormValue("offset"))
+		if err != nil {
+			http.Error(w, "bad offset: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		shape, err := parseInts(req.FormValue("shape"))
+		if err != nil {
+			http.Error(w, "bad shape: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		frameQuery(w, req, &query.Request{Region: &query.RegionRequest{Offset: offset, Shape: shape}})
+	})
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+// runQueryRequest executes qr and maps failures onto status codes:
+// validation errors are the client's (400), the rest the server's
+// (500). ok reports whether a result is ready to encode.
+func runQueryRequest(w http.ResponseWriter, eng *query.Engine, qr *query.Request) (*query.Result, bool) {
+	res, err := eng.Run(qr)
+	switch {
+	case errors.Is(err, query.ErrBadRequest):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	case err != nil:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return nil, false
 	}
+	return res, true
+}
+
+// frameETag derives a frame's entity tag from the store footer's CRC32
+// of its compressed payload — decompressed bytes and payload change
+// exactly when the payload CRC does.
+func frameETag(e store.FrameInfo) string {
+	return fmt.Sprintf(`"%08x"`, e.CRC32)
+}
+
+// frameNotModified sets the frame's ETag and answers 304 when the
+// request's If-None-Match matches it; true means the response is done.
+func frameNotModified(w http.ResponseWriter, req *http.Request, e store.FrameInfo) bool {
+	etag := frameETag(e)
+	w.Header().Set("ETag", etag)
+	for _, tag := range strings.Split(req.Header.Get("If-None-Match"), ",") {
+		tag = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(tag), "W/"))
+		if tag == etag || tag == "*" {
+			w.WriteHeader(http.StatusNotModified)
+			return true
+		}
+	}
+	return false
+}
+
+// writeJSON encodes v to a buffer first, so an encoding failure (e.g. an
+// infinite PSNR) becomes a clean 500 instead of a truncated 200 with an
+// error appended after the body.
+func writeJSON(w http.ResponseWriter, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(buf, '\n'))
 }
 
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	cacheBytes := fs.Int64("cache-bytes", 64<<20, "decoded-frame LRU cache budget in bytes (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -300,6 +418,35 @@ func runServe(args []string) error {
 		return err
 	}
 	defer r.Close()
+	eng := query.New(r, query.Options{CacheBytes: *cacheBytes})
+	// Timeouts keep a slow or stalled client from pinning a connection
+	// (and its decompression work) forever; WriteTimeout bounds the
+	// largest frame we are willing to stream.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newStoreHandler(r, eng),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("serving %s (%d frames, codec %s) on %s\n", fs.Arg(0), r.Len(), r.Spec(), *addr)
-	return http.ListenAndServe(*addr, newStoreHandler(r))
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		fmt.Println("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		<-errCh // ListenAndServe has returned ErrServerClosed
+		return nil
+	}
 }

@@ -3,8 +3,10 @@ package main
 import (
 	"encoding/binary"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -12,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/codec"
+	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/tensor"
 )
@@ -199,7 +202,7 @@ func TestServeHandler(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	srv := httptest.NewServer(newStoreHandler(r))
+	srv := httptest.NewServer(newStoreHandler(r, query.New(r, query.Options{})))
 	defer srv.Close()
 
 	get := func(path string, wantStatus int) []byte {
@@ -267,4 +270,255 @@ func TestServeHandler(t *testing.T) {
 
 	get("/v1/frames/7", 404)
 	get("/v1/frames/banana", 400)
+}
+
+// serveStore packs a store with the given spec and serves it with a
+// query engine attached.
+func serveStore(t *testing.T, spec string, n, rows, cols int) (*httptest.Server, []*tensor.Tensor) {
+	t.Helper()
+	dir := t.TempDir()
+	inputs, frames := packInputs(t, dir, n, rows, cols)
+	out := filepath.Join(dir, "s.gbz")
+	shape := fmt.Sprintf("%d,%d", rows, cols)
+	if err := runPack(append([]string{"-shape", shape, "-codec", spec, out}, inputs...)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := store.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	srv := httptest.NewServer(newStoreHandler(r, query.New(r, query.Options{CacheBytes: 1 << 20})))
+	t.Cleanup(srv.Close)
+	return srv, frames
+}
+
+// postQuery POSTs a query request body and returns the status and body.
+func postQuery(t *testing.T, srv *httptest.Server, body string) (int, []byte) {
+	t.Helper()
+	resp, err := srv.Client().Post(srv.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestQueryEndpointCompressedSpace(t *testing.T) {
+	// The acceptance path: a mean aggregate over a multi-frame goblaz
+	// store answers without decoding frames.
+	srv, frames := serveStore(t, "goblaz:block=4x4,float=float64,index=int16", 3, 16, 16)
+	status, body := postQuery(t, srv, `{"select":{},"aggregates":["mean","variance"]}`)
+	if status != 200 {
+		t.Fatalf("POST /v1/query = %d: %s", status, body)
+	}
+	var res query.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.ExecutedInCompressedSpace {
+		t.Error("goblaz mean/variance must execute in compressed space")
+	}
+	if len(res.Frames) != 3 {
+		t.Fatalf("got %d frame results, want 3", len(res.Frames))
+	}
+	for i, f := range res.Frames {
+		if !f.ExecutedInCompressedSpace {
+			t.Errorf("frame %d decoded", i)
+		}
+		// vs the original frame, so tolerance covers quantization.
+		want := frames[i].Mean()
+		if got := float64(f.Aggregates["mean"]); math.Abs(got-want) > 1e-4 {
+			t.Errorf("frame %d mean = %g, want ≈ %g", i, got, want)
+		}
+	}
+}
+
+func TestQueryEndpointDecodeFallback(t *testing.T) {
+	// The same query against an sz: store succeeds via decode fallback.
+	srv, frames := serveStore(t, "sz:mode=curvefit,tol=1e-4", 3, 16, 16)
+	status, body := postQuery(t, srv, `{"select":{},"aggregates":["mean","variance"]}`)
+	if status != 200 {
+		t.Fatalf("POST /v1/query = %d: %s", status, body)
+	}
+	var res query.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecutedInCompressedSpace {
+		t.Error("sz has no compressed-space ops; flag must be false")
+	}
+	for i, f := range res.Frames {
+		if got, want := float64(f.Aggregates["mean"]), frames[i].Mean(); math.Abs(got-want) > 1e-3 {
+			t.Errorf("frame %d mean = %g, want ≈ %g", i, got, want)
+		}
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	srv, _ := serveStore(t, "zfp:rate=16", 2, 8, 8)
+	for _, body := range []string{
+		`{not json`,
+		`{"select":{},"aggregates":["median"]}`,           // unknown aggregate
+		`{"select":{"labels":"9"},"aggregates":["mean"]}`, // matches nothing
+		`{"select":{},"bananas":true}`,                    // unknown field
+	} {
+		if status, _ := postQuery(t, srv, body); status != 400 {
+			t.Errorf("POST %s = %d, want 400", body, status)
+		}
+	}
+}
+
+func TestStatsAndRegionRoutes(t *testing.T) {
+	srv, frames := serveStore(t, "goblaz:block=4x4,float=float64,index=int16", 2, 16, 16)
+	client := srv.Client()
+
+	resp, err := client.Get(srv.URL + "/v1/frames/1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats = %d", resp.StatusCode)
+	}
+	var fr query.FrameResult
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"mean", "variance", "stddev", "min", "max", "l2norm"} {
+		if _, ok := fr.Aggregates[kind]; !ok {
+			t.Errorf("stats missing %q: %+v", kind, fr.Aggregates)
+		}
+	}
+	if fr.Aggregates["min"] > fr.Aggregates["mean"] || fr.Aggregates["mean"] > fr.Aggregates["max"] {
+		t.Errorf("min/mean/max out of order: %+v", fr.Aggregates)
+	}
+
+	resp, err = client.Get(srv.URL + "/v1/frames/0/region?offset=2,3&shape=3,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("region = %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Region == nil || len(fr.Region.Values) != 12 {
+		t.Fatalf("region result %+v", fr.Region)
+	}
+	if !fr.ExecutedInCompressedSpace {
+		t.Error("goblaz region read should be a partial decode")
+	}
+	// Compared against the original (pre-compression) frame, so the
+	// tolerance covers int16 quantization loss.
+	if got, want := fr.Region.Values[0], frames[0].At(2, 3); math.Abs(got-want) > 1e-3 {
+		t.Errorf("region[0] = %g, want ≈ %g", got, want)
+	}
+
+	// Route-level validation.
+	for _, path := range []string{
+		"/v1/frames/9/stats",                         // no such frame
+		"/v1/frames/0/region?offset=2&shape=3,4",     // dim mismatch
+		"/v1/frames/0/region?offset=a,b&shape=1,1",   // not integers
+		"/v1/frames/0/region?offset=20,20&shape=4,4", // out of bounds
+	} {
+		resp, err := client.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 && resp.StatusCode != 404 {
+			t.Errorf("GET %s = %d, want 4xx", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestFrameETag(t *testing.T) {
+	srv, _ := serveStore(t, "zfp:rate=16", 2, 8, 8)
+	client := srv.Client()
+
+	for _, path := range []string{"/v1/frames/0", "/v1/frames/0/payload"} {
+		resp, err := client.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		etag := resp.Header.Get("ETag")
+		if len(etag) != 10 || etag[0] != '"' {
+			t.Fatalf("GET %s ETag = %q, want quoted crc32", path, etag)
+		}
+
+		req, _ := http.NewRequest("GET", srv.URL+path, nil)
+		req.Header.Set("If-None-Match", etag)
+		resp, err = client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotModified {
+			t.Errorf("GET %s with matching If-None-Match = %d, want 304", path, resp.StatusCode)
+		}
+		if len(body) != 0 {
+			t.Errorf("304 for %s carried a %d-byte body", path, len(body))
+		}
+
+		req.Header.Set("If-None-Match", `"00000000", `+etag)
+		if resp, err = client.Do(req); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotModified {
+			t.Errorf("ETag in a list should still match, got %d", resp.StatusCode)
+		}
+
+		req.Header.Set("If-None-Match", `"deadbeef"`)
+		if resp, err = client.Do(req); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("stale If-None-Match should refetch, got %d", resp.StatusCode)
+		}
+	}
+}
+
+func TestStatsRouteNonCanonicalLabel(t *testing.T) {
+	// "01" resolves to the frame labeled 1 everywhere else on the API;
+	// the convenience routes must agree instead of 400ing.
+	srv, _ := serveStore(t, "zfp:rate=16", 2, 8, 8)
+	resp, err := srv.Client().Get(srv.URL + "/v1/frames/01/stats?aggs=mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats for label 01 = %d, want 200", resp.StatusCode)
+	}
+	var fr query.FrameResult
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Label != 1 {
+		t.Errorf("label = %d, want 1", fr.Label)
+	}
+}
+
+func TestQueryEndpointInfinitePSNR(t *testing.T) {
+	// Self-PSNR is +Inf; the endpoint answers 200 with "+Inf", not 500.
+	srv, _ := serveStore(t, "goblaz:block=4x4,float=float64,index=int16", 2, 8, 8)
+	status, body := postQuery(t, srv, `{"select":{},"metric":{"kind":"psnr","against":0}}`)
+	if status != 200 {
+		t.Fatalf("POST = %d: %s", status, body)
+	}
+	if !strings.Contains(string(body), `"+Inf"`) {
+		t.Errorf(`response should encode the self-PSNR as "+Inf": %s`, body)
+	}
 }

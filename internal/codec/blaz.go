@@ -81,6 +81,41 @@ func (b blazCodec) MulScalar(x Compressed, s float64) (Compressed, error) {
 	return blaz.MulScalar(xa, s), nil
 }
 
+// The aggregate and metric entry points: Blaz's compressed form (a
+// first-element base plus binned DCTs of the 2-D differentiated
+// residual, per block) supports none of them without reconstruction, so
+// each one reports ErrNotSupported and lets the caller
+// decode-then-compute — rather than hiding a full decompression behind
+// a "compressed-space" method.
+
+func (blazCodec) Mean(Compressed) (float64, error) {
+	return 0, fmt.Errorf("blaz mean: %w", ErrNotSupported)
+}
+
+func (blazCodec) Variance(Compressed) (float64, error) {
+	return 0, fmt.Errorf("blaz variance: %w", ErrNotSupported)
+}
+
+func (blazCodec) L2Norm(Compressed) (float64, error) {
+	return 0, fmt.Errorf("blaz l2norm: %w", ErrNotSupported)
+}
+
+func (blazCodec) Dot(Compressed, Compressed) (float64, error) {
+	return 0, fmt.Errorf("blaz dot: %w", ErrNotSupported)
+}
+
+func (blazCodec) MSE(Compressed, Compressed) (float64, error) {
+	return 0, fmt.Errorf("blaz mse: %w", ErrNotSupported)
+}
+
+func (blazCodec) PSNR(Compressed, Compressed, float64) (float64, error) {
+	return 0, fmt.Errorf("blaz psnr: %w", ErrNotSupported)
+}
+
+func (blazCodec) CosineSimilarity(Compressed, Compressed) (float64, error) {
+	return 0, fmt.Errorf("blaz cosine: %w", ErrNotSupported)
+}
+
 func (b blazCodec) Encode(c Compressed) ([]byte, error) {
 	a, err := b.arr(c)
 	if err != nil {

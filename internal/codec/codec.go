@@ -14,7 +14,17 @@
 // adapter and one Register call — not editing four call sites.
 package codec
 
-import "repro/internal/tensor"
+import (
+	"errors"
+
+	"repro/internal/tensor"
+)
+
+// ErrNotSupported reports a compressed-space entry point an Ops backend
+// cannot serve without decompression (e.g. blaz aggregates). Callers —
+// the query engine above all — detect it with errors.Is and fall back to
+// decode-then-compute.
+var ErrNotSupported = errors.New("codec: operation not supported in compressed space")
 
 // Compressed is a codec-specific opaque compressed representation. Each
 // adapter returns its backend's native type (*core.CompressedArray,
@@ -46,6 +56,13 @@ type Codec interface {
 // multiplication). Callers discover support with a type assertion:
 //
 //	if ops, ok := cd.(codec.Ops); ok { ... }
+//
+// Beyond the element-wise arithmetic, Ops carries the aggregate and
+// pairwise-metric entry points the query engine (internal/query) plans
+// against. A backend that implements Ops but cannot serve one of these
+// without decompressing must return ErrNotSupported from it rather than
+// silently decoding, so callers can account full-decompression cost
+// honestly (the executedInCompressedSpace flag in query results).
 type Ops interface {
 	Codec
 	// Add returns the compressed element-wise sum a + b.
@@ -54,6 +71,37 @@ type Ops interface {
 	Negate(a Compressed) (Compressed, error)
 	// MulScalar returns the compressed element-wise product x·a.
 	MulScalar(a Compressed, x float64) (Compressed, error)
+	// Mean returns the element mean of the array a decompresses to.
+	Mean(a Compressed) (float64, error)
+	// Variance returns the population variance of the array a
+	// decompresses to.
+	Variance(a Compressed) (float64, error)
+	// L2Norm returns the L2 norm of the array a decompresses to.
+	L2Norm(a Compressed) (float64, error)
+	// Dot returns the dot product of the arrays a and b decompress to.
+	Dot(a, b Compressed) (float64, error)
+	// MSE returns the mean squared error between the arrays a and b
+	// decompress to.
+	MSE(a, b Compressed) (float64, error)
+	// PSNR returns the peak signal-to-noise ratio in dB between a and b
+	// given the data's peak value; +Inf for identical arrays.
+	PSNR(a, b Compressed, peak float64) (float64, error)
+	// CosineSimilarity returns Dot(a,b)/(‖a‖₂·‖b‖₂).
+	CosineSimilarity(a, b Compressed) (float64, error)
+}
+
+// RegionReader is the optional partial-decompression sub-interface, for
+// block-coded backends that can recover an axis-aligned sub-region — or
+// a single element — by decompressing only the blocks that overlap it
+// (goblaz; see core.DecompressRegion). The query engine's region path
+// uses it when present and falls back to full decode plus crop when not.
+type RegionReader interface {
+	Codec
+	// DecompressRegion decompresses the region of c starting at offset
+	// (inclusive) with the given shape.
+	DecompressRegion(c Compressed, offset, shape []int) (*tensor.Tensor, error)
+	// At decompresses the single element at the given multi-index.
+	At(c Compressed, idx ...int) (float64, error)
 }
 
 // Coder is the optional serialization sub-interface for backends whose

@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -205,6 +206,162 @@ func TestOpsMatchDecompressedSpace(t *testing.T) {
 				t.Errorf("compressed-space multiply error %g", e)
 			}
 		})
+	}
+}
+
+func TestOpsAggregatesMatchDecompressedSpace(t *testing.T) {
+	// The aggregate/metric entry points the query engine plans against:
+	// goblaz serves all of them in compressed space, to values matching
+	// direct computation on the decompressed arrays.
+	x := data.Gradient(24, 32)
+	y := data.Gradient(24, 32).Apply(func(v float64) float64 { return 0.5 + v*v })
+	cd, err := Lookup("goblaz:block=4x4,float=float64,index=int16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := cd.(Ops)
+	ca, err := ops.Compress(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := ops.Compress(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dx, err := ops.Decompress(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dy, err := ops.Decompress(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := float64(dx.Len())
+	meanX := dx.Mean()
+	wantVar := dx.Dot(dx)/n - meanX*meanX
+	wantMSE := 0.0
+	for i, v := range dx.Data() {
+		d := v - dy.Data()[i]
+		wantMSE += d * d
+	}
+	wantMSE /= n
+
+	checks := []struct {
+		name      string
+		got       func() (float64, error)
+		want, tol float64
+	}{
+		{"Mean", func() (float64, error) { return ops.Mean(ca) }, meanX, 1e-9},
+		{"Variance", func() (float64, error) { return ops.Variance(ca) }, wantVar, 1e-9},
+		{"L2Norm", func() (float64, error) { return ops.L2Norm(ca) }, dx.Norm2(), 1e-9},
+		{"Dot", func() (float64, error) { return ops.Dot(ca, cb) }, dx.Dot(dy), 1e-9},
+		{"MSE", func() (float64, error) { return ops.MSE(ca, cb) }, wantMSE, 1e-9},
+		{"PSNR", func() (float64, error) { return ops.PSNR(ca, cb, 1) },
+			10 * math.Log10(1/wantMSE), 1e-6},
+		{"CosineSimilarity", func() (float64, error) { return ops.CosineSimilarity(ca, cb) },
+			dx.Dot(dy) / (dx.Norm2() * dy.Norm2()), 1e-9},
+	}
+	for _, c := range checks {
+		got, err := c.got()
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if math.Abs(got-c.want) > c.tol*math.Max(math.Abs(c.want), 1) {
+			t.Errorf("%s = %g, want %g", c.name, got, c.want)
+		}
+	}
+
+	// Foreign compressed types are errors, not panics.
+	if _, err := ops.Mean(struct{}{}); err == nil {
+		t.Error("Mean of a foreign compressed type should fail")
+	}
+	if _, err := ops.Dot(ca, struct{}{}); err == nil {
+		t.Error("Dot with a foreign compressed type should fail")
+	}
+}
+
+func TestBlazAggregatesReportNotSupported(t *testing.T) {
+	// blaz stays an Ops implementor for add/scale but must be honest
+	// about aggregates: ErrNotSupported, so the query engine's fallback
+	// accounting stays truthful.
+	cd, err := Lookup("blaz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := cd.(Ops)
+	c, err := ops.Compress(data.Gradient(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := map[string]func() (float64, error){
+		"Mean":             func() (float64, error) { return ops.Mean(c) },
+		"Variance":         func() (float64, error) { return ops.Variance(c) },
+		"L2Norm":           func() (float64, error) { return ops.L2Norm(c) },
+		"Dot":              func() (float64, error) { return ops.Dot(c, c) },
+		"MSE":              func() (float64, error) { return ops.MSE(c, c) },
+		"PSNR":             func() (float64, error) { return ops.PSNR(c, c, 1) },
+		"CosineSimilarity": func() (float64, error) { return ops.CosineSimilarity(c, c) },
+	}
+	for name, call := range calls {
+		if _, err := call(); !errors.Is(err, ErrNotSupported) {
+			t.Errorf("blaz %s error %v should wrap ErrNotSupported", name, err)
+		}
+	}
+}
+
+func TestGoblazRegionReader(t *testing.T) {
+	cd, err := Lookup("goblaz:block=4x4,float=float64,index=int16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, ok := cd.(RegionReader)
+	if !ok {
+		t.Fatal("goblaz must implement RegionReader")
+	}
+	x := data.Gradient(10, 14)
+	c, err := cd.Compress(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := cd.Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rr.DecompressRegion(c, []int{3, 5}, []int{4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			if got.At(i, j) != full.At(3+i, 5+j) {
+				t.Fatalf("region (%d,%d) = %g, full %g", i, j, got.At(i, j), full.At(3+i, 5+j))
+			}
+		}
+	}
+	v, err := rr.At(c, 9, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != full.At(9, 13) {
+		t.Errorf("At = %g, want %g", v, full.At(9, 13))
+	}
+	if _, err := rr.At(c, 99, 0); err == nil {
+		t.Error("out-of-range At should fail")
+	}
+	if _, err := rr.DecompressRegion(struct{}{}, []int{0, 0}, []int{1, 1}); err == nil {
+		t.Error("foreign compressed type should fail")
+	}
+	// The other backends must not accidentally claim partial decode.
+	for _, spec := range []string{"blaz", "sz:tol=1e-4", "zfp:rate=16"} {
+		other, err := Lookup(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := other.(RegionReader); ok {
+			t.Errorf("codec %q should not implement RegionReader", spec)
+		}
 	}
 }
 

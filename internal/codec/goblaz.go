@@ -167,6 +167,90 @@ func (g *goblazCodec) MulScalar(a Compressed, x float64) (Compressed, error) {
 	return g.c.MulScalar(aa, x)
 }
 
+func (g *goblazCodec) Mean(a Compressed) (float64, error) {
+	aa, err := g.arr(a)
+	if err != nil {
+		return 0, err
+	}
+	return g.c.Mean(aa)
+}
+
+func (g *goblazCodec) Variance(a Compressed) (float64, error) {
+	aa, err := g.arr(a)
+	if err != nil {
+		return 0, err
+	}
+	return g.c.Variance(aa)
+}
+
+func (g *goblazCodec) L2Norm(a Compressed) (float64, error) {
+	aa, err := g.arr(a)
+	if err != nil {
+		return 0, err
+	}
+	return g.c.L2Norm(aa)
+}
+
+func (g *goblazCodec) Dot(a, b Compressed) (float64, error) {
+	aa, ba, err := g.pair(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return g.c.Dot(aa, ba)
+}
+
+func (g *goblazCodec) MSE(a, b Compressed) (float64, error) {
+	aa, ba, err := g.pair(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return g.c.MSE(aa, ba)
+}
+
+func (g *goblazCodec) PSNR(a, b Compressed, peak float64) (float64, error) {
+	aa, ba, err := g.pair(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return g.c.PSNR(aa, ba, peak)
+}
+
+func (g *goblazCodec) CosineSimilarity(a, b Compressed) (float64, error) {
+	aa, ba, err := g.pair(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return g.c.CosineSimilarity(aa, ba)
+}
+
+func (g *goblazCodec) pair(a, b Compressed) (*core.CompressedArray, *core.CompressedArray, error) {
+	aa, err := g.arr(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	ba, err := g.arr(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return aa, ba, nil
+}
+
+func (g *goblazCodec) DecompressRegion(c Compressed, offset, shape []int) (*tensor.Tensor, error) {
+	a, err := g.arr(c)
+	if err != nil {
+		return nil, err
+	}
+	return g.c.DecompressRegion(a, offset, shape)
+}
+
+func (g *goblazCodec) At(c Compressed, idx ...int) (float64, error) {
+	a, err := g.arr(c)
+	if err != nil {
+		return 0, err
+	}
+	return g.c.At(a, idx...)
+}
+
 func (g *goblazCodec) Encode(c Compressed) ([]byte, error) {
 	a, err := g.arr(c)
 	if err != nil {

@@ -86,6 +86,91 @@ func TestDecompressRegionValidation(t *testing.T) {
 	}
 }
 
+func TestDecompressRegionPartialBlockEdges(t *testing.T) {
+	// 21×29 with 4×4 blocks leaves a 1×1-cell partial block at the high
+	// corner; regions anchored in the trailing partial blocks exercise
+	// the scatter's in-bounds filtering hardest. These become the query
+	// engine's region path.
+	c := lossless64(t, 4, 4)
+	x := randomTensor(140, 21, 29)
+	a := compress(t, c, x)
+	full := decompress(t, c, a)
+	cases := []struct{ offset, shape []int }{
+		{[]int{20, 28}, []int{1, 1}}, // the single-cell corner block
+		{[]int{20, 0}, []int{1, 29}}, // full last row (partial row band)
+		{[]int{0, 28}, []int{21, 1}}, // full last column
+		{[]int{19, 27}, []int{2, 2}}, // straddles full and partial blocks
+		{[]int{16, 24}, []int{5, 5}}, // whole trailing corner
+		{[]int{0, 0}, []int{21, 29}}, // everything
+	}
+	for _, cse := range cases {
+		got, err := c.DecompressRegion(a, cse.offset, cse.shape)
+		if err != nil {
+			t.Fatalf("region %v+%v: %v", cse.offset, cse.shape, err)
+		}
+		if d := got.MaxAbsDiff(cropRegion(full, cse.offset, cse.shape)); d != 0 {
+			t.Errorf("region %v+%v: L∞ %g vs full decompression", cse.offset, cse.shape, d)
+		}
+	}
+}
+
+func TestDecompressRegionZeroExtent(t *testing.T) {
+	// Zero- and negative-extent shapes are errors in every position —
+	// including mixed with valid extents — never empty tensors or
+	// panics.
+	c := lossless64(t, 4, 4)
+	a := compress(t, c, randomTensor(141, 8, 8))
+	bad := []struct{ offset, shape []int }{
+		{[]int{0, 0}, []int{0, 0}},
+		{[]int{0, 0}, []int{4, 0}},
+		{[]int{0, 0}, []int{0, 4}},
+		{[]int{7, 7}, []int{1, 0}},
+		{[]int{0, 0}, []int{-1, 4}},
+		{[]int{0, 0}, []int{4, -2}},
+	}
+	for _, cse := range bad {
+		if _, err := c.DecompressRegion(a, cse.offset, cse.shape); err == nil {
+			t.Errorf("zero/negative extent %v+%v should fail", cse.offset, cse.shape)
+		}
+	}
+}
+
+func TestAtValidation(t *testing.T) {
+	// Out-of-range and malformed indices must return errors, not panic:
+	// At is the query engine's point-read primitive and sees raw user
+	// input.
+	c := lossless64(t, 4, 4)
+	a := compress(t, c, randomTensor(142, 9, 13))
+	bad := [][]int{
+		{9, 0},    // row out of range
+		{0, 13},   // col out of range
+		{-1, 0},   // negative row
+		{0, -1},   // negative col
+		{0},       // too few dims
+		{0, 0, 0}, // too many dims
+		{},        // no dims
+	}
+	for _, idx := range bad {
+		if _, err := c.At(a, idx...); err == nil {
+			t.Errorf("At(%v) should fail", idx)
+		}
+	}
+	// The last element of the trailing partial block still reads.
+	full := decompress(t, c, a)
+	got, err := c.At(a, 8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != full.At(8, 12) {
+		t.Errorf("At(8,12) = %g, want %g", got, full.At(8, 12))
+	}
+	// A foreign array errors instead of reading garbage.
+	other := mustCompressor(t, DefaultSettings(4, 4))
+	if _, err := other.At(a, 0, 0); err == nil {
+		t.Error("At on a foreign array should fail")
+	}
+}
+
 func TestAtMatchesFullDecompression(t *testing.T) {
 	c := lossless64(t, 4, 4)
 	x := randomTensor(133, 12, 16)

@@ -1,0 +1,116 @@
+package query
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Cache is a byte-budgeted LRU of decoded frames, shared across every
+// query an Engine runs. The decode-then-compute fallback pays a full
+// decompression per frame; repeated queries over the same frames — a
+// dashboard polling /v1/frames/{label}/stats, a region scrubbed through
+// interactively — hit the cache instead. Keys are store frame indices,
+// values decoded tensors, cost accounting 8 bytes per element.
+//
+// A Cache is safe for concurrent use. Concurrent misses on the same
+// frame may decode it twice and the later Put wins; the duplicate work
+// is bounded by one decode and keeps the lock hold times trivial.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	entries map[int]*list.Element
+	lru     list.List // front = most recently used
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	key   int
+	t     *tensor.Tensor
+	bytes int64
+}
+
+// NewCache returns a cache evicting least-recently-used frames once the
+// decoded bytes held exceed budget. A budget ≤ 0 disables caching: Get
+// always misses and Put is a no-op.
+func NewCache(budget int64) *Cache {
+	c := &Cache{budget: budget, entries: map[int]*list.Element{}}
+	c.lru.Init()
+	return c
+}
+
+// Get returns the cached decode of frame key, marking it most recently
+// used. The caller must not mutate the returned tensor — it is shared
+// with every other cache hit.
+func (c *Cache) Get(key int) (*tensor.Tensor, bool) {
+	if c == nil || c.budget <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).t, true
+}
+
+// Put inserts the decode of frame key, evicting from the cold end until
+// the budget holds. A frame bigger than the whole budget is not cached.
+func (c *Cache) Put(key int, t *tensor.Tensor) {
+	if c == nil || c.budget <= 0 {
+		return
+	}
+	bytes := int64(t.Len()) * 8
+	if bytes > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Same frame index always decodes to the same tensor; just
+		// refresh recency.
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.used+bytes > c.budget {
+		cold := c.lru.Back()
+		e := cold.Value.(*cacheEntry)
+		c.lru.Remove(cold)
+		delete(c.entries, e.key)
+		c.used -= e.bytes
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, t: t, bytes: bytes})
+	c.used += bytes
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Budget int64 `json:"budgetBytes"`
+	Used   int64 `json:"usedBytes"`
+	Frames int   `json:"frames"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Budget: c.budget,
+		Used:   c.used,
+		Frames: c.lru.Len(),
+		Hits:   c.hits,
+		Misses: c.misses,
+	}
+}

@@ -1,0 +1,511 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/store"
+	"repro/internal/tensor"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// CacheBytes budgets the decoded-frame LRU cache; ≤ 0 disables it.
+	CacheBytes int64
+	// ForceDecode disables the compressed-space and partial-decode
+	// paths, so every frame is answered decode-then-compute. For
+	// benchmarks and differential tests; production callers leave it
+	// false.
+	ForceDecode bool
+}
+
+// Engine executes query plans against one store. It is safe for
+// concurrent use — the store reader is concurrency-safe, the cache
+// locks internally, and per-query state lives on the stack.
+type Engine struct {
+	r           *store.Reader
+	cache       *Cache
+	forceDecode bool
+}
+
+// New returns an engine over r.
+func New(r *store.Reader, opts Options) *Engine {
+	return &Engine{
+		r:           r,
+		cache:       NewCache(opts.CacheBytes),
+		forceDecode: opts.ForceDecode,
+	}
+}
+
+// Cache exposes the engine's decoded-frame cache (for stats endpoints).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Run compiles and executes req.
+func (e *Engine) Run(req *Request) (*Result, error) {
+	p, err := Compile(e.r, req)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(p)
+}
+
+// Execute runs a compiled plan, fanning per-frame work across the
+// shared tensor worker pool.
+func (e *Engine) Execute(p *Plan) (*Result, error) {
+	coder, err := e.r.Coder()
+	if err != nil {
+		return nil, err
+	}
+	var ops codec.Ops
+	var rr codec.RegionReader
+	if !e.forceDecode {
+		ops, _ = coder.(codec.Ops)
+		rr, _ = coder.(codec.RegionReader)
+	}
+
+	// The reference frame of a vs-reference metric is shared by every
+	// frame task, so it is materialized at most once per Execute: the
+	// compressed form eagerly when the codec has Ops, and the full
+	// decompression lazily and memoized — one decode serves all N
+	// frame tasks even with the cache disabled, and a purely
+	// compressed-space query never triggers it at all.
+	var refC codec.Compressed
+	var refT func() (*tensor.Tensor, error)
+	if p.metric != nil && !p.pairMode {
+		if ops != nil {
+			if refC, err = e.r.Frame(p.refIndex); err != nil {
+				return nil, err
+			}
+		}
+		var once sync.Once
+		var t *tensor.Tensor
+		var terr error
+		refT = func() (*tensor.Tensor, error) {
+			once.Do(func() { t, terr = e.decoded(p.refIndex) })
+			return t, terr
+		}
+	}
+
+	frames := make([]FrameResult, len(p.frames))
+	errs := make([]error, len(p.frames))
+	tensor.ParallelForCoarse(len(p.frames), func(start, end int) {
+		for j := start; j < end; j++ {
+			frames[j], errs[j] = e.runFrame(p, ops, rr, p.frames[j], refC, refT)
+		}
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Spec: e.r.Spec(), Frames: frames, ExecutedInCompressedSpace: true}
+	for i := range frames {
+		res.ExecutedInCompressedSpace = res.ExecutedInCompressedSpace && frames[i].ExecutedInCompressedSpace
+	}
+	if p.pairMode {
+		pair, err := e.runPair(p, ops)
+		if err != nil {
+			return nil, err
+		}
+		res.Pair = pair
+		if !pair.ExecutedInCompressedSpace {
+			// The fallback fully decompressed both selected frames, so
+			// their per-frame flags must agree with the contract.
+			frames[0].ExecutedInCompressedSpace = false
+			frames[1].ExecutedInCompressedSpace = false
+		}
+		res.ExecutedInCompressedSpace = res.ExecutedInCompressedSpace && pair.ExecutedInCompressedSpace
+	}
+	res.Cache = e.cache.Stats()
+	return res, nil
+}
+
+// runFrame answers one frame's share of the plan. The compressed
+// representation (payload decode, no inverse transform) and the full
+// decompression are both loaded at most once, the latter through the
+// LRU cache; the frame's ExecutedInCompressedSpace flag is true iff the
+// full decompression was never needed.
+func (e *Engine) runFrame(p *Plan, ops codec.Ops, rr codec.RegionReader, i int, refC codec.Compressed, refT func() (*tensor.Tensor, error)) (FrameResult, error) {
+	out := FrameResult{Index: i, Label: e.r.Info(i).Label, ExecutedInCompressedSpace: true}
+
+	var fc codec.Compressed
+	loadC := func() (codec.Compressed, error) {
+		if fc == nil {
+			var err error
+			if fc, err = e.r.Frame(i); err != nil {
+				return nil, err
+			}
+		}
+		return fc, nil
+	}
+	var ft *tensor.Tensor
+	decode := func() (*tensor.Tensor, error) {
+		if ft == nil {
+			var err error
+			if ft, err = e.decodedFrom(i, fc); err != nil {
+				return nil, err
+			}
+			out.ExecutedInCompressedSpace = false
+		}
+		return ft, nil
+	}
+
+	if len(p.aggs) > 0 {
+		vals, err := e.frameAggs(p, ops, loadC, decode)
+		if err != nil {
+			return out, fmt.Errorf("frame %d (label %d) aggregates: %w", i, out.Label, err)
+		}
+		out.Aggregates = vals
+	}
+
+	if p.metric != nil && !p.pairMode {
+		v, err := e.frameMetric(p, ops, refC, refT, loadC, decode)
+		if err != nil {
+			return out, fmt.Errorf("frame %d (label %d) %s vs label %d: %w",
+				i, out.Label, p.metric.Kind, e.r.Info(p.refIndex).Label, err)
+		}
+		fv := Float(v)
+		out.Metric = &fv
+	}
+
+	if p.region != nil {
+		region, err := e.frameRegion(p, rr, loadC, decode)
+		if err != nil {
+			return out, fmt.Errorf("frame %d (label %d) region: %w", i, out.Label, err)
+		}
+		out.Region = region
+	}
+
+	if len(p.point) > 0 {
+		v, err := e.framePoint(p, rr, loadC, decode)
+		if err != nil {
+			return out, fmt.Errorf("frame %d (label %d) point: %w", i, out.Label, err)
+		}
+		fv := Float(v)
+		out.Point = &fv
+	}
+	return out, nil
+}
+
+// frameAggs computes the requested aggregates, compressed-space when
+// every kind has an Ops entry point and the backend serves them, else
+// decode-then-compute.
+func (e *Engine) frameAggs(p *Plan, ops codec.Ops,
+	loadC func() (codec.Compressed, error), decode func() (*tensor.Tensor, error)) (map[string]Float, error) {
+	if ops != nil && p.aggsCompressible {
+		c, err := loadC()
+		if err != nil {
+			return nil, err
+		}
+		vals := make(map[string]Float, len(p.aggs))
+		supported := true
+		for _, kind := range p.aggs {
+			v, err := compressedAgg(ops, c, kind)
+			if errors.Is(err, codec.ErrNotSupported) {
+				supported = false
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			vals[kind] = Float(v)
+		}
+		if supported {
+			return vals, nil
+		}
+	}
+	t, err := decode()
+	if err != nil {
+		return nil, err
+	}
+	return decodedAggs(t, p.aggs), nil
+}
+
+func (e *Engine) frameMetric(p *Plan, ops codec.Ops, refC codec.Compressed, refT func() (*tensor.Tensor, error),
+	loadC func() (codec.Compressed, error), decode func() (*tensor.Tensor, error)) (float64, error) {
+	m := p.metric
+	if ops != nil && refC != nil {
+		c, err := loadC()
+		if err != nil {
+			return 0, err
+		}
+		v, err := compressedMetric(ops, c, refC, m.Kind, m.Peak)
+		if err == nil {
+			return v, nil
+		}
+		if !errors.Is(err, codec.ErrNotSupported) {
+			return 0, err
+		}
+	}
+	t, err := decode()
+	if err != nil {
+		return 0, err
+	}
+	ref, err := refT() // memoized: one decode shared by all frame tasks
+	if err != nil {
+		return 0, err
+	}
+	return decodedMetric(t, ref, m.Kind, m.Peak)
+}
+
+func (e *Engine) frameRegion(p *Plan, rr codec.RegionReader,
+	loadC func() (codec.Compressed, error), decode func() (*tensor.Tensor, error)) (*RegionResult, error) {
+	reg := p.region
+	var t *tensor.Tensor
+	if rr != nil {
+		c, err := loadC()
+		if err != nil {
+			return nil, err
+		}
+		if t, err = rr.DecompressRegion(c, reg.Offset, reg.Shape); err != nil {
+			// The backend validated bounds against the frame shape.
+			return nil, badf("%v", err)
+		}
+	} else {
+		full, err := decode()
+		if err != nil {
+			return nil, err
+		}
+		if t, err = cropRegion(full, reg.Offset, reg.Shape); err != nil {
+			return nil, err
+		}
+	}
+	return &RegionResult{Offset: reg.Offset, Shape: reg.Shape, Values: t.Data()}, nil
+}
+
+func (e *Engine) framePoint(p *Plan, rr codec.RegionReader,
+	loadC func() (codec.Compressed, error), decode func() (*tensor.Tensor, error)) (float64, error) {
+	if rr != nil {
+		c, err := loadC()
+		if err != nil {
+			return 0, err
+		}
+		v, err := rr.At(c, p.point...)
+		if err != nil {
+			return 0, badf("%v", err)
+		}
+		return v, nil
+	}
+	t, err := decode()
+	if err != nil {
+		return 0, err
+	}
+	one := make([]int, len(p.point))
+	for i := range one {
+		one[i] = 1
+	}
+	region, err := cropRegion(t, p.point, one)
+	if err != nil {
+		return 0, err
+	}
+	return region.Data()[0], nil
+}
+
+// runPair computes the two-frame metric of a pairwise request. It
+// loads the two frames itself rather than threading handles out of the
+// fan-out; a request that combines a pair metric with aggregates or
+// region work decodes those two payloads twice, a bounded duplication
+// (pair mode is always exactly two frames) taken for the simpler
+// frame-task lifecycle.
+func (e *Engine) runPair(p *Plan, ops codec.Ops) (*PairResult, error) {
+	ia, ib := p.frames[0], p.frames[1]
+	pr := &PairResult{
+		A: e.r.Info(ia).Label, B: e.r.Info(ib).Label,
+		Kind: p.metric.Kind, ExecutedInCompressedSpace: true,
+	}
+	var ca, cb codec.Compressed
+	if ops != nil {
+		var err error
+		if ca, err = e.r.Frame(ia); err != nil {
+			return nil, err
+		}
+		if cb, err = e.r.Frame(ib); err != nil {
+			return nil, err
+		}
+		v, err := compressedMetric(ops, ca, cb, p.metric.Kind, p.metric.Peak)
+		if err == nil {
+			pr.Value = Float(v)
+			return pr, nil
+		}
+		if !errors.Is(err, codec.ErrNotSupported) {
+			return nil, err
+		}
+	}
+	ta, err := e.decodedFrom(ia, ca)
+	if err != nil {
+		return nil, err
+	}
+	tb, err := e.decodedFrom(ib, cb)
+	if err != nil {
+		return nil, err
+	}
+	pr.ExecutedInCompressedSpace = false
+	v, err := decodedMetric(ta, tb, p.metric.Kind, p.metric.Peak)
+	if err != nil {
+		return nil, err
+	}
+	pr.Value = Float(v)
+	return pr, nil
+}
+
+// decoded returns frame i fully decompressed, through the LRU cache.
+// Cached tensors are shared across queries and must not be mutated.
+func (e *Engine) decoded(i int) (*tensor.Tensor, error) {
+	return e.decodedFrom(i, nil)
+}
+
+// decodedFrom is decoded for callers that may already hold frame i's
+// compressed representation: a frame that fell back mid-path (e.g. blaz
+// answering ErrNotSupported after loadC) decompresses what it has
+// instead of re-reading and re-decoding the payload.
+func (e *Engine) decodedFrom(i int, fc codec.Compressed) (*tensor.Tensor, error) {
+	if t, ok := e.cache.Get(i); ok {
+		return t, nil
+	}
+	var t *tensor.Tensor
+	var err error
+	if fc != nil {
+		coder, cerr := e.r.Coder()
+		if cerr != nil {
+			return nil, cerr
+		}
+		t, err = coder.Decompress(fc)
+	} else {
+		t, err = e.r.Decompress(i)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.cache.Put(i, t)
+	return t, nil
+}
+
+// compressedAgg dispatches one aggregate to its Ops entry point. stddev
+// is derived from Variance here — not in the backend — so both
+// execution paths share the same sqrt(max(var, 0)) clamping.
+func compressedAgg(ops codec.Ops, c codec.Compressed, kind string) (float64, error) {
+	switch kind {
+	case AggMean:
+		return ops.Mean(c)
+	case AggVariance:
+		return ops.Variance(c)
+	case AggStdDev:
+		v, err := ops.Variance(c)
+		if err != nil {
+			return 0, err
+		}
+		return math.Sqrt(math.Max(v, 0)), nil
+	case AggL2Norm:
+		return ops.L2Norm(c)
+	}
+	return 0, fmt.Errorf("aggregate %q has no compressed-space entry point", kind)
+}
+
+func compressedMetric(ops codec.Ops, a, b codec.Compressed, kind string, peak float64) (float64, error) {
+	switch kind {
+	case MetricMSE:
+		return ops.MSE(a, b)
+	case MetricPSNR:
+		return ops.PSNR(a, b, peak)
+	case MetricDot:
+		return ops.Dot(a, b)
+	case MetricCosine:
+		return ops.CosineSimilarity(a, b)
+	}
+	return 0, fmt.Errorf("metric %q has no compressed-space entry point", kind)
+}
+
+// decodedAggs computes aggregates on a decompressed frame, mirroring
+// the compressed-space definitions (population variance, L2 over all
+// elements).
+func decodedAggs(t *tensor.Tensor, kinds []string) map[string]Float {
+	vals := make(map[string]Float, len(kinds))
+	var mean, variance float64
+	var haveMoments bool
+	moments := func() (float64, float64) {
+		if !haveMoments {
+			mean = t.Mean()
+			variance = t.Dot(t)/float64(t.Len()) - mean*mean
+			haveMoments = true
+		}
+		return mean, variance
+	}
+	for _, kind := range kinds {
+		switch kind {
+		case AggMean:
+			m, _ := moments()
+			vals[kind] = Float(m)
+		case AggVariance:
+			_, v := moments()
+			vals[kind] = Float(v)
+		case AggStdDev:
+			_, v := moments()
+			vals[kind] = Float(math.Sqrt(math.Max(v, 0)))
+		case AggMin:
+			vals[kind] = Float(t.Min())
+		case AggMax:
+			vals[kind] = Float(t.Max())
+		case AggL2Norm:
+			vals[kind] = Float(t.Norm2())
+		}
+	}
+	return vals
+}
+
+// decodedMetric computes a pairwise metric on decompressed frames.
+func decodedMetric(a, b *tensor.Tensor, kind string, peak float64) (float64, error) {
+	if !a.SameShape(b) {
+		return 0, badf("metric frames have different shapes %v and %v", a.Shape(), b.Shape())
+	}
+	switch kind {
+	case MetricMSE, MetricPSNR:
+		mse := 0.0
+		bd := b.Data()
+		for i, v := range a.Data() {
+			d := v - bd[i]
+			mse += d * d
+		}
+		mse /= float64(a.Len())
+		if kind == MetricMSE {
+			return mse, nil
+		}
+		if mse == 0 {
+			return math.Inf(1), nil
+		}
+		return 10 * math.Log10(peak*peak/mse), nil
+	case MetricDot:
+		return a.Dot(b), nil
+	case MetricCosine:
+		return a.Dot(b) / (a.Norm2() * b.Norm2()), nil
+	}
+	return 0, badf("unknown metric %q", kind)
+}
+
+// cropRegion extracts the region at offset with the given shape from a
+// dense tensor — the region path's decode fallback.
+func cropRegion(t *tensor.Tensor, offset, shape []int) (*tensor.Tensor, error) {
+	d := t.Dims()
+	if len(offset) != d || len(shape) != d {
+		return nil, badf("region offset %v / shape %v must have %d dims", offset, shape, d)
+	}
+	for i := 0; i < d; i++ {
+		if offset[i] < 0 || shape[i] <= 0 || offset[i]+shape[i] > t.Shape()[i] {
+			return nil, badf("region offset %v shape %v out of bounds %v", offset, shape, t.Shape())
+		}
+	}
+	out := tensor.New(shape...)
+	idx := make([]int, d)
+	src := make([]int, d)
+	for {
+		for i := range idx {
+			src[i] = offset[i] + idx[i]
+		}
+		out.Data()[out.Offset(idx)] = t.Data()[t.Offset(src)]
+		if !tensor.NextIndex(idx, shape) {
+			break
+		}
+	}
+	return out, nil
+}

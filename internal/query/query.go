@@ -1,0 +1,328 @@
+// Package query is the compressed-domain query engine: it answers
+// aggregate, pairwise-metric, region, and point questions over the
+// frames of a store.Reader, preferring compressed-space execution
+// (codec.Ops / codec.RegionReader) and falling back to
+// decode-then-compute — through a shared byte-budgeted LRU cache of
+// decoded frames — for codecs that cannot.
+//
+// A Request selects frames by label glob and/or index range and names
+// the work; Compile validates it against a store into a Plan; an Engine
+// executes the plan, fanning per-frame work across the shared tensor
+// worker pool. Results carry an executedInCompressedSpace flag per
+// frame (true iff answering never fully decompressed that frame) so
+// callers and benchmarks can prove where the compressed-space paths
+// paid off.
+package query
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"path"
+	"strconv"
+
+	"repro/internal/store"
+)
+
+// ErrBadRequest marks request-validation failures (unknown aggregate,
+// empty selection, out-of-bounds region, ...). HTTP frontends map it to
+// 400 with errors.Is; everything else is a server-side failure.
+var ErrBadRequest = errors.New("query: bad request")
+
+func badf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+}
+
+// The aggregate kinds. Mean, variance, stddev, and l2norm have
+// compressed-space entry points (codec.Ops); min and max always
+// decode — extrema are not recoverable from transform coefficients.
+const (
+	AggMean     = "mean"
+	AggVariance = "variance"
+	AggStdDev   = "stddev"
+	AggMin      = "min"
+	AggMax      = "max"
+	AggL2Norm   = "l2norm"
+)
+
+// The pairwise metric kinds; all four have compressed-space entry
+// points.
+const (
+	MetricMSE    = "mse"
+	MetricPSNR   = "psnr"
+	MetricDot    = "dot"
+	MetricCosine = "cosine"
+)
+
+var aggCompressible = map[string]bool{
+	AggMean: true, AggVariance: true, AggStdDev: true, AggL2Norm: true,
+	AggMin: false, AggMax: false,
+}
+
+var metricKinds = map[string]bool{
+	MetricMSE: true, MetricPSNR: true, MetricDot: true, MetricCosine: true,
+}
+
+// Request is the query model, the JSON body of POST /v1/query. At least
+// one of Aggregates, Metric, Region, or Point must be present.
+type Request struct {
+	// Select picks the frames to answer over; the zero value selects
+	// every frame.
+	Select Selector `json:"select"`
+	// Aggregates lists per-frame statistics to compute:
+	// mean|variance|stddev|min|max|l2norm.
+	Aggregates []string `json:"aggregates,omitempty"`
+	// Metric compares frames: each selected frame against a reference
+	// label, or — when Against is omitted — exactly two selected frames
+	// against each other.
+	Metric *MetricRequest `json:"metric,omitempty"`
+	// Region reads an axis-aligned sub-array from each selected frame.
+	Region *RegionRequest `json:"region,omitempty"`
+	// Point reads the single element at this multi-index from each
+	// selected frame.
+	Point []int `json:"point,omitempty"`
+}
+
+// Selector picks frames by label glob and/or index range; conditions
+// present are intersected.
+type Selector struct {
+	// Labels is a path.Match glob over the decimal frame label, e.g.
+	// "42", "1?", "*". Empty matches every label.
+	Labels string `json:"labels,omitempty"`
+	// From/To bound the frame positions (commit order) half-open:
+	// From ≤ index < To. Nil means unbounded.
+	From *int `json:"from,omitempty"`
+	To   *int `json:"to,omitempty"`
+}
+
+// MetricRequest names a pairwise metric: mse|psnr|dot|cosine.
+type MetricRequest struct {
+	Kind string `json:"kind"`
+	// Against is the reference frame's label; when nil the selection
+	// must be exactly two frames, compared with each other.
+	Against *int `json:"against,omitempty"`
+	// Peak is the data's peak value for PSNR; defaults to 1.
+	Peak float64 `json:"peak,omitempty"`
+}
+
+// RegionRequest is an axis-aligned sub-array read: offset (inclusive)
+// and shape per dimension, validated against each frame's bounds at
+// execution.
+type RegionRequest struct {
+	Offset []int `json:"offset"`
+	Shape  []int `json:"shape"`
+}
+
+// Float is a float64 that survives JSON: the IEEE non-finite values —
+// the PSNR of identical frames is +Inf, aggregates over NaN data are
+// NaN — encode as the strings "+Inf"/"-Inf"/"NaN" instead of failing
+// encoding/json and turning an otherwise-computed result into a 500.
+type Float float64
+
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *Float) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "+Inf":
+			*f = Float(math.Inf(1))
+		case "-Inf":
+			*f = Float(math.Inf(-1))
+		case "NaN":
+			*f = Float(math.NaN())
+		default:
+			return fmt.Errorf("query: bad Float %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
+// Result is a query answer.
+type Result struct {
+	// Spec is the store's codec spec.
+	Spec string `json:"spec"`
+	// Frames holds one entry per selected frame, in commit order.
+	Frames []FrameResult `json:"frames"`
+	// Pair holds the two-frame metric when the request used the
+	// pairwise (no-reference) form.
+	Pair *PairResult `json:"pair,omitempty"`
+	// ExecutedInCompressedSpace is true iff every frame's work ran
+	// without full decompression.
+	ExecutedInCompressedSpace bool `json:"executedInCompressedSpace"`
+	// Cache snapshots the engine's decoded-frame cache counters.
+	Cache CacheStats `json:"cache"`
+}
+
+// FrameResult is one frame's share of a query answer.
+type FrameResult struct {
+	Index int `json:"index"`
+	Label int `json:"label"`
+	// Aggregates maps requested aggregate kind → value.
+	Aggregates map[string]Float `json:"aggregates,omitempty"`
+	// Metric is this frame's metric against the reference frame.
+	Metric *Float `json:"metric,omitempty"`
+	// Region is the requested sub-array read from this frame.
+	Region *RegionResult `json:"region,omitempty"`
+	// Point is the requested element of this frame.
+	Point *Float `json:"point,omitempty"`
+	// ExecutedInCompressedSpace is true iff this frame was never fully
+	// decompressed while answering (compressed-space aggregates and
+	// metrics, or block-local partial decode for region/point reads).
+	ExecutedInCompressedSpace bool `json:"executedInCompressedSpace"`
+}
+
+// RegionResult is a decoded sub-array, row-major.
+type RegionResult struct {
+	Offset []int     `json:"offset"`
+	Shape  []int     `json:"shape"`
+	Values []float64 `json:"values"`
+}
+
+// PairResult is the two-frame metric of a pairwise request; A and B are
+// the two frames' labels in selection order.
+type PairResult struct {
+	A                         int    `json:"a"`
+	B                         int    `json:"b"`
+	Kind                      string `json:"kind"`
+	Value                     Float  `json:"value"`
+	ExecutedInCompressedSpace bool   `json:"executedInCompressedSpace"`
+}
+
+// Plan is a compiled, validated query: resolved frame positions plus
+// the work list. Build one with Compile, run it with Engine.Execute.
+type Plan struct {
+	frames   []int // store positions, commit order
+	aggs     []string
+	metric   *MetricRequest
+	refIndex int  // store position of the reference frame; -1 in pair mode
+	pairMode bool // metric over exactly two selected frames
+	region   *RegionRequest
+	point    []int
+
+	aggsCompressible bool // every requested aggregate has an Ops entry point
+}
+
+// Compile validates req against the store and resolves the selection
+// into a Plan. All failures wrap ErrBadRequest.
+func Compile(r *store.Reader, req *Request) (*Plan, error) {
+	if req == nil {
+		return nil, badf("nil request")
+	}
+	p := &Plan{refIndex: -1, aggsCompressible: true}
+
+	if len(req.Aggregates) == 0 && req.Metric == nil && req.Region == nil && len(req.Point) == 0 {
+		return nil, badf("empty query: request aggregates, a metric, a region, or a point")
+	}
+
+	seen := map[string]bool{}
+	for _, kind := range req.Aggregates {
+		compressible, ok := aggCompressible[kind]
+		if !ok {
+			return nil, badf("unknown aggregate %q (have mean|variance|stddev|min|max|l2norm)", kind)
+		}
+		if seen[kind] {
+			continue
+		}
+		seen[kind] = true
+		p.aggs = append(p.aggs, kind)
+		p.aggsCompressible = p.aggsCompressible && compressible
+	}
+
+	frames, err := selectFrames(r, req.Select)
+	if err != nil {
+		return nil, err
+	}
+	p.frames = frames
+
+	if m := req.Metric; m != nil {
+		if !metricKinds[m.Kind] {
+			return nil, badf("unknown metric %q (have mse|psnr|dot|cosine)", m.Kind)
+		}
+		mc := *m
+		if mc.Peak == 0 {
+			mc.Peak = 1
+		}
+		if mc.Kind == MetricPSNR && mc.Peak <= 0 {
+			return nil, badf("psnr peak %g must be positive", mc.Peak)
+		}
+		if m.Against != nil {
+			ref, ok := r.IndexOf(*m.Against)
+			if !ok {
+				return nil, badf("metric reference label %d not in store", *m.Against)
+			}
+			p.refIndex = ref
+		} else {
+			if len(frames) != 2 {
+				return nil, badf("pairwise metric needs exactly 2 selected frames, selection has %d", len(frames))
+			}
+			p.pairMode = true
+		}
+		p.metric = &mc
+	}
+
+	if reg := req.Region; reg != nil {
+		if len(reg.Offset) == 0 || len(reg.Offset) != len(reg.Shape) {
+			return nil, badf("region offset %v and shape %v must be non-empty and equal length",
+				reg.Offset, reg.Shape)
+		}
+		p.region = reg
+	}
+	p.point = req.Point
+	return p, nil
+}
+
+// Frames returns the selected store positions, in commit order.
+func (p *Plan) Frames() []int { return append([]int(nil), p.frames...) }
+
+// selectFrames resolves a Selector to store positions.
+func selectFrames(r *store.Reader, sel Selector) ([]int, error) {
+	if sel.Labels != "" {
+		// Surface glob syntax errors before, not during, the scan.
+		if _, err := path.Match(sel.Labels, "0"); err != nil {
+			return nil, badf("bad label glob %q", sel.Labels)
+		}
+	}
+	from, to := 0, r.Len()
+	if sel.From != nil {
+		from = max(*sel.From, 0)
+	}
+	if sel.To != nil {
+		to = min(*sel.To, r.Len())
+	}
+	var frames []int
+	for i := from; i < to; i++ {
+		if sel.Labels != "" {
+			ok, _ := path.Match(sel.Labels, strconv.Itoa(r.Info(i).Label))
+			if !ok {
+				continue
+			}
+		}
+		frames = append(frames, i)
+	}
+	if len(frames) == 0 {
+		return nil, badf("selection (labels %q, range [%d, %d)) matches no frames", sel.Labels, from, to)
+	}
+	return frames, nil
+}

@@ -1,0 +1,512 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/store"
+	"repro/internal/tensor"
+)
+
+// buildStore packs frames into an in-memory store and opens it.
+func buildStore(t testing.TB, spec string, labels []int, frames []*tensor.Tensor) *store.Reader {
+	t.Helper()
+	cd, err := codec.Lookup(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coder, ok := cd.(codec.Coder)
+	if !ok {
+		t.Fatalf("codec %q is not a Coder", spec)
+	}
+	var buf bytes.Buffer
+	w, err := store.NewWriter(&buf, coder.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, f := range frames {
+		c, err := coder.Compress(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := coder.Encode(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(labels[j], payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := store.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// testFrames builds n smooth rows×cols frames with distinct content.
+func testFrames(n, rows, cols int) []*tensor.Tensor {
+	frames := make([]*tensor.Tensor, n)
+	for k := range frames {
+		t := tensor.New(rows, cols)
+		for i := range t.Data() {
+			t.Data()[i] = math.Sin(float64(i)/7+float64(k)) + 0.3*float64(k)
+		}
+		frames[k] = t
+	}
+	return frames
+}
+
+func seqLabels(n int) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i
+	}
+	return labels
+}
+
+const goblazSpec = "goblaz:block=4x4,float=float64,index=int16"
+
+func relClose(a, b, tol float64) bool {
+	scale := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+	return math.Abs(a-b) <= tol*scale
+}
+
+func TestAggregatesCompressedMatchesDecoded(t *testing.T) {
+	r := buildStore(t, goblazSpec, seqLabels(4), testFrames(4, 20, 28))
+	req := &Request{Aggregates: []string{AggMean, AggVariance, AggStdDev, AggL2Norm}}
+
+	fast, err := New(r, Options{}).Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.ExecutedInCompressedSpace {
+		t.Error("goblaz aggregates should execute in compressed space")
+	}
+	slow, err := New(r, Options{ForceDecode: true}).Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.ExecutedInCompressedSpace {
+		t.Error("ForceDecode result should not claim compressed space")
+	}
+	if len(fast.Frames) != 4 || len(slow.Frames) != 4 {
+		t.Fatalf("got %d/%d frames, want 4", len(fast.Frames), len(slow.Frames))
+	}
+	for i := range fast.Frames {
+		for kind, v := range fast.Frames[i].Aggregates {
+			w := float64(slow.Frames[i].Aggregates[kind])
+			// The float64 codec is near-lossless; both paths see the
+			// same array up to quantization.
+			if !relClose(float64(v), w, 1e-6) {
+				t.Errorf("frame %d %s: compressed %g vs decoded %g", i, kind, v, w)
+			}
+		}
+	}
+}
+
+func TestMinMaxForceDecodeFallback(t *testing.T) {
+	r := buildStore(t, goblazSpec, seqLabels(2), testFrames(2, 12, 12))
+	res, err := New(r, Options{}).Run(&Request{Aggregates: []string{AggMean, AggMin, AggMax}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecutedInCompressedSpace {
+		t.Error("min/max have no compressed-space path; flag must be false")
+	}
+	f := res.Frames[0]
+	if f.Aggregates[AggMin] >= f.Aggregates[AggMax] {
+		t.Errorf("min %g should be below max %g", f.Aggregates[AggMin], f.Aggregates[AggMax])
+	}
+}
+
+func TestDecodeFallbackCodecs(t *testing.T) {
+	// zfp has no Ops at all; blaz implements Ops but reports
+	// ErrNotSupported from every aggregate. Both must answer via
+	// decode-then-compute with the flag cleared.
+	for _, spec := range []string{"zfp:rate=32", "blaz"} {
+		t.Run(spec, func(t *testing.T) {
+			r := buildStore(t, spec, seqLabels(3), testFrames(3, 16, 16))
+			e := New(r, Options{CacheBytes: 1 << 20})
+			res, err := e.Run(&Request{Aggregates: []string{AggMean, AggStdDev}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ExecutedInCompressedSpace {
+				t.Errorf("%s aggregates cannot run in compressed space", spec)
+			}
+			want, err := New(r, Options{ForceDecode: true}).Run(&Request{Aggregates: []string{AggMean, AggStdDev}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range res.Frames {
+				if res.Frames[i].Aggregates[AggMean] != want.Frames[i].Aggregates[AggMean] {
+					t.Errorf("frame %d: fallback and ForceDecode disagree", i)
+				}
+			}
+		})
+	}
+}
+
+func TestMetricAgainstReference(t *testing.T) {
+	frames := testFrames(3, 20, 20)
+	r := buildStore(t, goblazSpec, seqLabels(3), frames)
+	ref := 0
+	for _, kind := range []string{MetricMSE, MetricPSNR, MetricDot, MetricCosine} {
+		req := &Request{
+			Select: Selector{Labels: "[12]"}, // frames 1 and 2; identical-frame PSNR is +Inf and not JSON-encodable
+			Metric: &MetricRequest{Kind: kind, Against: &ref},
+		}
+		fast, err := New(r, Options{}).Run(req)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !fast.ExecutedInCompressedSpace {
+			t.Errorf("%s: goblaz metric should run in compressed space", kind)
+		}
+		slow, err := New(r, Options{ForceDecode: true}).Run(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fast.Frames {
+			if fast.Frames[i].Metric == nil || slow.Frames[i].Metric == nil {
+				t.Fatalf("%s: missing metric value", kind)
+			}
+			if v, w := *fast.Frames[i].Metric, *slow.Frames[i].Metric; !relClose(float64(v), float64(w), 1e-6) {
+				t.Errorf("%s frame %d: compressed %g vs decoded %g", kind, i, v, w)
+			}
+		}
+	}
+}
+
+func TestPairMetric(t *testing.T) {
+	r := buildStore(t, goblazSpec, seqLabels(3), testFrames(3, 16, 16))
+	from, to := 1, 3
+	req := &Request{
+		Select: Selector{From: &from, To: &to},
+		Metric: &MetricRequest{Kind: MetricMSE},
+	}
+	res, err := New(r, Options{}).Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pair == nil {
+		t.Fatal("pairwise request returned no pair result")
+	}
+	if res.Pair.A != 1 || res.Pair.B != 2 {
+		t.Errorf("pair labels = %d, %d, want 1, 2", res.Pair.A, res.Pair.B)
+	}
+	if !res.Pair.ExecutedInCompressedSpace || res.Pair.Value <= 0 {
+		t.Errorf("pair = %+v", res.Pair)
+	}
+	// Per-frame metric values are only set in vs-reference mode.
+	for _, f := range res.Frames {
+		if f.Metric != nil {
+			t.Error("pair mode should not set per-frame metrics")
+		}
+	}
+}
+
+func TestRegionAndPointPartialDecode(t *testing.T) {
+	frames := testFrames(2, 20, 28)
+	r := buildStore(t, goblazSpec, seqLabels(2), frames)
+	req := &Request{
+		Region: &RegionRequest{Offset: []int{3, 5}, Shape: []int{7, 9}},
+		Point:  []int{19, 27},
+	}
+	res, err := New(r, Options{}).Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ExecutedInCompressedSpace {
+		t.Error("goblaz region/point reads should be block-local partial decodes")
+	}
+	slow, err := New(r, Options{ForceDecode: true}).Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Frames {
+		a, b := res.Frames[i].Region, slow.Frames[i].Region
+		if len(a.Values) != 7*9 || len(b.Values) != 7*9 {
+			t.Fatalf("region sizes %d, %d, want %d", len(a.Values), len(b.Values), 7*9)
+		}
+		for j := range a.Values {
+			// Partial decode is bit-exact against full decode + crop.
+			if a.Values[j] != b.Values[j] {
+				t.Fatalf("frame %d region value %d: %g vs %g", i, j, a.Values[j], b.Values[j])
+			}
+		}
+		if *res.Frames[i].Point != *slow.Frames[i].Point {
+			t.Errorf("frame %d point: %g vs %g", i, *res.Frames[i].Point, *slow.Frames[i].Point)
+		}
+	}
+}
+
+func TestRegionDecodeFallbackCrop(t *testing.T) {
+	frames := testFrames(1, 16, 16)
+	r := buildStore(t, "zfp:rate=32", seqLabels(1), frames)
+	res, err := New(r, Options{}).Run(&Request{Region: &RegionRequest{Offset: []int{2, 3}, Shape: []int{4, 5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecutedInCompressedSpace {
+		t.Error("zfp has no region reader; flag must be false")
+	}
+	full, err := r.Decompress(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			if got, want := res.Frames[0].Region.Values[i*5+j], full.At(2+i, 3+j); got != want {
+				t.Fatalf("region[%d][%d] = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestSelector(t *testing.T) {
+	r := buildStore(t, "zfp:rate=16", []int{10, 11, 12, 20, 21}, testFrames(5, 8, 8))
+	cases := []struct {
+		sel  Selector
+		want []int // expected labels
+	}{
+		{Selector{}, []int{10, 11, 12, 20, 21}},
+		{Selector{Labels: "1?"}, []int{10, 11, 12}},
+		{Selector{Labels: "2*"}, []int{20, 21}},
+		{Selector{Labels: "11"}, []int{11}},
+		{Selector{From: ptr(1), To: ptr(3)}, []int{11, 12}},
+		{Selector{Labels: "1?", From: ptr(2)}, []int{12}},
+		{Selector{To: ptr(99)}, []int{10, 11, 12, 20, 21}}, // clamped
+	}
+	for _, cse := range cases {
+		res, err := New(r, Options{}).Run(&Request{Select: cse.sel, Aggregates: []string{AggMean}})
+		if err != nil {
+			t.Fatalf("%+v: %v", cse.sel, err)
+		}
+		var got []int
+		for _, f := range res.Frames {
+			got = append(got, f.Label)
+		}
+		if len(got) != len(cse.want) {
+			t.Fatalf("%+v selected %v, want %v", cse.sel, got, cse.want)
+		}
+		for i := range got {
+			if got[i] != cse.want[i] {
+				t.Fatalf("%+v selected %v, want %v", cse.sel, got, cse.want)
+			}
+		}
+	}
+}
+
+func ptr(i int) *int { return &i }
+
+func TestBadRequests(t *testing.T) {
+	r := buildStore(t, goblazSpec, seqLabels(3), testFrames(3, 8, 8))
+	e := New(r, Options{})
+	cases := []struct {
+		name string
+		req  *Request
+	}{
+		{"nil", nil},
+		{"empty", &Request{}},
+		{"unknown aggregate", &Request{Aggregates: []string{"median"}}},
+		{"unknown metric", &Request{Metric: &MetricRequest{Kind: "ssim"}}},
+		{"pair needs two", &Request{Metric: &MetricRequest{Kind: MetricMSE}}},
+		{"missing reference", &Request{Metric: &MetricRequest{Kind: MetricMSE, Against: ptr(99)}}},
+		{"no match", &Request{Select: Selector{Labels: "9"}, Aggregates: []string{AggMean}}},
+		{"bad glob", &Request{Select: Selector{Labels: "[unclosed"}, Aggregates: []string{AggMean}}},
+		{"region dims", &Request{Region: &RegionRequest{Offset: []int{1}, Shape: []int{2, 2}}}},
+		{"region bounds", &Request{Region: &RegionRequest{Offset: []int{6, 6}, Shape: []int{4, 4}}}},
+		{"point bounds", &Request{Point: []int{8, 0}}},
+		{"point dims", &Request{Point: []int{1, 2, 3}}},
+	}
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			_, err := e.Run(cse.req)
+			if !errors.Is(err, ErrBadRequest) {
+				t.Errorf("error %v should wrap ErrBadRequest", err)
+			}
+		})
+	}
+	// The same out-of-bounds region must be a bad request on the
+	// decode-fallback crop path too.
+	zr := buildStore(t, "zfp:rate=16", seqLabels(1), testFrames(1, 8, 8))
+	_, err := New(zr, Options{}).Run(&Request{Region: &RegionRequest{Offset: []int{6, 6}, Shape: []int{4, 4}}})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Errorf("fallback crop error %v should wrap ErrBadRequest", err)
+	}
+}
+
+func TestCacheReuseAcrossQueries(t *testing.T) {
+	r := buildStore(t, "zfp:rate=16", seqLabels(3), testFrames(3, 16, 16))
+	e := New(r, Options{CacheBytes: 1 << 20})
+	req := &Request{Aggregates: []string{AggMin}}
+	if _, err := e.Run(req); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache.Hits < 3 {
+		t.Errorf("second identical query should hit the cache 3 times, stats %+v", res.Cache)
+	}
+	if res.Cache.Frames != 3 || res.Cache.Used != 3*16*16*8 {
+		t.Errorf("cache should hold all 3 decoded frames, stats %+v", res.Cache)
+	}
+}
+
+func TestCompressedQueryNeverDecodes(t *testing.T) {
+	// A compressed-space aggregate query must not populate the decoded
+	// LRU — that is what "answers without decoding frames" means.
+	r := buildStore(t, goblazSpec, seqLabels(3), testFrames(3, 16, 16))
+	e := New(r, Options{CacheBytes: 1 << 20})
+	res, err := e.Run(&Request{Aggregates: []string{AggMean, AggVariance}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ExecutedInCompressedSpace {
+		t.Fatal("expected compressed-space execution")
+	}
+	if res.Cache.Frames != 0 || res.Cache.Misses != 0 {
+		t.Errorf("compressed query touched the decode cache: %+v", res.Cache)
+	}
+}
+
+func TestPlanFrames(t *testing.T) {
+	r := buildStore(t, "zfp:rate=16", seqLabels(4), testFrames(4, 8, 8))
+	p, err := Compile(r, &Request{Select: Selector{From: ptr(1)}, Aggregates: []string{AggMean}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Frames(); len(got) != 3 || got[0] != 1 {
+		t.Errorf("Frames() = %v", got)
+	}
+}
+
+func TestInfiniteMetricSurvivesJSON(t *testing.T) {
+	// PSNR of a frame against itself is +Inf; the result must encode
+	// and decode as JSON instead of failing the whole query's response.
+	r := buildStore(t, goblazSpec, seqLabels(2), testFrames(2, 8, 8))
+	ref := 0
+	res, err := New(r, Options{}).Run(&Request{
+		Metric: &MetricRequest{Kind: MetricPSNR, Against: &ref},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := *res.Frames[0].Metric; !math.IsInf(float64(v), 1) {
+		t.Fatalf("self-PSNR = %g, want +Inf", v)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("result with +Inf must marshal: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if v := *back.Frames[0].Metric; !math.IsInf(float64(v), 1) {
+		t.Errorf("round-tripped self-PSNR = %g, want +Inf", v)
+	}
+	if v := *back.Frames[1].Metric; math.IsInf(float64(v), 0) || v <= 0 {
+		t.Errorf("finite PSNR came back as %g", v)
+	}
+}
+
+func TestFloatJSON(t *testing.T) {
+	for _, v := range []float64{1.5, 0, -2.25, math.Inf(1), math.Inf(-1), math.NaN()} {
+		blob, err := json.Marshal(Float(v))
+		if err != nil {
+			t.Fatalf("marshal %g: %v", v, err)
+		}
+		var back Float
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", blob, err)
+		}
+		if g, w := float64(back), v; g != w && !(math.IsNaN(g) && math.IsNaN(w)) {
+			t.Errorf("%g round-tripped to %g via %s", w, g, blob)
+		}
+	}
+	var f Float
+	if err := json.Unmarshal([]byte(`"banana"`), &f); err == nil {
+		t.Error("bad Float string should fail to unmarshal")
+	}
+}
+
+func TestFallbackMetricWithColdCache(t *testing.T) {
+	// A vs-reference metric on a no-Ops codec with the cache disabled:
+	// the decoded reference is hoisted out of the fan-out, so the query
+	// still answers (and in one decode of the reference, not N).
+	r := buildStore(t, "zfp:rate=32", seqLabels(3), testFrames(3, 16, 16))
+	ref := 0
+	res, err := New(r, Options{}).Run(&Request{
+		Select: Selector{Labels: "[12]"},
+		Metric: &MetricRequest{Kind: MetricMSE, Against: &ref},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecutedInCompressedSpace {
+		t.Error("zfp metrics cannot run in compressed space")
+	}
+	for _, f := range res.Frames {
+		if f.Metric == nil || *f.Metric <= 0 {
+			t.Errorf("frame %d metric = %v", f.Label, f.Metric)
+		}
+	}
+}
+
+func TestPairMetricDecodeFallbackFlags(t *testing.T) {
+	// A pair metric that falls back to decode must clear the per-frame
+	// flags too: both selected frames were fully decompressed.
+	r := buildStore(t, "zfp:rate=32", seqLabels(2), testFrames(2, 8, 8))
+	res, err := New(r, Options{}).Run(&Request{Metric: &MetricRequest{Kind: MetricMSE}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pair == nil || res.Pair.ExecutedInCompressedSpace {
+		t.Fatalf("pair = %+v, want decode fallback", res.Pair)
+	}
+	for _, f := range res.Frames {
+		if f.ExecutedInCompressedSpace {
+			t.Errorf("frame %d claims compressed space but was decoded for the pair metric", f.Label)
+		}
+	}
+}
+
+func TestBlazMetricFallbackSharesReference(t *testing.T) {
+	// blaz has Ops but its metrics report ErrNotSupported, so the
+	// vs-reference fallback engages mid-path; the memoized reference
+	// decode must serve all frames (one miss for the reference, one per
+	// selected frame — not one reference decode per frame).
+	r := buildStore(t, "blaz", seqLabels(4), testFrames(4, 16, 16))
+	e := New(r, Options{CacheBytes: 1 << 20})
+	ref := 0
+	res, err := e.Run(&Request{
+		Select: Selector{Labels: "[123]"},
+		Metric: &MetricRequest{Kind: MetricMSE, Against: &ref},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecutedInCompressedSpace {
+		t.Error("blaz metrics cannot run in compressed space")
+	}
+	for _, f := range res.Frames {
+		if f.Metric == nil || *f.Metric <= 0 {
+			t.Errorf("frame %d metric = %v", f.Label, f.Metric)
+		}
+	}
+	if res.Cache.Misses > 4 {
+		t.Errorf("reference frame re-decoded per frame: %+v", res.Cache)
+	}
+}

@@ -50,6 +50,33 @@ func ParallelFor(n int, fn func(start, end int)) {
 		fn(0, n)
 		return
 	}
+	fanOut(n, workers, fn)
+}
+
+// ParallelForCoarse is ParallelFor without the small-n serial cutoff,
+// for coarse-grained items — whole query frames, not block cells —
+// whose per-item cost dwarfs the fan-out overhead, so even two items
+// are worth distributing. Nested ParallelFor calls inside fn are safe:
+// the pool's help-while-waiting drain (see pool.go) is what makes
+// per-frame work that itself fans out per block deadlock-free.
+func ParallelForCoarse(n int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	fanOut(n, workers, fn)
+}
+
+// fanOut distributes [0, n) over the shared pool in contiguous chunks,
+// workers ∈ [2, n].
+func fanOut(n, workers int, fn func(start, end int)) {
 	ensurePool()
 	chunk := (n + workers - 1) / workers
 	// workers ∈ [2, n] so chunk < n: at least one chunk precedes the
