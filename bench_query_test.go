@@ -9,6 +9,7 @@ package repro
 // no partial-decode path.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -41,7 +42,7 @@ func BenchmarkQueryCompressedSpace(b *testing.B) {
 			b.SetBytes(int64(storeBenchFrames) * int64(n*n) * 8)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := e.Run(queryBenchAggs)
+				res, err := e.Run(context.Background(), queryBenchAggs)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -64,7 +65,7 @@ func BenchmarkQueryDecodeFallback(b *testing.B) {
 			b.SetBytes(int64(storeBenchFrames) * int64(n*n) * 8)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := e.Run(queryBenchAggs)
+				res, err := e.Run(context.Background(), queryBenchAggs)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -86,12 +87,12 @@ func BenchmarkQueryCachedRegion(b *testing.B) {
 		b.Run(fmt.Sprintf("cache=%d", cacheBytes), func(b *testing.B) {
 			r := openQueryStore(b, "zfp:rate=16", n)
 			e := query.New(r, query.Options{CacheBytes: cacheBytes})
-			if _, err := e.Run(req); err != nil { // warm
+			if _, err := e.Run(context.Background(), req); err != nil { // warm
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := e.Run(req); err != nil {
+				if _, err := e.Run(context.Background(), req); err != nil {
 					b.Fatal(err)
 				}
 			}

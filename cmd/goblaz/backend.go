@@ -1,0 +1,38 @@
+package main
+
+// The CLI's bridge to the v1 service layer: a store argument is either
+// a local file path or an http(s):// URL, resolved to the matching
+// api.Backend — Local over an opened store file, the HTTP Client SDK
+// otherwise. Subcommands written against api.Backend (query, inspect)
+// work identically on both.
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/query"
+)
+
+// isServiceURL reports whether a store argument names a serving URL
+// rather than a local path.
+func isServiceURL(arg string) bool {
+	return strings.HasPrefix(arg, "http://") || strings.HasPrefix(arg, "https://")
+}
+
+// openBackend resolves arg to a Backend. close releases whatever the
+// backend holds (the store file handle; nothing for the HTTP client).
+func openBackend(arg string, opts query.Options, timeout time.Duration) (b api.Backend, close func() error, err error) {
+	if isServiceURL(arg) {
+		c, err := api.NewClient(arg, api.ClientOptions{Timeout: timeout})
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, func() error { return nil }, nil
+	}
+	l, err := api.OpenLocal(arg, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, l.Close, nil
+}

@@ -1,0 +1,121 @@
+package main
+
+// End-to-end smoke: a real HTTP server on a random port, built exactly
+// the way `goblaz serve` builds it (openMounts + httpapi.New), queried
+// by the real CLI through the api.Client SDK — and the output must be
+// byte-identical to the same CLI run against the store path. This is
+// the acceptance check that the URL and the path are interchangeable.
+
+import (
+	"bytes"
+	"net"
+	"net/http"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/api/httpapi"
+)
+
+// startServe mounts the store arguments the way runServe does, serves
+// them on a random localhost port, and returns the base URL. openMounts
+// prints mount lines, so it runs under captureStdout to keep test
+// output clean.
+func startServe(t *testing.T, storeArgs ...string) string {
+	t.Helper()
+	var url string
+	if _, err := captureStdout(t, func() error {
+		// A nonzero server cache, like runServe's default: the query
+		// answer must not depend on server-side engine configuration.
+		def, stores, closeAll, err := openMounts(storeArgs, 1<<20)
+		if err != nil {
+			return err
+		}
+		t.Cleanup(closeAll)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: httpapi.New(def, stores, httpapi.Options{})}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+		url = "http://" + ln.Addr().String()
+		return nil
+	}); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	return url
+}
+
+func TestE2EClientVsLocal(t *testing.T) {
+	path := packQueryStore(t)
+	url := startServe(t, path)
+
+	args := []string{
+		"-aggs", "mean,variance,stddev,min,max,l2norm",
+		"-metric", "mse", "-against", "0",
+		"-region", "1,1:3,3", "-point", "2,2",
+	}
+	viaURL, err := captureStdout(t, func() error { return runQuery(append(args, url)) })
+	if err != nil {
+		t.Fatalf("query %s: %v", url, err)
+	}
+	viaPath, err := captureStdout(t, func() error { return runQuery(append(args, path)) })
+	if err != nil {
+		t.Fatalf("query %s: %v", path, err)
+	}
+	if len(viaURL) == 0 {
+		t.Fatal("empty query output")
+	}
+	if !bytes.Equal(viaURL, viaPath) {
+		t.Errorf("URL and path results differ:\n--- url ---\n%s\n--- path ---\n%s", viaURL, viaPath)
+	}
+}
+
+func TestE2EInspectURLMatchesLocal(t *testing.T) {
+	path := packQueryStore(t)
+	url := startServe(t, path)
+	viaURL, err := captureStdout(t, func() error { return runInspect([]string{url}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaPath, err := captureStdout(t, func() error { return runInspect([]string{path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaURL, viaPath) {
+		t.Errorf("inspect differs:\n--- url ---\n%s\n--- path ---\n%s", viaURL, viaPath)
+	}
+}
+
+func TestE2EMultiStoreMounts(t *testing.T) {
+	a, b := packQueryStore(t), packQueryStore(t)
+	url := startServe(t, "first="+a, "second="+b)
+	for _, target := range []string{url, url + "/v1/stores/first", url + "/v1/stores/second"} {
+		blob, err := captureStdout(t, func() error {
+			return runQuery([]string{"-aggs", "mean", target})
+		})
+		if err != nil {
+			t.Errorf("query %s: %v", target, err)
+		}
+		if len(blob) == 0 {
+			t.Errorf("query %s printed nothing", target)
+		}
+	}
+}
+
+func TestE2EQueryTimeoutExpires(t *testing.T) {
+	path := packQueryStore(t)
+	err := runQuery([]string{"-timeout", "1ns", "-aggs", "mean", path})
+	if api.CodeOf(err) != api.CodeCanceled {
+		t.Errorf("expired -timeout returned %v, want a canceled error", err)
+	}
+}
+
+func TestE2EQueryBadURL(t *testing.T) {
+	// A refused connection surfaces as a classified error, not a panic
+	// or a silent empty result.
+	err := runQuery([]string{"-aggs", "mean", "-timeout", "100ms", "http://127.0.0.1:1"})
+	if err == nil {
+		t.Fatal("querying a dead server should fail")
+	}
+}

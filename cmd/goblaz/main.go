@@ -74,10 +74,10 @@ func usage() {
   goblaz codecs
   goblaz pack       -shape N,M[,K] [-codec SPEC] [-workers N] OUT FRAME...
   goblaz unpack     [-frame LABEL] IN OUTPREFIX
-  goblaz inspect    IN
-  goblaz serve      [-addr HOST:PORT] [-cache-bytes N] IN
+  goblaz inspect    IN|URL
+  goblaz serve      [-addr HOST:PORT] [-cache-bytes N] [-timeout D] [NAME=]IN ...
   goblaz query      [-labels GLOB] [-from I] [-to I] [-aggs LIST] [-metric KIND [-against LABEL] [-peak P]]
-                    [-region OFF:SHAPE] [-point IDX] [-req JSON|@FILE|-] [-cache-bytes N] IN`)
+                    [-region OFF:SHAPE] [-point IDX] [-req JSON|@FILE|-] [-cache-bytes N] [-timeout D] IN|URL`)
 	os.Exit(2)
 }
 

@@ -1,17 +1,23 @@
 package main
 
 // The query subcommand runs compressed-domain query plans — the same
-// ones POST /v1/query serves — against a store file offline:
+// ones POST /v1/query serves — against a store file or a serving URL:
 //
 //	goblaz query -aggs mean,stddev series.gbz
+//	goblaz query -aggs mean http://localhost:8080          (same plans, over HTTP)
 //	goblaz query -labels '1?' -metric mse -against 0 series.gbz
-//	goblaz query -region 3,5:7,9 series.gbz
+//	goblaz query -region 3,5:7,9 -timeout 10s series.gbz
 //	goblaz query -req '{"select":{},"aggregates":["mean"]}' series.gbz
 //	goblaz query -req @request.json series.gbz        (or -req - for stdin)
 //
-// The result is the engine's JSON, indented, on stdout.
+// The store argument resolves through api.Backend (backend.go), so the
+// local path and the URL produce identical results on the same store.
+// -timeout deadlines the whole run; the engine (or the SDK) abandons
+// remaining frames when it expires. The result is the engine's JSON,
+// indented, on stdout.
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,7 +27,6 @@ import (
 	"strings"
 
 	"repro/internal/query"
-	"repro/internal/store"
 )
 
 func runQuery(args []string) error {
@@ -37,11 +42,12 @@ func runQuery(args []string) error {
 	region := fs.String("region", "", `region read "OFFSET:SHAPE", e.g. "3,5:7,9"`)
 	point := fs.String("point", "", `point read multi-index, e.g. "10,12"`)
 	cacheBytes := fs.Int64("cache-bytes", 0, "decoded-frame LRU cache budget in bytes (one-shot runs rarely benefit)")
+	timeout := fs.Duration("timeout", 0, "overall deadline; expired work returns a canceled error (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("query needs one store path")
+		return fmt.Errorf("query needs one store path or URL")
 	}
 
 	var req *query.Request
@@ -96,12 +102,24 @@ func runQuery(args []string) error {
 		}
 	}
 
-	r, err := store.Open(fs.Arg(0))
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *cacheBytes != 0 && isServiceURL(fs.Arg(0)) {
+		fmt.Fprintln(os.Stderr, "goblaz: -cache-bytes has no effect on a serving URL (the server's own cache governs)")
+	}
+	// No per-attempt client timeout: the run's deadline (ctx above) is
+	// the only bound, so a long query behaves identically over a URL
+	// and over a path.
+	b, closeB, err := openBackend(fs.Arg(0), query.Options{CacheBytes: *cacheBytes}, 0)
 	if err != nil {
 		return err
 	}
-	defer r.Close()
-	res, err := query.New(r, query.Options{CacheBytes: *cacheBytes}).Run(req)
+	defer closeB()
+	res, err := b.Query(ctx, req)
 	if err != nil {
 		return err
 	}

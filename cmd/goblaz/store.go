@@ -2,21 +2,24 @@ package main
 
 // The store subcommands: pack a series of raw frames into the seekable
 // multi-frame container (internal/store), unpack frames back out,
-// inspect the index, and serve frames over HTTP.
+// inspect the index, and serve stores over the v1 HTTP API.
 //
 //	goblaz pack    -shape 64,64 -codec zfp:rate=16 [-workers 4] out.gbz f0.f64 f1.f64 ...
 //	goblaz unpack  [-frame LABEL] out.gbz prefix        → prefix<label>.f64
-//	goblaz inspect out.gbz
-//	goblaz serve   -addr :8080 out.gbz
+//	goblaz inspect out.gbz              (or an http:// URL)
+//	goblaz serve   -addr :8080 out.gbz [name=other.gbz ...]
+//
+// inspect accepts a store path or a serving URL interchangeably — both
+// resolve to an api.Backend (see backend.go). serve mounts its first
+// store on the default /v1 routes and every store (named by `name=path`,
+// or the file's base name) under /v1/stores/{name}/.
 
 import (
 	"context"
-	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"math"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -26,6 +29,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/api"
+	"repro/internal/api/httpapi"
 	"repro/internal/codec"
 	"repro/internal/query"
 	"repro/internal/series"
@@ -167,274 +172,136 @@ func runUnpack(args []string) error {
 	return nil
 }
 
+// runInspect prints a store's codec, frame count, and index. The
+// argument may be a local path or a serving URL — both resolve through
+// the v1 Backend contract.
 func runInspect(args []string) error {
 	if len(args) != 1 {
-		return fmt.Errorf("inspect needs one path")
+		return fmt.Errorf("inspect needs one store path or URL")
 	}
-	r, err := store.Open(args[0])
+	b, closeB, err := openBackend(args[0], query.Options{}, 30*time.Second)
 	if err != nil {
 		return err
 	}
-	defer r.Close()
-	fmt.Printf("codec:   %s\n", r.Spec())
-	fmt.Printf("frames:  %d\n", r.Len())
+	defer closeB()
+	ctx := context.Background()
+	info, err := b.Spec(ctx)
+	if err != nil {
+		return err
+	}
+	frames, err := b.Frames(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("codec:   %s\n", info.Spec)
+	fmt.Printf("frames:  %d\n", info.Frames)
 	var total int64
-	for _, e := range r.Frames() {
+	for _, e := range frames {
 		total += e.Length
 	}
 	fmt.Printf("payload: %d bytes\n", total)
-	if r.Len() > 0 {
+	if len(frames) > 0 {
 		fmt.Printf("%8s %8s %12s %10s %10s\n", "frame", "label", "offset", "length", "crc32")
-		for i, e := range r.Frames() {
-			fmt.Printf("%8d %8d %12d %10d %10x\n", i, e.Label, e.Offset, e.Length, e.CRC32)
+		for _, e := range frames {
+			fmt.Printf("%8d %8d %12d %10d %10s\n", e.Index, e.Label, e.Offset, e.Length, e.CRC32)
 		}
 	}
 	return nil
 }
 
-// frameMeta is the JSON shape of one index entry served by /v1/frames.
-type frameMeta struct {
-	Index  int    `json:"index"`
-	Label  int    `json:"label"`
-	Offset int64  `json:"offset"`
-	Length int64  `json:"length"`
-	CRC32  string `json:"crc32"`
+// mountName derives a store's mount name under /v1/stores/ from its
+// argument: an explicit NAME=PATH, or the file's base name without
+// extension.
+func mountName(arg string) (name, path string) {
+	if name, path, ok := strings.Cut(arg, "="); ok && !isServiceURL(arg) && name != "" {
+		return name, path
+	}
+	base := filepath.Base(arg)
+	return strings.TrimSuffix(base, filepath.Ext(base)), arg
 }
 
-// newStoreHandler serves a store over HTTP:
-//
-//	GET  /healthz                   liveness
-//	GET  /v1/store                  {"spec": ..., "frames": n}
-//	GET  /v1/frames                 JSON index
-//	GET  /v1/frames/{label}         decompressed frame, little-endian
-//	                                float64 bytes; X-Goblaz-Shape header;
-//	                                ETag from the frame's index CRC32
-//	GET  /v1/frames/{label}/payload raw compressed payload (same ETag)
-//	POST /v1/query                  compressed-domain query (internal/query
-//	                                request JSON → result JSON)
-//	GET  /v1/frames/{label}/stats   aggregate convenience route
-//	                                (?aggs=mean,stddev,... — default all)
-//	GET  /v1/frames/{label}/region  region convenience route
-//	                                (?offset=3,5&shape=7,9)
-//
-// Frame and payload reads happen per request; query routes share eng's
-// decoded-frame LRU across requests. The store reader, the engine, and
-// the cache are all safe for concurrent use, so the handler needs no
-// locking.
-func newStoreHandler(r *store.Reader, eng *query.Engine) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /v1/store", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, map[string]any{"spec": r.Spec(), "frames": r.Len()})
-	})
-	mux.HandleFunc("GET /v1/frames", func(w http.ResponseWriter, req *http.Request) {
-		metas := make([]frameMeta, r.Len())
-		for i, e := range r.Frames() {
-			metas[i] = frameMeta{
-				Index:  i,
-				Label:  e.Label,
-				Offset: e.Offset,
-				Length: e.Length,
-				CRC32:  fmt.Sprintf("%08x", e.CRC32),
-			}
-		}
-		writeJSON(w, metas)
-	})
-	frameIndex := func(w http.ResponseWriter, req *http.Request) (int, bool) {
-		label, err := strconv.Atoi(req.PathValue("label"))
-		if err != nil {
-			http.Error(w, "bad frame label", http.StatusBadRequest)
-			return 0, false
-		}
-		i, ok := r.IndexOf(label)
-		if !ok {
-			http.Error(w, "no such frame", http.StatusNotFound)
-			return 0, false
-		}
-		return i, true
-	}
-	mux.HandleFunc("GET /v1/frames/{label}", func(w http.ResponseWriter, req *http.Request) {
-		i, ok := frameIndex(w, req)
-		if !ok {
-			return
-		}
-		if frameNotModified(w, req, r.Info(i)) {
-			return
-		}
-		t, err := r.Decompress(i)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		shape := make([]string, len(t.Shape()))
-		for d, e := range t.Shape() {
-			shape[d] = strconv.Itoa(e)
-		}
-		raw := make([]byte, t.Len()*8)
-		for j, v := range t.Data() {
-			binary.LittleEndian.PutUint64(raw[j*8:], math.Float64bits(v))
-		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Header().Set("X-Goblaz-Shape", strings.Join(shape, ","))
-		w.Write(raw)
-	})
-	mux.HandleFunc("GET /v1/frames/{label}/payload", func(w http.ResponseWriter, req *http.Request) {
-		i, ok := frameIndex(w, req)
-		if !ok {
-			return
-		}
-		if frameNotModified(w, req, r.Info(i)) {
-			return
-		}
-		payload, err := r.Payload(i)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(payload)
-	})
-	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, req *http.Request) {
-		dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
-		dec.DisallowUnknownFields()
-		var qr query.Request
-		if err := dec.Decode(&qr); err != nil {
-			http.Error(w, "bad query JSON: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		res, ok := runQueryRequest(w, eng, &qr)
-		if ok {
-			writeJSON(w, res)
-		}
-	})
-	// frameQuery answers a convenience route scoped to one frame with
-	// just that frame's result, keeping the 400/404 semantics of the
-	// other /v1/frames/{label} routes. Selection uses the canonical
-	// label of the resolved frame, not the raw path segment — "01"
-	// resolves to the frame labeled 1 but would match no label as a
-	// glob.
-	frameQuery := func(w http.ResponseWriter, req *http.Request, qr *query.Request) {
-		i, ok := frameIndex(w, req)
-		if !ok {
-			return
-		}
-		qr.Select = query.Selector{Labels: strconv.Itoa(r.Info(i).Label)}
-		res, ok := runQueryRequest(w, eng, qr)
-		if ok {
-			writeJSON(w, res.Frames[0])
+// openMounts opens every [name=]path argument as a Local backend and
+// names its mount. The first store doubles as the default (unprefixed)
+// /v1 mount, preserving the single-store API.
+func openMounts(args []string, cacheBytes int64) (def api.Backend, stores map[string]api.Backend, closeAll func(), err error) {
+	stores = map[string]api.Backend{}
+	var opened []*api.Local
+	closeAll = func() {
+		for _, l := range opened {
+			l.Close()
 		}
 	}
-	mux.HandleFunc("GET /v1/frames/{label}/stats", func(w http.ResponseWriter, req *http.Request) {
-		aggs := []string{
-			query.AggMean, query.AggVariance, query.AggStdDev,
-			query.AggMin, query.AggMax, query.AggL2Norm,
+	for _, arg := range args {
+		name, path := mountName(arg)
+		if _, dup := stores[name]; dup {
+			closeAll()
+			return nil, nil, nil, fmt.Errorf("duplicate store mount %q (disambiguate with name=path)", name)
 		}
-		if v := req.FormValue("aggs"); v != "" {
-			aggs = strings.Split(v, ",")
-		}
-		frameQuery(w, req, &query.Request{Aggregates: aggs})
-	})
-	mux.HandleFunc("GET /v1/frames/{label}/region", func(w http.ResponseWriter, req *http.Request) {
-		offset, err := parseInts(req.FormValue("offset"))
+		l, err := api.OpenLocal(path, query.Options{CacheBytes: cacheBytes})
 		if err != nil {
-			http.Error(w, "bad offset: "+err.Error(), http.StatusBadRequest)
-			return
+			closeAll()
+			return nil, nil, nil, fmt.Errorf("store %s: %w", path, err)
 		}
-		shape, err := parseInts(req.FormValue("shape"))
-		if err != nil {
-			http.Error(w, "bad shape: "+err.Error(), http.StatusBadRequest)
-			return
+		opened = append(opened, l)
+		stores[name] = l
+		if def == nil {
+			def = l
 		}
-		frameQuery(w, req, &query.Request{Region: &query.RegionRequest{Offset: offset, Shape: shape}})
-	})
-	return mux
-}
-
-// runQueryRequest executes qr and maps failures onto status codes:
-// validation errors are the client's (400), the rest the server's
-// (500). ok reports whether a result is ready to encode.
-func runQueryRequest(w http.ResponseWriter, eng *query.Engine, qr *query.Request) (*query.Result, bool) {
-	res, err := eng.Run(qr)
-	switch {
-	case errors.Is(err, query.ErrBadRequest):
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return nil, false
-	case err != nil:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return nil, false
+		info, _ := l.Spec(context.Background())
+		fmt.Printf("mounted %s at /v1/stores/%s (%d frames, codec %s)\n", path, name, info.Frames, info.Spec)
 	}
-	return res, true
-}
-
-// frameETag derives a frame's entity tag from the store footer's CRC32
-// of its compressed payload — decompressed bytes and payload change
-// exactly when the payload CRC does.
-func frameETag(e store.FrameInfo) string {
-	return fmt.Sprintf(`"%08x"`, e.CRC32)
-}
-
-// frameNotModified sets the frame's ETag and answers 304 when the
-// request's If-None-Match matches it; true means the response is done.
-func frameNotModified(w http.ResponseWriter, req *http.Request, e store.FrameInfo) bool {
-	etag := frameETag(e)
-	w.Header().Set("ETag", etag)
-	for _, tag := range strings.Split(req.Header.Get("If-None-Match"), ",") {
-		tag = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(tag), "W/"))
-		if tag == etag || tag == "*" {
-			w.WriteHeader(http.StatusNotModified)
-			return true
-		}
-	}
-	return false
-}
-
-// writeJSON encodes v to a buffer first, so an encoding failure (e.g. an
-// infinite PSNR) becomes a clean 500 instead of a truncated 200 with an
-// error appended after the body.
-func writeJSON(w http.ResponseWriter, v any) {
-	buf, err := json.Marshal(v)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(append(buf, '\n'))
+	return def, stores, closeAll, nil
 }
 
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	cacheBytes := fs.Int64("cache-bytes", 64<<20, "decoded-frame LRU cache budget in bytes (0 disables)")
+	cacheBytes := fs.Int64("cache-bytes", 64<<20, "decoded-frame LRU cache budget in bytes, per store (0 disables)")
+	timeout := fs.Duration("timeout", 55*time.Second, "per-request deadline; canceled work stops the query engine (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("serve needs one store path")
+	if fs.NArg() < 1 {
+		return fmt.Errorf("serve needs at least one store path ([name=]path ...)")
 	}
-	r, err := store.Open(fs.Arg(0))
+
+	def, stores, closeAll, err := openMounts(fs.Args(), *cacheBytes)
 	if err != nil {
 		return err
 	}
-	defer r.Close()
-	eng := query.New(r, query.Options{CacheBytes: *cacheBytes})
-	// Timeouts keep a slow or stalled client from pinning a connection
-	// (and its decompression work) forever; WriteTimeout bounds the
-	// largest frame we are willing to stream.
+	defer closeAll()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	handler := httpapi.New(def, stores, httpapi.Options{
+		RequestTimeout: *timeout,
+		Logf:           logger.Printf,
+	})
+	// Server-level timeouts keep a slow or stalled client from pinning a
+	// connection (and its decompression work) forever; WriteTimeout
+	// bounds the largest frame we are willing to stream and must outlast
+	// the per-request deadline so timeouts answer as envelopes, not
+	// resets — hence it is derived from -timeout when that is longer,
+	// and disabled entirely when -timeout 0 asks for unbounded requests.
+	writeTimeout := 60 * time.Second
+	switch {
+	case *timeout <= 0:
+		writeTimeout = 0
+	case *timeout+5*time.Second > writeTimeout:
+		writeTimeout = *timeout + 5*time.Second
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newStoreHandler(r, eng),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      60 * time.Second,
+		WriteTimeout:      writeTimeout,
 		IdleTimeout:       2 * time.Minute,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("serving %s (%d frames, codec %s) on %s\n", fs.Arg(0), r.Len(), r.Spec(), *addr)
+	fmt.Printf("serving %d store(s) on %s\n", len(stores), *addr)
 	select {
 	case err := <-errCh:
 		return err

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/api"
+	"repro/internal/api/httpapi"
 	"repro/internal/codec"
 	"repro/internal/query"
 	"repro/internal/store"
@@ -202,7 +204,7 @@ func TestServeHandler(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	srv := httptest.NewServer(newStoreHandler(r, query.New(r, query.Options{})))
+	srv := httptest.NewServer(httpapi.New(api.NewLocal(r, query.New(r, query.Options{})), nil, httpapi.Options{}))
 	defer srv.Close()
 
 	get := func(path string, wantStatus int) []byte {
@@ -235,7 +237,7 @@ func TestServeHandler(t *testing.T) {
 		t.Errorf("/v1/store = %+v", meta)
 	}
 
-	var index []frameMeta
+	var index []api.FrameInfo
 	if err := json.Unmarshal(get("/v1/frames", 200), &index); err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +290,7 @@ func serveStore(t *testing.T, spec string, n, rows, cols int) (*httptest.Server,
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { r.Close() })
-	srv := httptest.NewServer(newStoreHandler(r, query.New(r, query.Options{CacheBytes: 1 << 20})))
+	srv := httptest.NewServer(httpapi.New(api.NewLocal(r, query.New(r, query.Options{CacheBytes: 1 << 20})), nil, httpapi.Options{}))
 	t.Cleanup(srv.Close)
 	return srv, frames
 }

@@ -1,0 +1,90 @@
+// Command client demonstrates the Go SDK for the goblaz v1 service
+// API: connect to a running `goblaz serve`, read the store and frame
+// index, fetch per-frame statistics, and run a compressed-domain query
+// — all through api.Client, which implements the same api.Backend
+// interface the CLI uses, with retries and per-attempt timeouts built
+// in.
+//
+// Start a server, then run this against it:
+//
+//	go run ./cmd/goblaz serve -addr :8080 run.gbz
+//	go run ./examples/client -url http://localhost:8080
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/query"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "goblaz serve base URL (or a /v1/stores/{name} mount)")
+	timeout := flag.Duration("timeout", 10*time.Second, "overall deadline for the whole session")
+	flag.Parse()
+
+	// The client retries transient failures (network errors, gateway
+	// 502/503/504) with exponential backoff; deterministic failures —
+	// 4xx, 500 — surface immediately.
+	c, err := api.NewClient(*url, api.ClientOptions{
+		Timeout: 5 * time.Second, // per attempt
+		Retries: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	info, err := c.Spec(ctx)
+	if err != nil {
+		// Errors carry stable codes end to end: api.CodeOf distinguishes
+		// a missing frame from a refused connection.
+		log.Fatalf("spec (%s): %v", api.CodeOf(err), err)
+	}
+	fmt.Printf("store: %d frames, codec %s\n", info.Frames, info.Spec)
+
+	frames, err := c.Frames(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range frames {
+		fmt.Printf("  frame %d: label %d, %d compressed bytes, crc %s\n",
+			f.Index, f.Label, f.Length, f.CRC32)
+	}
+	if len(frames) == 0 {
+		return
+	}
+
+	// Per-frame statistics: computed server-side, in compressed space
+	// where the codec supports it.
+	first := frames[0].Label
+	stats, err := c.Stats(ctx, first, []string{query.AggMean, query.AggStdDev})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frame %d: mean %g, stddev %g (compressed space: %v)\n",
+		first, stats.Aggregates[query.AggMean], stats.Aggregates[query.AggStdDev],
+		stats.ExecutedInCompressedSpace)
+
+	// A full query: every frame's L2 norm plus its MSE against the
+	// first frame. api.Client satisfies api.Backend, so this code would
+	// run unchanged against an api.Local over the store file.
+	var backend api.Backend = c
+	res, err := backend.Query(ctx, &query.Request{
+		Aggregates: []string{query.AggL2Norm},
+		Metric:     &query.MetricRequest{Kind: query.MetricMSE, Against: &first},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range res.Frames {
+		fmt.Printf("frame %d: l2norm %g, mse vs %d: %g\n",
+			f.Label, f.Aggregates[query.AggL2Norm], first, *f.Metric)
+	}
+	fmt.Printf("whole query in compressed space: %v\n", res.ExecutedInCompressedSpace)
+}

@@ -1,0 +1,253 @@
+// Package api is the transport-agnostic service layer: it owns the v1
+// contract that both the HTTP server (internal/api/httpapi) and every
+// consumer — the goblaz CLI, tests, dashboards — program against.
+//
+// The contract has three parts. Backend is the service interface, with
+// two interchangeable implementations: Local, wrapping a store.Reader
+// and a query.Engine in process, and Client, the HTTP SDK — so a tool
+// written against Backend works identically on a store path and on a
+// serving URL. Error is the typed, versioned error model: every failure
+// carries a stable string Code that survives transport (rendered as a
+// JSON envelope over HTTP) and maps deterministically to an HTTP
+// status. All methods take a context.Context; cancellation propagates
+// into compressed-domain work instead of letting it run for nobody.
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/codec"
+	"repro/internal/query"
+)
+
+// Code is a stable, versioned error code. Codes are part of the v1
+// contract: clients branch on them, so existing values never change
+// meaning (new ones may be added).
+type Code string
+
+const (
+	// CodeBadRequest marks failures that are the caller's: malformed
+	// labels, unknown aggregates, out-of-bounds regions.
+	CodeBadRequest Code = "bad_request"
+	// CodeNotFound marks references to frames or stores that do not
+	// exist.
+	CodeNotFound Code = "not_found"
+	// CodeNotSupported marks operations the backend cannot perform,
+	// e.g. raw payload access through a transport that hides it.
+	CodeNotSupported Code = "not_supported"
+	// CodeCanceled marks work abandoned because the caller's context
+	// was canceled or its deadline expired.
+	CodeCanceled Code = "canceled"
+	// CodeInternal marks everything else. Over HTTP the message is a
+	// constant — internal details are logged server-side, not shipped
+	// to clients.
+	CodeInternal Code = "internal"
+)
+
+// Error is the v1 error model. Message is safe to show to the caller;
+// Detail optionally narrows it. The wrapped cause (if any) stays local
+// — it is never serialized.
+type Error struct {
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+	Detail  string `json:"detail,omitempty"`
+
+	err error // local cause; supports errors.Is/As through Unwrap
+}
+
+// Errorf builds an Error with a formatted message.
+func Errorf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+func (e *Error) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("%s: %s (%s)", e.Code, e.Message, e.Detail)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// Unwrap exposes the local cause so errors.Is(err, query.ErrBadRequest)
+// and friends keep working across the api boundary.
+func (e *Error) Unwrap() error { return e.err }
+
+// HTTPStatus maps the error's code to its HTTP status.
+func (e *Error) HTTPStatus() int { return HTTPStatus(e.Code) }
+
+// StatusClientClosedRequest is the non-standard (nginx-convention)
+// status for work abandoned because the client went away; there is no
+// standard code for it.
+const StatusClientClosedRequest = 499
+
+// HTTPStatus maps a Code to the HTTP status the v1 API serves it with.
+// Unknown codes map to 500, the safe default for a server that is
+// confused about its own failure.
+func HTTPStatus(code Code) int {
+	switch code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeNotSupported:
+		return http.StatusNotImplemented
+	case CodeCanceled:
+		return StatusClientClosedRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// codeOfStatus is the client-side inverse of HTTPStatus, for responses
+// (from proxies, load balancers) that carry no envelope.
+func codeOfStatus(status int) Code {
+	switch {
+	case status == http.StatusNotFound:
+		return CodeNotFound
+	case status == http.StatusNotImplemented:
+		return CodeNotSupported
+	case status == StatusClientClosedRequest:
+		return CodeCanceled
+	case status >= 400 && status < 500:
+		return CodeBadRequest
+	}
+	return CodeInternal
+}
+
+// ErrNotFound marks lookups of frames or stores that do not exist;
+// FromError classifies anything wrapping it as CodeNotFound.
+var ErrNotFound = errors.New("api: not found")
+
+// FromError classifies err into the v1 error model. Known sentinel
+// errors pick their code — query validation failures are the caller's,
+// missing frames are not_found, context cancellation is canceled,
+// unsupported codec capabilities are not_supported — and everything
+// else is internal with a constant message, so internal error text
+// never leaks into a transport envelope. The original error stays
+// reachable through Unwrap.
+func FromError(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e
+	}
+	classify := func(code Code) *Error {
+		return &Error{Code: code, Message: err.Error(), err: err}
+	}
+	switch {
+	case errors.Is(err, query.ErrBadRequest):
+		return classify(CodeBadRequest)
+	case errors.Is(err, ErrNotFound):
+		return classify(CodeNotFound)
+	case errors.Is(err, codec.ErrNotSupported):
+		return classify(CodeNotSupported)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return classify(CodeCanceled)
+	}
+	return &Error{Code: CodeInternal, Message: "internal error", err: err}
+}
+
+// sentinelOf is FromError's inverse: the sentinel error a code stands
+// for, for re-attaching to errors that crossed a transport.
+func sentinelOf(code Code) error {
+	switch code {
+	case CodeBadRequest:
+		return query.ErrBadRequest
+	case CodeNotFound:
+		return ErrNotFound
+	case CodeNotSupported:
+		return codec.ErrNotSupported
+	case CodeCanceled:
+		return context.Canceled
+	}
+	return nil
+}
+
+// CodeOf classifies any error to its stable code; nil maps to "".
+func CodeOf(err error) Code {
+	if err == nil {
+		return ""
+	}
+	return FromError(err).Code
+}
+
+// ErrorEnvelope is the JSON wire shape of every v1 error response —
+// the one struct the server writes and the client parses, so the two
+// sides cannot drift.
+type ErrorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// StoreInfo describes a store: GET /v1/store.
+type StoreInfo struct {
+	// Spec is the canonical codec spec embedded in the store header.
+	Spec string `json:"spec"`
+	// Frames is the number of frames in the store.
+	Frames int `json:"frames"`
+}
+
+// FrameInfo is one entry of the frame index: GET /v1/frames.
+type FrameInfo struct {
+	// Index is the frame's position in commit order.
+	Index int `json:"index"`
+	// Label is the caller-chosen frame label.
+	Label int `json:"label"`
+	// Offset and Length locate the compressed payload in the store.
+	Offset int64 `json:"offset"`
+	Length int64 `json:"length"`
+	// CRC32 is the payload checksum (hex), the basis of frame ETags.
+	CRC32 string `json:"crc32"`
+}
+
+// Frame is a fully decompressed frame: GET /v1/frames/{label}.
+type Frame struct {
+	Label int       `json:"label"`
+	Shape []int     `json:"shape"`
+	Data  []float64 `json:"data"`
+}
+
+// Backend is the v1 service contract. Both implementations — Local
+// over an open store file, Client over HTTP — satisfy it, which is
+// what lets the CLI accept a store path or a serving URL
+// interchangeably. All methods are safe for concurrent use and honor
+// context cancellation; failures classify through FromError to stable
+// codes on either transport.
+type Backend interface {
+	// Spec describes the store.
+	Spec(ctx context.Context) (StoreInfo, error)
+	// Frames returns the frame index in commit order.
+	Frames(ctx context.Context) ([]FrameInfo, error)
+	// Frame returns the frame with the given label, fully decompressed.
+	Frame(ctx context.Context, label int) (*Frame, error)
+	// Region reads the axis-aligned sub-array of the labeled frame.
+	Region(ctx context.Context, label int, offset, shape []int) (*query.FrameResult, error)
+	// Stats computes per-frame aggregates for the labeled frame; nil or
+	// empty aggs means all six.
+	Stats(ctx context.Context, label int, aggs []string) (*query.FrameResult, error)
+	// Query runs a full compressed-domain query request.
+	Query(ctx context.Context, req *query.Request) (*query.Result, error)
+}
+
+// Payloads is an optional Backend capability: raw compressed payload
+// access (GET /v1/frames/{label}/payload). Backends that cannot serve
+// it return a CodeNotSupported error from the HTTP layer instead.
+type Payloads interface {
+	Payload(ctx context.Context, label int) ([]byte, error)
+}
+
+// FrameResolver is an optional Backend capability: O(1) resolution of
+// one label to its index entry. The HTTP layer's per-frame routes use
+// it when present (Local resolves through the store's label index) and
+// fall back to scanning Frames otherwise.
+type FrameResolver interface {
+	FrameInfo(ctx context.Context, label int) (FrameInfo, error)
+}
+
+// AllAggregates is the default aggregate set of the stats resource.
+var AllAggregates = []string{
+	query.AggMean, query.AggVariance, query.AggStdDev,
+	query.AggMin, query.AggMax, query.AggL2Norm,
+}

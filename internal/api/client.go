@@ -1,0 +1,333 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/query"
+)
+
+// ClientOptions tunes the HTTP SDK. The zero value gives 2 retries
+// with doubling backoff and no per-attempt timeout (the caller's
+// context is the only bound, so long queries behave like Local ones).
+type ClientOptions struct {
+	// HTTPClient overrides the transport (e.g. a httptest server's
+	// client). Its own Timeout, if set, stacks with Timeout below.
+	HTTPClient *http.Client
+	// Timeout bounds each attempt (not the whole retry loop; bound that
+	// with the caller's context). ≤ 0 means no per-attempt bound — the
+	// caller's context is the only limit, matching a Local backend,
+	// where a long query runs as long as it needs.
+	Timeout time.Duration
+	// Retries is how many times a failed attempt is retried. Only
+	// transport errors and gateway statuses (502/503/504) requeue —
+	// a 500 is a deterministic server-side failure (e.g. a corrupt
+	// frame) that a replay would only re-execute; < 0 disables retries.
+	Retries int
+	// Backoff is the first retry's delay, doubling per attempt.
+	// ≤ 0 means 100 ms.
+	Backoff time.Duration
+}
+
+// Client is the Go SDK for the v1 HTTP API — the transport-backed
+// Backend. It is safe for concurrent use.
+type Client struct {
+	base    string // no trailing slash
+	hc      *http.Client
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+}
+
+// NewClient returns a client for the API served at baseURL. A bare
+// server URL ("http://localhost:8080") targets the default /v1 mount;
+// a mount URL ("http://host/v1/stores/run") targets that named store —
+// resource paths are relative to the mount, so the same client code
+// works on both.
+func NewClient(baseURL string, opts ClientOptions) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, Errorf(CodeBadRequest, "base URL %q is not http(s)", baseURL)
+	}
+	base := strings.TrimRight(baseURL, "/")
+	if u.Path == "" || u.Path == "/" {
+		base += "/v1"
+	}
+	c := &Client{
+		base:    base,
+		hc:      opts.HTTPClient,
+		timeout: opts.Timeout,
+		retries: opts.Retries,
+		backoff: opts.Backoff,
+	}
+	if c.hc == nil {
+		c.hc = &http.Client{}
+	}
+	if c.retries == 0 {
+		c.retries = 2
+	} else if c.retries < 0 {
+		c.retries = 0
+	}
+	if c.backoff <= 0 {
+		c.backoff = 100 * time.Millisecond
+	}
+	return c, nil
+}
+
+// retryableStatus reports whether a status is worth retrying: gateway
+// hiccups and overload. Not 500 — the v1 server answers it only for
+// deterministic failures, so a replay re-runs the whole (possibly
+// expensive) query just to fail identically.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do runs one API call with per-attempt timeout and retry. On success
+// the caller owns resp.Body; on failure the returned error is already
+// classified (*Error).
+func (c *Client) do(ctx context.Context, method, path string, q url.Values, body []byte) (*http.Response, error) {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.attempt(ctx, method, u, body)
+		switch {
+		case err == nil && resp.StatusCode < 400:
+			return resp, nil
+		case err == nil:
+			apiErr := decodeErrorResponse(resp)
+			resp.Body.Close()
+			if !retryableStatus(resp.StatusCode) {
+				return nil, apiErr
+			}
+			lastErr = apiErr
+		case ctx.Err() != nil:
+			// The caller's context ended; its error, not the transport's.
+			return nil, FromError(ctx.Err())
+		default:
+			lastErr = &Error{Code: CodeInternal, Message: fmt.Sprintf("%s %s: %v", method, path, err), err: err}
+		}
+		if attempt >= c.retries {
+			return nil, lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return nil, FromError(ctx.Err())
+		case <-time.After(c.backoff << attempt):
+		}
+	}
+}
+
+// attempt issues a single HTTP request under the per-attempt timeout,
+// when one is configured.
+func (c *Client) attempt(ctx context.Context, method, u string, body []byte) (*http.Response, error) {
+	var actx context.Context
+	var cancel context.CancelFunc
+	if c.timeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, c.timeout)
+	} else {
+		actx, cancel = context.WithCancel(ctx)
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, u, rd)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// Tie the timeout to body consumption: canceling at return would
+	// kill the stream the caller is still reading.
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// decodeErrorResponse turns a non-2xx response into an *Error: the v1
+// envelope when present, a synthesized code from the status otherwise
+// (a proxy's bare 502, a non-API server). The code's sentinel is
+// re-attached so errors.Is works identically on a Client error and a
+// Local one — the cause cannot cross the wire, but the class can.
+func decodeErrorResponse(resp *http.Response) *Error {
+	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env ErrorEnvelope
+	if err := json.Unmarshal(blob, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		env.Error.err = sentinelOf(env.Error.Code)
+		return env.Error
+	}
+	msg := strings.TrimSpace(string(blob))
+	if msg == "" {
+		msg = resp.Status
+	}
+	code := codeOfStatus(resp.StatusCode)
+	return &Error{Code: code, Message: msg, err: sentinelOf(code)}
+}
+
+// getJSON runs a GET and decodes the JSON response into out.
+func (c *Client) getJSON(ctx context.Context, path string, q url.Values, out any) error {
+	resp, err := c.do(ctx, http.MethodGet, path, q, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return &Error{Code: CodeInternal, Message: fmt.Sprintf("decoding %s response: %v", path, err), err: err}
+	}
+	return nil
+}
+
+func (c *Client) Spec(ctx context.Context) (StoreInfo, error) {
+	var info StoreInfo
+	err := c.getJSON(ctx, "/store", nil, &info)
+	return info, err
+}
+
+func (c *Client) Frames(ctx context.Context) ([]FrameInfo, error) {
+	var infos []FrameInfo
+	if err := c.getJSON(ctx, "/frames", nil, &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Frame fetches and reassembles a decompressed frame from the binary
+// route: little-endian float64 bytes plus the X-Goblaz-Shape header.
+func (c *Client) Frame(ctx context.Context, label int) (*Frame, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/frames/"+strconv.Itoa(label), nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	shape, err := parseShapeHeader(resp.Header.Get("X-Goblaz-Shape"))
+	if err != nil {
+		return nil, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, &Error{Code: CodeInternal, Message: fmt.Sprintf("reading frame %d body: %v", label, err), err: err}
+	}
+	n := 1
+	for _, e := range shape {
+		n *= e
+	}
+	if len(raw) != n*8 {
+		return nil, Errorf(CodeInternal, "frame %d body is %d bytes, shape %v needs %d", label, len(raw), shape, n*8)
+	}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return &Frame{Label: label, Shape: shape, Data: data}, nil
+}
+
+func parseShapeHeader(h string) ([]int, error) {
+	if h == "" {
+		return nil, Errorf(CodeInternal, "frame response missing X-Goblaz-Shape header")
+	}
+	parts := strings.Split(h, ",")
+	shape := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, Errorf(CodeInternal, "bad X-Goblaz-Shape header %q", h)
+		}
+		shape[i] = v
+	}
+	return shape, nil
+}
+
+// Payload fetches a frame's raw compressed bytes, so Client also
+// satisfies the optional Payloads capability.
+func (c *Client) Payload(ctx context.Context, label int) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/frames/"+strconv.Itoa(label)+"/payload", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, &Error{Code: CodeInternal, Message: fmt.Sprintf("reading payload %d: %v", label, err), err: err}
+	}
+	return blob, nil
+}
+
+func (c *Client) Stats(ctx context.Context, label int, aggs []string) (*query.FrameResult, error) {
+	var q url.Values
+	if len(aggs) > 0 {
+		q = url.Values{"aggs": {strings.Join(aggs, ",")}}
+	}
+	var fr query.FrameResult
+	if err := c.getJSON(ctx, "/frames/"+strconv.Itoa(label)+"/stats", q, &fr); err != nil {
+		return nil, err
+	}
+	return &fr, nil
+}
+
+func (c *Client) Region(ctx context.Context, label int, offset, shape []int) (*query.FrameResult, error) {
+	q := url.Values{"offset": {joinInts(offset)}, "shape": {joinInts(shape)}}
+	var fr query.FrameResult
+	if err := c.getJSON(ctx, "/frames/"+strconv.Itoa(label)+"/region", q, &fr); err != nil {
+		return nil, err
+	}
+	return &fr, nil
+}
+
+func (c *Client) Query(ctx context.Context, req *query.Request) (*query.Result, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, &Error{Code: CodeBadRequest, Message: fmt.Sprintf("encoding request: %v", err), err: err}
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/query", nil, body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var res query.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, &Error{Code: CodeInternal, Message: fmt.Sprintf("decoding query response: %v", err), err: err}
+	}
+	return &res, nil
+}
+
+func joinInts(vals []int) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,365 @@
+// Package httpapi binds the transport-agnostic v1 contract
+// (internal/api) to HTTP. It owns routing, the JSON error envelope,
+// conditional requests (ETag / If-None-Match), and the middleware
+// stack — panic recovery, access logging, request body limits, and
+// per-request deadlines. It holds no business logic: every route calls
+// an api.Backend, so the same handler serves a local store or proxies
+// another server.
+//
+// Routes (also mounted per named store under /v1/stores/{store}/...):
+//
+//	GET  /healthz                   liveness
+//	GET  /v1/stores                 named store list
+//	GET  /v1/store                  {"spec": ..., "frames": n}
+//	GET  /v1/frames                 JSON frame index
+//	GET  /v1/frames/{label}         little-endian float64 bytes;
+//	                                X-Goblaz-Shape header; ETag
+//	GET  /v1/frames/{label}/payload raw compressed payload; ETag
+//	GET  /v1/frames/{label}/stats   aggregates (?aggs=mean,...); ETag
+//	GET  /v1/frames/{label}/region  sub-array (?offset=..&shape=..); ETag
+//	POST /v1/query                  compressed-domain query
+//
+// Every error response is the JSON envelope {"error": {"code", ...}}
+// with a stable api.Code mapped to its HTTP status — no plain-text
+// bodies, no internal error text on the wire.
+package httpapi
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/query"
+)
+
+// Options configures the handler.
+type Options struct {
+	// MaxRequestBytes bounds request bodies (default 1 MiB).
+	MaxRequestBytes int64
+	// RequestTimeout, when > 0, deadlines every request's context, so a
+	// stuck query cannot pin a connection past it.
+	RequestTimeout time.Duration
+	// Logf receives one access-log line per request (and panic
+	// reports); nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Handler serves one default store plus any number of named stores.
+type Handler struct {
+	def    api.Backend            // default store, "" name; may be nil
+	stores map[string]api.Backend // named mounts under /v1/stores/{name}
+	opts   Options
+	mux    *http.ServeMux
+}
+
+// New builds the v1 HTTP handler. def serves the unprefixed routes
+// (/v1/store, /v1/frames, ...); stores (may be nil) mount additionally
+// under /v1/stores/{name}/. The same backend may appear as both.
+func New(def api.Backend, stores map[string]api.Backend, opts Options) http.Handler {
+	if opts.MaxRequestBytes <= 0 {
+		opts.MaxRequestBytes = 1 << 20
+	}
+	h := &Handler{def: def, stores: stores, opts: opts, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	h.mux.HandleFunc("GET /v1/stores", h.handleStoreList)
+
+	// Each resource registers twice: on the default mount and under the
+	// named-store prefix, resolved per request.
+	for _, m := range []struct {
+		method, path string
+		fn           resourceFunc
+	}{
+		{"GET", "/store", (*Handler).handleStore},
+		{"GET", "/frames", (*Handler).handleFrames},
+		{"GET", "/frames/{label}", (*Handler).handleFrame},
+		{"GET", "/frames/{label}/payload", (*Handler).handlePayload},
+		{"GET", "/frames/{label}/stats", (*Handler).handleStats},
+		{"GET", "/frames/{label}/region", (*Handler).handleRegion},
+		{"POST", "/query", (*Handler).handleQuery},
+	} {
+		h.mux.HandleFunc(m.method+" /v1"+m.path, h.resolve(m.fn, false))
+		h.mux.HandleFunc(m.method+" /v1/stores/{store}"+m.path, h.resolve(m.fn, true))
+	}
+	// The named-store root doubles as its StoreInfo resource.
+	h.mux.HandleFunc("GET /v1/stores/{store}", h.resolve((*Handler).handleStore, true))
+	return withMiddleware(h.mux, opts)
+}
+
+// resourceFunc is one v1 resource: it answers for the resolved backend
+// and returns an error to be rendered as the JSON envelope.
+type resourceFunc func(h *Handler, b api.Backend, w http.ResponseWriter, req *http.Request) error
+
+// resolve picks the backend — the default mount or a named store from
+// the path — and funnels the resource's error into the envelope.
+func (h *Handler) resolve(fn resourceFunc, named bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		b := h.def
+		if named {
+			b = h.stores[req.PathValue("store")]
+		}
+		if b == nil {
+			writeError(w, api.Errorf(api.CodeNotFound, "no such store"))
+			return
+		}
+		if err := fn(h, b, w, req); err != nil {
+			writeError(w, err)
+		}
+	}
+}
+
+func (h *Handler) handleStoreList(w http.ResponseWriter, req *http.Request) {
+	names := make([]string, 0, len(h.stores))
+	for name := range h.stores {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeJSON(w, map[string]any{"stores": names})
+}
+
+func (h *Handler) handleStore(b api.Backend, w http.ResponseWriter, req *http.Request) error {
+	info, err := b.Spec(req.Context())
+	if err != nil {
+		return err
+	}
+	writeJSON(w, info)
+	return nil
+}
+
+func (h *Handler) handleFrames(b api.Backend, w http.ResponseWriter, req *http.Request) error {
+	infos, err := b.Frames(req.Context())
+	if err != nil {
+		return err
+	}
+	writeJSON(w, infos)
+	return nil
+}
+
+// frameInfo resolves the {label} path segment against the backend's
+// index: the canonical decimal label ("01" resolves to 1), not a glob.
+// Backends with the FrameResolver capability (Local) answer in O(1);
+// others pay a full index scan.
+func frameInfo(ctx context.Context, b api.Backend, req *http.Request) (api.FrameInfo, error) {
+	label, err := strconv.Atoi(req.PathValue("label"))
+	if err != nil {
+		return api.FrameInfo{}, api.Errorf(api.CodeBadRequest, "bad frame label %q", req.PathValue("label"))
+	}
+	if fr, ok := b.(api.FrameResolver); ok {
+		return fr.FrameInfo(ctx, label)
+	}
+	infos, err := b.Frames(ctx)
+	if err != nil {
+		return api.FrameInfo{}, err
+	}
+	for _, e := range infos {
+		if e.Label == label {
+			return e, nil
+		}
+	}
+	return api.FrameInfo{}, &apiNotFound{label: label}
+}
+
+// apiNotFound defers building the error so frameInfo stays allocation-
+// free on the hit path; it classifies as CodeNotFound.
+type apiNotFound struct{ label int }
+
+func (e *apiNotFound) Error() string { return fmt.Sprintf("no frame with label %d", e.label) }
+func (e *apiNotFound) Unwrap() error { return api.ErrNotFound }
+
+// notModified writes the frame's ETag — derived from the payload CRC in
+// the store footer, which changes exactly when any derived
+// representation (bytes, stats, regions) does — and answers 304 when
+// If-None-Match matches. true means the response is complete.
+func notModified(w http.ResponseWriter, req *http.Request, e api.FrameInfo) bool {
+	etag := `"` + e.CRC32 + `"`
+	w.Header().Set("ETag", etag)
+	for _, tag := range strings.Split(req.Header.Get("If-None-Match"), ",") {
+		tag = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(tag), "W/"))
+		if tag == etag || tag == "*" {
+			w.WriteHeader(http.StatusNotModified)
+			return true
+		}
+	}
+	return false
+}
+
+func (h *Handler) handleFrame(b api.Backend, w http.ResponseWriter, req *http.Request) error {
+	info, err := frameInfo(req.Context(), b, req)
+	if err != nil {
+		return err
+	}
+	if notModified(w, req, info) {
+		return nil
+	}
+	f, err := b.Frame(req.Context(), info.Label)
+	if err != nil {
+		return err
+	}
+	shape := make([]string, len(f.Shape))
+	for d, e := range f.Shape {
+		shape[d] = strconv.Itoa(e)
+	}
+	raw := make([]byte, len(f.Data)*8)
+	for j, v := range f.Data {
+		binary.LittleEndian.PutUint64(raw[j*8:], math.Float64bits(v))
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Goblaz-Shape", strings.Join(shape, ","))
+	w.Write(raw)
+	return nil
+}
+
+func (h *Handler) handlePayload(b api.Backend, w http.ResponseWriter, req *http.Request) error {
+	p, ok := b.(api.Payloads)
+	if !ok {
+		return api.Errorf(api.CodeNotSupported, "backend does not expose raw payloads")
+	}
+	info, err := frameInfo(req.Context(), b, req)
+	if err != nil {
+		return err
+	}
+	if notModified(w, req, info) {
+		return nil
+	}
+	payload, err := p.Payload(req.Context(), info.Label)
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(payload)
+	return nil
+}
+
+func (h *Handler) handleStats(b api.Backend, w http.ResponseWriter, req *http.Request) error {
+	info, err := frameInfo(req.Context(), b, req)
+	if err != nil {
+		return err
+	}
+	var aggs []string
+	if v := req.FormValue("aggs"); v != "" {
+		aggs = strings.Split(v, ",")
+		for _, kind := range aggs {
+			// Validate names before the conditional-request check, so a
+			// bogus request never short-circuits to 304.
+			if !slices.Contains(api.AllAggregates, kind) {
+				return api.Errorf(api.CodeBadRequest, "unknown aggregate %q", kind)
+			}
+		}
+	}
+	// Stats derive deterministically from the payload, so the payload
+	// ETag governs them too: a dashboard polling stats revalidates with
+	// 304s instead of recomputing aggregates.
+	if notModified(w, req, info) {
+		return nil
+	}
+	fr, err := b.Stats(req.Context(), info.Label, aggs)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, fr)
+	return nil
+}
+
+func (h *Handler) handleRegion(b api.Backend, w http.ResponseWriter, req *http.Request) error {
+	info, err := frameInfo(req.Context(), b, req)
+	if err != nil {
+		return err
+	}
+	offset, err := parseInts(req.FormValue("offset"))
+	if err != nil {
+		return api.Errorf(api.CodeBadRequest, "bad offset: %v", err)
+	}
+	shape, err := parseInts(req.FormValue("shape"))
+	if err != nil {
+		return api.Errorf(api.CodeBadRequest, "bad shape: %v", err)
+	}
+	// Bounds are only checked by the backend, after the 304 short
+	// circuit — soundly so: the ETag fingerprints the payload that
+	// determines the frame shape, so a genuinely matching ETag means
+	// the cached 200 (and its bounds check) is still valid.
+	if notModified(w, req, info) {
+		return nil
+	}
+	fr, err := b.Region(req.Context(), info.Label, offset, shape)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, fr)
+	return nil
+}
+
+func (h *Handler) handleQuery(b api.Backend, w http.ResponseWriter, req *http.Request) error {
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	var qr query.Request
+	if err := dec.Decode(&qr); err != nil {
+		var maxBytes *http.MaxBytesError
+		if errors.As(err, &maxBytes) {
+			return err // writeError owns the body-limit classification
+		}
+		return api.Errorf(api.CodeBadRequest, "bad query JSON: %v", err)
+	}
+	res, err := b.Query(req.Context(), &qr)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, res)
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q in %q", p, s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// writeJSON encodes v to a buffer first, so an encoding failure becomes
+// a clean error envelope instead of a truncated 200.
+func writeJSON(w http.ResponseWriter, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, api.FromError(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(buf, '\n'))
+}
+
+// writeError renders err as the v1 JSON envelope at its mapped status.
+// Internal causes were already stripped by api.FromError — only the
+// stable code and a safe message cross the wire.
+func writeError(w http.ResponseWriter, err error) {
+	// An ETag set before the failure (by notModified) must not ride on
+	// the error: it validates the success representation only.
+	w.Header().Del("ETag")
+	apiErr := api.FromError(err)
+	var maxBytes *http.MaxBytesError
+	if errors.As(err, &maxBytes) {
+		apiErr = api.Errorf(api.CodeBadRequest, "request body exceeds %d bytes", maxBytes.Limit)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(apiErr.HTTPStatus())
+	blob, merr := json.Marshal(api.ErrorEnvelope{Error: apiErr})
+	if merr != nil { // unreachable: Error is plain strings
+		blob = []byte(`{"error":{"code":"internal","message":"internal error"}}`)
+	}
+	w.Write(append(blob, '\n'))
+}

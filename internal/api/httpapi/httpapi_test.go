@@ -1,0 +1,390 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/codec"
+	"repro/internal/query"
+	"repro/internal/store"
+	"repro/internal/tensor"
+)
+
+func buildLocal(t testing.TB, n, rows, cols int) *api.Local {
+	t.Helper()
+	cd, err := codec.Lookup("goblaz:block=4x4,float=float64,index=int16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coder := cd.(codec.Coder)
+	var buf bytes.Buffer
+	w, err := store.NewWriter(&buf, coder.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		f := tensor.New(rows, cols)
+		for i := range f.Data() {
+			f.Data()[i] = math.Sin(float64(i)/7 + float64(k))
+		}
+		c, err := coder.Compress(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := coder.Encode(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(k, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := store.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return api.NewLocal(r, query.New(r, query.Options{}))
+}
+
+// decodeEnvelope asserts resp is a JSON error envelope and returns it.
+func decodeEnvelope(t *testing.T, resp *http.Response) *api.Error {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("error response Content-Type = %q, want application/json", ct)
+	}
+	var env struct {
+		Error *api.Error `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == nil {
+		t.Fatalf("response is not an error envelope: %v", err)
+	}
+	return env.Error
+}
+
+func TestErrorEnvelopes(t *testing.T) {
+	srv := httptest.NewServer(New(buildLocal(t, 2, 8, 8), nil, Options{}))
+	defer srv.Close()
+	cases := []struct {
+		method, path, body string
+		status             int
+		code               api.Code
+	}{
+		{"GET", "/v1/frames/banana", "", 400, api.CodeBadRequest},
+		{"GET", "/v1/frames/9", "", 404, api.CodeNotFound},
+		{"GET", "/v1/frames/9/stats", "", 404, api.CodeNotFound},
+		{"GET", "/v1/frames/0/region?offset=a&shape=1", "", 400, api.CodeBadRequest},
+		{"GET", "/v1/frames/0/region?offset=9,9&shape=4,4", "", 400, api.CodeBadRequest},
+		{"POST", "/v1/query", `{not json`, 400, api.CodeBadRequest},
+		{"POST", "/v1/query", `{"aggregates":["median"]}`, 400, api.CodeBadRequest},
+		{"GET", "/v1/stores/nope/frames", "", 404, api.CodeNotFound},
+	}
+	for _, cse := range cases {
+		req, _ := http.NewRequest(cse.method, srv.URL+cse.path, strings.NewReader(cse.body))
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != cse.status {
+			t.Errorf("%s %s = %d, want %d", cse.method, cse.path, resp.StatusCode, cse.status)
+		}
+		if e := decodeEnvelope(t, resp); e.Code != cse.code {
+			t.Errorf("%s %s code = %s, want %s", cse.method, cse.path, e.Code, cse.code)
+		}
+	}
+}
+
+func TestMultiStoreMounts(t *testing.T) {
+	a, b := buildLocal(t, 2, 8, 8), buildLocal(t, 3, 8, 8)
+	srv := httptest.NewServer(New(a, map[string]api.Backend{"run-a": a, "run-b": b}, Options{}))
+	defer srv.Close()
+
+	get := func(path string) map[string]any {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("GET %s = %d: %s", path, resp.StatusCode, body)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	list := get("/v1/stores")
+	if fmt.Sprint(list["stores"]) != "[run-a run-b]" {
+		t.Errorf("store list = %v", list)
+	}
+	if got := get("/v1/stores/run-b")["frames"]; got != float64(3) {
+		t.Errorf("run-b frames = %v, want 3", got)
+	}
+	if got := get("/v1/stores/run-a/store")["frames"]; got != float64(2) {
+		t.Errorf("run-a frames = %v, want 2", got)
+	}
+	// The default mount serves store a alongside the named ones.
+	if got := get("/v1/store")["frames"]; got != float64(2) {
+		t.Errorf("default frames = %v, want 2", got)
+	}
+	// Named query route works end to end.
+	resp, err := srv.Client().Post(srv.URL+"/v1/stores/run-b/query", "application/json",
+		strings.NewReader(`{"aggregates":["mean"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res query.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil || len(res.Frames) != 3 {
+		t.Errorf("named query = %d frames, %v", len(res.Frames), err)
+	}
+}
+
+func TestStatsAndRegionETag(t *testing.T) {
+	// Satellite: the 304 revalidation path, previously frame/payload
+	// only, covers the stats and region resources too.
+	srv := httptest.NewServer(New(buildLocal(t, 2, 16, 16), nil, Options{}))
+	defer srv.Close()
+	for _, path := range []string{
+		"/v1/frames/0/stats",
+		"/v1/frames/0/region?offset=1,1&shape=2,2",
+		"/v1/frames/0",
+		"/v1/frames/0/payload",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		etag := resp.Header.Get("ETag")
+		if len(etag) != 10 || etag[0] != '"' {
+			t.Fatalf("GET %s ETag = %q, want quoted crc32", path, etag)
+		}
+		req, _ := http.NewRequest("GET", srv.URL+path, nil)
+		req.Header.Set("If-None-Match", etag)
+		resp, err = srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+			t.Errorf("GET %s revalidation = %d with %dB body, want bare 304", path, resp.StatusCode, len(body))
+		}
+	}
+}
+
+// panicBackend implements api.Backend by panicking; it proves the
+// recovery middleware turns handler panics into 500 envelopes.
+type panicBackend struct{}
+
+func (panicBackend) Spec(context.Context) (api.StoreInfo, error) { panic("boom") }
+func (panicBackend) Frames(context.Context) ([]api.FrameInfo, error) {
+	return nil, api.Errorf(api.CodeInternal, "x")
+}
+func (panicBackend) Frame(context.Context, int) (*api.Frame, error) { panic("boom") }
+func (panicBackend) Region(context.Context, int, []int, []int) (*query.FrameResult, error) {
+	panic("boom")
+}
+func (panicBackend) Stats(context.Context, int, []string) (*query.FrameResult, error) {
+	panic("boom")
+}
+func (panicBackend) Query(context.Context, *query.Request) (*query.Result, error) { panic("boom") }
+
+func TestPanicRecovery(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	srv := httptest.NewServer(New(panicBackend{}, nil, Options{Logf: logf}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 500 {
+		t.Fatalf("panicking handler = %d, want 500", resp.StatusCode)
+	}
+	e := decodeEnvelope(t, resp)
+	if e.Code != api.CodeInternal || strings.Contains(e.Message, "boom") {
+		t.Errorf("panic envelope leaked or misclassified: %+v", e)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var sawPanic, sawAccess bool
+	for _, l := range lines {
+		sawPanic = sawPanic || strings.Contains(l, "boom")
+		sawAccess = sawAccess || strings.Contains(l, "GET /v1/store 500")
+	}
+	if !sawPanic || !sawAccess {
+		t.Errorf("log lines missing panic/access records: %q", lines)
+	}
+}
+
+func TestPayloadNotSupported(t *testing.T) {
+	// A Backend without the optional Payloads capability answers the
+	// payload route with not_supported, not a panic or a 404.
+	srv := httptest.NewServer(New(panicBackend{}, nil, Options{}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/frames/0/payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("payload on incapable backend = %d, want 501", resp.StatusCode)
+	}
+	if e := decodeEnvelope(t, resp); e.Code != api.CodeNotSupported {
+		t.Errorf("code = %s, want not_supported", e.Code)
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	srv := httptest.NewServer(New(buildLocal(t, 1, 8, 8), nil, Options{MaxRequestBytes: 64}))
+	defer srv.Close()
+	big := `{"aggregates":["mean"],"point":[` + strings.Repeat("1,", 200) + `1]}`
+	resp, err := srv.Client().Post(srv.URL+"/v1/query", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 400 {
+		t.Fatalf("oversized body = %d, want 400", resp.StatusCode)
+	}
+	if e := decodeEnvelope(t, resp); e.Code != api.CodeBadRequest || !strings.Contains(e.Message, "64") {
+		t.Errorf("body-limit envelope = %+v", e)
+	}
+}
+
+func TestInvalidRequestNeverShortCircuitsTo304(t *testing.T) {
+	// A bogus request with a matching If-None-Match must answer its
+	// validation error, not 304 — and the error must not carry the ETag.
+	srv := httptest.NewServer(New(buildLocal(t, 1, 8, 8), nil, Options{}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/frames/0/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/frames/0/stats?aggs=bogus", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 400 {
+		t.Fatalf("bogus aggs with matching If-None-Match = %d, want 400", resp.StatusCode)
+	}
+	if got := resp.Header.Get("ETag"); got != "" {
+		t.Errorf("error response carries ETag %q", got)
+	}
+	if e := decodeEnvelope(t, resp); e.Code != api.CodeBadRequest {
+		t.Errorf("code = %s", e.Code)
+	}
+}
+
+// noResolver hides Local's optional capabilities behind the bare
+// Backend interface, forcing the handler's index-scan fallback.
+type noResolver struct{ api.Backend }
+
+func TestFrameRoutesWithoutResolver(t *testing.T) {
+	srv := httptest.NewServer(New(noResolver{buildLocal(t, 3, 8, 8)}, nil, Options{}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/frames/2/stats?aggs=mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats via scan fallback = %d", resp.StatusCode)
+	}
+	var fr query.FrameResult
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil || fr.Label != 2 {
+		t.Errorf("fallback stats = %+v, %v", fr, err)
+	}
+	missing, err := srv.Client().Get(srv.URL + "/v1/frames/9/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing.StatusCode != 404 {
+		t.Errorf("missing frame via scan fallback = %d, want 404", missing.StatusCode)
+	}
+	if e := decodeEnvelope(t, missing); e.Code != api.CodeNotFound {
+		t.Errorf("code = %s", e.Code)
+	}
+}
+
+// slowBackend blocks in Query until its context ends, standing in for a
+// long compressed-domain plan.
+type slowBackend struct{ api.Backend }
+
+func (s slowBackend) Query(ctx context.Context, req *query.Request) (*query.Result, error) {
+	<-ctx.Done()
+	return nil, api.FromError(ctx.Err())
+}
+
+func TestRequestTimeoutCancelsWork(t *testing.T) {
+	srv := httptest.NewServer(New(slowBackend{buildLocal(t, 1, 8, 8)}, nil,
+		Options{RequestTimeout: 20 * time.Millisecond}))
+	defer srv.Close()
+	start := time.Now()
+	resp, err := srv.Client().Post(srv.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"aggregates":["mean"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("request deadline did not fire (%s)", took)
+	}
+	if resp.StatusCode != api.StatusClientClosedRequest {
+		t.Fatalf("timed-out request = %d, want %d", resp.StatusCode, api.StatusClientClosedRequest)
+	}
+	if e := decodeEnvelope(t, resp); e.Code != api.CodeCanceled {
+		t.Errorf("code = %s, want canceled", e.Code)
+	}
+}
+
+func TestAccessLogFields(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	srv := httptest.NewServer(New(buildLocal(t, 1, 8, 8), nil, Options{Logf: func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/frames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 || !strings.Contains(lines[0], "GET /v1/frames 200") {
+		t.Errorf("access log = %q", lines)
+	}
+}

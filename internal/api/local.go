@@ -1,0 +1,162 @@
+package api
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// Local is the in-process Backend: a store.Reader for frame access and
+// a query.Engine for compressed-domain work. Every error it returns is
+// already classified (*Error), so the HTTP layer and CLI render it
+// without re-inspecting causes; the original error stays reachable
+// through Unwrap.
+type Local struct {
+	r   *store.Reader
+	eng *query.Engine
+}
+
+// NewLocal wraps an open store reader and its query engine. The caller
+// keeps ownership of r (and closes it).
+func NewLocal(r *store.Reader, eng *query.Engine) *Local {
+	return &Local{r: r, eng: eng}
+}
+
+// OpenLocal opens the store at path with a fresh engine. Close releases
+// the file handle.
+func OpenLocal(path string, opts query.Options) (*Local, error) {
+	r, err := store.Open(path)
+	if err != nil {
+		return nil, FromError(err)
+	}
+	return NewLocal(r, query.New(r, opts)), nil
+}
+
+// Close releases the store file handle when the Local owns one (built
+// by OpenLocal or over a reader from store.Open).
+func (l *Local) Close() error { return l.r.Close() }
+
+// Reader exposes the underlying store reader, for callers that need
+// store-level access (e.g. the inspect CLI's byte accounting).
+func (l *Local) Reader() *store.Reader { return l.r }
+
+func (l *Local) Spec(ctx context.Context) (StoreInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return StoreInfo{}, FromError(err)
+	}
+	return StoreInfo{Spec: l.r.Spec(), Frames: l.r.Len()}, nil
+}
+
+func (l *Local) Frames(ctx context.Context) ([]FrameInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, FromError(err)
+	}
+	infos := make([]FrameInfo, l.r.Len())
+	for i := range infos {
+		infos[i] = l.frameInfoAt(i)
+	}
+	return infos, nil
+}
+
+// frameInfoAt converts the index entry at store position i.
+func (l *Local) frameInfoAt(i int) FrameInfo {
+	e := l.r.Info(i)
+	return FrameInfo{
+		Index:  i,
+		Label:  e.Label,
+		Offset: e.Offset,
+		Length: e.Length,
+		CRC32:  fmt.Sprintf("%08x", e.CRC32),
+	}
+}
+
+// indexOf resolves a label to its store position.
+func (l *Local) indexOf(label int) (int, error) {
+	i, ok := l.r.IndexOf(label)
+	if !ok {
+		return 0, &Error{Code: CodeNotFound, Message: fmt.Sprintf("no frame with label %d", label), err: ErrNotFound}
+	}
+	return i, nil
+}
+
+// FrameInfo resolves one label through the store's label index — the
+// O(1) FrameResolver capability behind the per-frame HTTP routes.
+func (l *Local) FrameInfo(ctx context.Context, label int) (FrameInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return FrameInfo{}, FromError(err)
+	}
+	i, err := l.indexOf(label)
+	if err != nil {
+		return FrameInfo{}, err
+	}
+	return l.frameInfoAt(i), nil
+}
+
+func (l *Local) Frame(ctx context.Context, label int) (*Frame, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, FromError(err)
+	}
+	i, err := l.indexOf(label)
+	if err != nil {
+		return nil, err
+	}
+	t, err := l.r.Decompress(i)
+	if err != nil {
+		return nil, FromError(err)
+	}
+	return &Frame{Label: label, Shape: t.Shape(), Data: t.Data()}, nil
+}
+
+func (l *Local) Payload(ctx context.Context, label int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, FromError(err)
+	}
+	i, err := l.indexOf(label)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := l.r.Payload(i)
+	if err != nil {
+		return nil, FromError(err)
+	}
+	return payload, nil
+}
+
+// frameQuery runs a query scoped to one frame and returns that frame's
+// result. Selection uses the canonical decimal label so resolution
+// matches Frame/Payload exactly.
+func (l *Local) frameQuery(ctx context.Context, label int, req *query.Request) (*query.FrameResult, error) {
+	if _, err := l.indexOf(label); err != nil {
+		return nil, err
+	}
+	req.Select = query.Selector{Labels: strconv.Itoa(label)}
+	res, err := l.Query(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return &res.Frames[0], nil
+}
+
+func (l *Local) Stats(ctx context.Context, label int, aggs []string) (*query.FrameResult, error) {
+	if len(aggs) == 0 {
+		aggs = AllAggregates
+	}
+	return l.frameQuery(ctx, label, &query.Request{Aggregates: aggs})
+}
+
+func (l *Local) Region(ctx context.Context, label int, offset, shape []int) (*query.FrameResult, error) {
+	return l.frameQuery(ctx, label, &query.Request{
+		Region: &query.RegionRequest{Offset: offset, Shape: shape},
+	})
+}
+
+func (l *Local) Query(ctx context.Context, req *query.Request) (*query.Result, error) {
+	res, err := l.eng.Run(ctx, req)
+	if err != nil {
+		return nil, FromError(err)
+	}
+	return res, nil
+}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -43,18 +44,21 @@ func New(r *store.Reader, opts Options) *Engine {
 // Cache exposes the engine's decoded-frame cache (for stats endpoints).
 func (e *Engine) Cache() *Cache { return e.cache }
 
-// Run compiles and executes req.
-func (e *Engine) Run(req *Request) (*Result, error) {
+// Run compiles and executes req. Canceling ctx stops the plan between
+// frames — the engine returns ctx's error within one frame's work.
+func (e *Engine) Run(ctx context.Context, req *Request) (*Result, error) {
 	p, err := Compile(e.r, req)
 	if err != nil {
 		return nil, err
 	}
-	return e.Execute(p)
+	return e.Execute(ctx, p)
 }
 
 // Execute runs a compiled plan, fanning per-frame work across the
-// shared tensor worker pool.
-func (e *Engine) Execute(p *Plan) (*Result, error) {
+// shared tensor worker pool. ctx is re-checked before every frame's
+// work, so a dropped connection or an expired CLI deadline abandons the
+// remaining frames instead of decompressing them for nobody.
+func (e *Engine) Execute(ctx context.Context, p *Plan) (*Result, error) {
 	coder, err := e.r.Coder()
 	if err != nil {
 		return nil, err
@@ -91,11 +95,11 @@ func (e *Engine) Execute(p *Plan) (*Result, error) {
 
 	frames := make([]FrameResult, len(p.frames))
 	errs := make([]error, len(p.frames))
-	tensor.ParallelForCoarse(len(p.frames), func(start, end int) {
-		for j := start; j < end; j++ {
-			frames[j], errs[j] = e.runFrame(p, ops, rr, p.frames[j], refC, refT)
-		}
-	})
+	if err := tensor.ParallelForCoarseCtx(ctx, len(p.frames), func(j int) {
+		frames[j], errs[j] = e.runFrame(ctx, p, ops, rr, p.frames[j], refC, refT)
+	}); err != nil {
+		return nil, err
+	}
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
@@ -105,6 +109,9 @@ func (e *Engine) Execute(p *Plan) (*Result, error) {
 		res.ExecutedInCompressedSpace = res.ExecutedInCompressedSpace && frames[i].ExecutedInCompressedSpace
 	}
 	if p.pairMode {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pair, err := e.runPair(p, ops)
 		if err != nil {
 			return nil, err
@@ -118,7 +125,6 @@ func (e *Engine) Execute(p *Plan) (*Result, error) {
 		}
 		res.ExecutedInCompressedSpace = res.ExecutedInCompressedSpace && pair.ExecutedInCompressedSpace
 	}
-	res.Cache = e.cache.Stats()
 	return res, nil
 }
 
@@ -127,8 +133,11 @@ func (e *Engine) Execute(p *Plan) (*Result, error) {
 // decompression are both loaded at most once, the latter through the
 // LRU cache; the frame's ExecutedInCompressedSpace flag is true iff the
 // full decompression was never needed.
-func (e *Engine) runFrame(p *Plan, ops codec.Ops, rr codec.RegionReader, i int, refC codec.Compressed, refT func() (*tensor.Tensor, error)) (FrameResult, error) {
+func (e *Engine) runFrame(ctx context.Context, p *Plan, ops codec.Ops, rr codec.RegionReader, i int, refC codec.Compressed, refT func() (*tensor.Tensor, error)) (FrameResult, error) {
 	out := FrameResult{Index: i, Label: e.r.Info(i).Label, ExecutedInCompressedSpace: true}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 
 	var fc codec.Compressed
 	loadC := func() (codec.Compressed, error) {

@@ -171,8 +171,6 @@ type Result struct {
 	// ExecutedInCompressedSpace is true iff every frame's work ran
 	// without full decompression.
 	ExecutedInCompressedSpace bool `json:"executedInCompressedSpace"`
-	// Cache snapshots the engine's decoded-frame cache counters.
-	Cache CacheStats `json:"cache"`
 }
 
 // FrameResult is one frame's share of a query answer.

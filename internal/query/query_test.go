@@ -2,10 +2,14 @@ package query
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"math"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/store"
@@ -83,14 +87,14 @@ func TestAggregatesCompressedMatchesDecoded(t *testing.T) {
 	r := buildStore(t, goblazSpec, seqLabels(4), testFrames(4, 20, 28))
 	req := &Request{Aggregates: []string{AggMean, AggVariance, AggStdDev, AggL2Norm}}
 
-	fast, err := New(r, Options{}).Run(req)
+	fast, err := New(r, Options{}).Run(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !fast.ExecutedInCompressedSpace {
 		t.Error("goblaz aggregates should execute in compressed space")
 	}
-	slow, err := New(r, Options{ForceDecode: true}).Run(req)
+	slow, err := New(r, Options{ForceDecode: true}).Run(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +118,7 @@ func TestAggregatesCompressedMatchesDecoded(t *testing.T) {
 
 func TestMinMaxForceDecodeFallback(t *testing.T) {
 	r := buildStore(t, goblazSpec, seqLabels(2), testFrames(2, 12, 12))
-	res, err := New(r, Options{}).Run(&Request{Aggregates: []string{AggMean, AggMin, AggMax}})
+	res, err := New(r, Options{}).Run(context.Background(), &Request{Aggregates: []string{AggMean, AggMin, AggMax}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,14 +139,14 @@ func TestDecodeFallbackCodecs(t *testing.T) {
 		t.Run(spec, func(t *testing.T) {
 			r := buildStore(t, spec, seqLabels(3), testFrames(3, 16, 16))
 			e := New(r, Options{CacheBytes: 1 << 20})
-			res, err := e.Run(&Request{Aggregates: []string{AggMean, AggStdDev}})
+			res, err := e.Run(context.Background(), &Request{Aggregates: []string{AggMean, AggStdDev}})
 			if err != nil {
 				t.Fatal(err)
 			}
 			if res.ExecutedInCompressedSpace {
 				t.Errorf("%s aggregates cannot run in compressed space", spec)
 			}
-			want, err := New(r, Options{ForceDecode: true}).Run(&Request{Aggregates: []string{AggMean, AggStdDev}})
+			want, err := New(r, Options{ForceDecode: true}).Run(context.Background(), &Request{Aggregates: []string{AggMean, AggStdDev}})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -164,14 +168,14 @@ func TestMetricAgainstReference(t *testing.T) {
 			Select: Selector{Labels: "[12]"}, // frames 1 and 2; identical-frame PSNR is +Inf and not JSON-encodable
 			Metric: &MetricRequest{Kind: kind, Against: &ref},
 		}
-		fast, err := New(r, Options{}).Run(req)
+		fast, err := New(r, Options{}).Run(context.Background(), req)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
 		if !fast.ExecutedInCompressedSpace {
 			t.Errorf("%s: goblaz metric should run in compressed space", kind)
 		}
-		slow, err := New(r, Options{ForceDecode: true}).Run(req)
+		slow, err := New(r, Options{ForceDecode: true}).Run(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,7 +197,7 @@ func TestPairMetric(t *testing.T) {
 		Select: Selector{From: &from, To: &to},
 		Metric: &MetricRequest{Kind: MetricMSE},
 	}
-	res, err := New(r, Options{}).Run(req)
+	res, err := New(r, Options{}).Run(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,14 +225,14 @@ func TestRegionAndPointPartialDecode(t *testing.T) {
 		Region: &RegionRequest{Offset: []int{3, 5}, Shape: []int{7, 9}},
 		Point:  []int{19, 27},
 	}
-	res, err := New(r, Options{}).Run(req)
+	res, err := New(r, Options{}).Run(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.ExecutedInCompressedSpace {
 		t.Error("goblaz region/point reads should be block-local partial decodes")
 	}
-	slow, err := New(r, Options{ForceDecode: true}).Run(req)
+	slow, err := New(r, Options{ForceDecode: true}).Run(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +256,7 @@ func TestRegionAndPointPartialDecode(t *testing.T) {
 func TestRegionDecodeFallbackCrop(t *testing.T) {
 	frames := testFrames(1, 16, 16)
 	r := buildStore(t, "zfp:rate=32", seqLabels(1), frames)
-	res, err := New(r, Options{}).Run(&Request{Region: &RegionRequest{Offset: []int{2, 3}, Shape: []int{4, 5}}})
+	res, err := New(r, Options{}).Run(context.Background(), &Request{Region: &RegionRequest{Offset: []int{2, 3}, Shape: []int{4, 5}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +291,7 @@ func TestSelector(t *testing.T) {
 		{Selector{To: ptr(99)}, []int{10, 11, 12, 20, 21}}, // clamped
 	}
 	for _, cse := range cases {
-		res, err := New(r, Options{}).Run(&Request{Select: cse.sel, Aggregates: []string{AggMean}})
+		res, err := New(r, Options{}).Run(context.Background(), &Request{Select: cse.sel, Aggregates: []string{AggMean}})
 		if err != nil {
 			t.Fatalf("%+v: %v", cse.sel, err)
 		}
@@ -330,7 +334,7 @@ func TestBadRequests(t *testing.T) {
 	}
 	for _, cse := range cases {
 		t.Run(cse.name, func(t *testing.T) {
-			_, err := e.Run(cse.req)
+			_, err := e.Run(context.Background(), cse.req)
 			if !errors.Is(err, ErrBadRequest) {
 				t.Errorf("error %v should wrap ErrBadRequest", err)
 			}
@@ -339,7 +343,7 @@ func TestBadRequests(t *testing.T) {
 	// The same out-of-bounds region must be a bad request on the
 	// decode-fallback crop path too.
 	zr := buildStore(t, "zfp:rate=16", seqLabels(1), testFrames(1, 8, 8))
-	_, err := New(zr, Options{}).Run(&Request{Region: &RegionRequest{Offset: []int{6, 6}, Shape: []int{4, 4}}})
+	_, err := New(zr, Options{}).Run(context.Background(), &Request{Region: &RegionRequest{Offset: []int{6, 6}, Shape: []int{4, 4}}})
 	if !errors.Is(err, ErrBadRequest) {
 		t.Errorf("fallback crop error %v should wrap ErrBadRequest", err)
 	}
@@ -349,18 +353,18 @@ func TestCacheReuseAcrossQueries(t *testing.T) {
 	r := buildStore(t, "zfp:rate=16", seqLabels(3), testFrames(3, 16, 16))
 	e := New(r, Options{CacheBytes: 1 << 20})
 	req := &Request{Aggregates: []string{AggMin}}
-	if _, err := e.Run(req); err != nil {
+	if _, err := e.Run(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(req)
-	if err != nil {
+	if _, err := e.Run(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
-	if res.Cache.Hits < 3 {
-		t.Errorf("second identical query should hit the cache 3 times, stats %+v", res.Cache)
+	st := e.Cache().Stats()
+	if st.Hits < 3 {
+		t.Errorf("second identical query should hit the cache 3 times, stats %+v", st)
 	}
-	if res.Cache.Frames != 3 || res.Cache.Used != 3*16*16*8 {
-		t.Errorf("cache should hold all 3 decoded frames, stats %+v", res.Cache)
+	if st.Frames != 3 || st.Used != 3*16*16*8 {
+		t.Errorf("cache should hold all 3 decoded frames, stats %+v", st)
 	}
 }
 
@@ -369,15 +373,15 @@ func TestCompressedQueryNeverDecodes(t *testing.T) {
 	// LRU — that is what "answers without decoding frames" means.
 	r := buildStore(t, goblazSpec, seqLabels(3), testFrames(3, 16, 16))
 	e := New(r, Options{CacheBytes: 1 << 20})
-	res, err := e.Run(&Request{Aggregates: []string{AggMean, AggVariance}})
+	res, err := e.Run(context.Background(), &Request{Aggregates: []string{AggMean, AggVariance}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.ExecutedInCompressedSpace {
 		t.Fatal("expected compressed-space execution")
 	}
-	if res.Cache.Frames != 0 || res.Cache.Misses != 0 {
-		t.Errorf("compressed query touched the decode cache: %+v", res.Cache)
+	if st := e.Cache().Stats(); st.Frames != 0 || st.Misses != 0 {
+		t.Errorf("compressed query touched the decode cache: %+v", st)
 	}
 }
 
@@ -397,7 +401,7 @@ func TestInfiniteMetricSurvivesJSON(t *testing.T) {
 	// and decode as JSON instead of failing the whole query's response.
 	r := buildStore(t, goblazSpec, seqLabels(2), testFrames(2, 8, 8))
 	ref := 0
-	res, err := New(r, Options{}).Run(&Request{
+	res, err := New(r, Options{}).Run(context.Background(), &Request{
 		Metric: &MetricRequest{Kind: MetricPSNR, Against: &ref},
 	})
 	if err != nil {
@@ -448,7 +452,7 @@ func TestFallbackMetricWithColdCache(t *testing.T) {
 	// still answers (and in one decode of the reference, not N).
 	r := buildStore(t, "zfp:rate=32", seqLabels(3), testFrames(3, 16, 16))
 	ref := 0
-	res, err := New(r, Options{}).Run(&Request{
+	res, err := New(r, Options{}).Run(context.Background(), &Request{
 		Select: Selector{Labels: "[12]"},
 		Metric: &MetricRequest{Kind: MetricMSE, Against: &ref},
 	})
@@ -469,7 +473,7 @@ func TestPairMetricDecodeFallbackFlags(t *testing.T) {
 	// A pair metric that falls back to decode must clear the per-frame
 	// flags too: both selected frames were fully decompressed.
 	r := buildStore(t, "zfp:rate=32", seqLabels(2), testFrames(2, 8, 8))
-	res, err := New(r, Options{}).Run(&Request{Metric: &MetricRequest{Kind: MetricMSE}})
+	res, err := New(r, Options{}).Run(context.Background(), &Request{Metric: &MetricRequest{Kind: MetricMSE}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -491,7 +495,7 @@ func TestBlazMetricFallbackSharesReference(t *testing.T) {
 	r := buildStore(t, "blaz", seqLabels(4), testFrames(4, 16, 16))
 	e := New(r, Options{CacheBytes: 1 << 20})
 	ref := 0
-	res, err := e.Run(&Request{
+	res, err := e.Run(context.Background(), &Request{
 		Select: Selector{Labels: "[123]"},
 		Metric: &MetricRequest{Kind: MetricMSE, Against: &ref},
 	})
@@ -506,7 +510,94 @@ func TestBlazMetricFallbackSharesReference(t *testing.T) {
 			t.Errorf("frame %d metric = %v", f.Label, f.Metric)
 		}
 	}
-	if res.Cache.Misses > 4 {
-		t.Errorf("reference frame re-decoded per frame: %+v", res.Cache)
+	if st := e.Cache().Stats(); st.Misses > 4 {
+		t.Errorf("reference frame re-decoded per frame: %+v", st)
+	}
+}
+
+// cancelingReaderAt wraps a store image and fires cancel on the first
+// ReadAt after arm() — i.e. on the first frame payload read — the way a
+// client disconnect lands mid-plan, after compilation but before most
+// frames have run.
+type cancelingReaderAt struct {
+	r      io.ReaderAt
+	armed  atomic.Bool
+	cancel context.CancelFunc
+}
+
+func (c *cancelingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if c.armed.Load() {
+		c.cancel()
+	}
+	return c.r.ReadAt(p, off)
+}
+
+// buildCancelStore packs n frames and returns a reader whose next
+// post-open payload read cancels ctx.
+func buildCancelStore(t *testing.T, n int) (*store.Reader, *cancelingReaderAt, context.Context, context.CancelFunc) {
+	t.Helper()
+	cd, err := codec.Lookup("zfp:rate=32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coder := cd.(codec.Coder)
+	var buf bytes.Buffer
+	w, err := store.NewWriter(&buf, coder.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, f := range testFrames(n, 16, 16) {
+		c, err := coder.Compress(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := coder.Encode(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(j, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cra := &cancelingReaderAt{r: bytes.NewReader(buf.Bytes()), cancel: cancel}
+	r, err := store.NewReader(cra, int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, cra, ctx, cancel
+}
+
+func TestRunCanceledMidPlan(t *testing.T) {
+	// Cancellation arriving while the fan-out is in flight must surface
+	// context.Canceled, not a partial result.
+	r, cra, ctx, cancel := buildCancelStore(t, 16)
+	defer cancel()
+	cra.armed.Store(true) // next payload read cancels
+	_, err := New(r, Options{}).Run(ctx, &Request{Aggregates: []string{AggMin}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-plan cancel returned %v, want context.Canceled", err)
+	}
+}
+
+func TestRunPreCanceledDoesNoWork(t *testing.T) {
+	r, _, ctx, cancel := buildCancelStore(t, 8)
+	cancel()
+	_, err := New(r, Options{}).Run(ctx, &Request{Aggregates: []string{AggMean}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Run returned %v, want context.Canceled", err)
+	}
+}
+
+func TestRunDeadlineExceeded(t *testing.T) {
+	r := buildStore(t, "zfp:rate=16", seqLabels(2), testFrames(2, 8, 8))
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := New(r, Options{}).Run(ctx, &Request{Aggregates: []string{AggMean}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline returned %v, want context.DeadlineExceeded", err)
 	}
 }

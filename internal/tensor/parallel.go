@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 )
@@ -72,6 +73,28 @@ func ParallelForCoarse(n int, fn func(start, end int)) {
 		return
 	}
 	fanOut(n, workers, fn)
+}
+
+// ParallelForCoarseCtx distributes the items of [0, n) like
+// ParallelForCoarse — one fn call per item — but re-checks ctx between
+// items: items whose turn comes after ctx is done are skipped, and the
+// ctx error (context.Canceled or context.DeadlineExceeded) is returned.
+// Items already inside fn when ctx fires run to completion, so
+// cancellation latency is bounded by one item's work, never the whole
+// fan-out. A nil error means every item ran.
+func ParallelForCoarseCtx(ctx context.Context, n int, fn func(i int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ParallelForCoarse(n, func(start, end int) {
+		for i := start; i < end; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+	})
+	return ctx.Err()
 }
 
 // fanOut distributes [0, n) over the shared pool in contiguous chunks,
