@@ -1,10 +1,11 @@
 package main
 
-// The CLI's bridge to the v1 service layer: a store argument is either
-// a local file path or an http(s):// URL, resolved to the matching
-// api.Backend — Local over an opened store file, the HTTP Client SDK
-// otherwise. Subcommands written against api.Backend (query, inspect)
-// work identically on both.
+// The CLI's bridge to the v1 service layer: a store argument is a
+// local store file, a sharded-dataset manifest, or an http(s):// URL,
+// resolved to the matching api.Backend — Local over an opened store
+// file, Sharded over a dataset manifest, the HTTP Client SDK otherwise.
+// Subcommands written against api.Backend (query, inspect) work
+// identically on all three.
 
 import (
 	"strings"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/query"
+	"repro/internal/shard"
 )
 
 // isServiceURL reports whether a store argument names a serving URL
@@ -21,7 +23,8 @@ func isServiceURL(arg string) bool {
 }
 
 // openBackend resolves arg to a Backend. close releases whatever the
-// backend holds (the store file handle; nothing for the HTTP client).
+// backend holds (the store or shard file handles; nothing for the HTTP
+// client).
 func openBackend(arg string, opts query.Options, timeout time.Duration) (b api.Backend, close func() error, err error) {
 	if isServiceURL(arg) {
 		c, err := api.NewClient(arg, api.ClientOptions{Timeout: timeout})
@@ -29,6 +32,13 @@ func openBackend(arg string, opts query.Options, timeout time.Duration) (b api.B
 			return nil, nil, err
 		}
 		return c, func() error { return nil }, nil
+	}
+	if shard.IsManifest(arg) {
+		s, err := api.OpenSharded(arg, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, s.Close, nil
 	}
 	l, err := api.OpenLocal(arg, opts)
 	if err != nil {

@@ -26,7 +26,7 @@ func startServe(t *testing.T, storeArgs ...string) string {
 	if _, err := captureStdout(t, func() error {
 		// A nonzero server cache, like runServe's default: the query
 		// answer must not depend on server-side engine configuration.
-		def, stores, closeAll, err := openMounts(storeArgs, 1<<20)
+		def, stores, datasets, closeAll, err := openMounts(storeArgs, 1<<20)
 		if err != nil {
 			return err
 		}
@@ -35,7 +35,7 @@ func startServe(t *testing.T, storeArgs ...string) string {
 		if err != nil {
 			return err
 		}
-		srv := &http.Server{Handler: httpapi.New(def, stores, httpapi.Options{})}
+		srv := &http.Server{Handler: httpapi.New(def, stores, httpapi.Options{Datasets: datasets})}
 		go srv.Serve(ln)
 		t.Cleanup(func() { srv.Close() })
 		url = "http://" + ln.Addr().String()
@@ -99,6 +99,28 @@ func TestE2EMultiStoreMounts(t *testing.T) {
 		}
 		if len(blob) == 0 {
 			t.Errorf("query %s printed nothing", target)
+		}
+	}
+}
+
+func TestE2EDatasetMountVsManifest(t *testing.T) {
+	// A served dataset answers identically to the manifest on disk —
+	// over the default mount and the /v1/datasets/{name} mount alike.
+	manifest, _ := packShardedDataset(t, 5, 3)
+	url := startServe(t, "runs="+manifest)
+
+	args := []string{"-aggs", "mean,min", "-reduce", "mean,l2norm"}
+	viaPath, err := captureStdout(t, func() error { return runQuery(append(args, manifest)) })
+	if err != nil {
+		t.Fatalf("query manifest: %v", err)
+	}
+	for _, target := range []string{url, url + "/v1/datasets/runs"} {
+		viaURL, err := captureStdout(t, func() error { return runQuery(append(args, target)) })
+		if err != nil {
+			t.Fatalf("query %s: %v", target, err)
+		}
+		if !bytes.Equal(viaURL, viaPath) {
+			t.Errorf("%s and manifest results differ:\n--- url ---\n%s\n--- path ---\n%s", target, viaURL, viaPath)
 		}
 	}
 }

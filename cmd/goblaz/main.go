@@ -72,12 +72,13 @@ func usage() {
   goblaz info       IN
   goblaz stats      -shape N,M[,K] [options] IN
   goblaz codecs
-  goblaz pack       -shape N,M[,K] [-codec SPEC] [-workers N] OUT FRAME...
+  goblaz pack       -shape N,M[,K] [-codec SPEC] [-workers N] [-shards N] OUT FRAME...
   goblaz unpack     [-frame LABEL] IN OUTPREFIX
-  goblaz inspect    IN|URL
-  goblaz serve      [-addr HOST:PORT] [-cache-bytes N] [-timeout D] [NAME=]IN ...
-  goblaz query      [-labels GLOB] [-from I] [-to I] [-aggs LIST] [-metric KIND [-against LABEL] [-peak P]]
-                    [-region OFF:SHAPE] [-point IDX] [-req JSON|@FILE|-] [-cache-bytes N] [-timeout D] IN|URL`)
+  goblaz inspect    IN|MANIFEST|URL
+  goblaz serve      [-addr HOST:PORT] [-cache-bytes N] [-timeout D] [NAME=]IN|MANIFEST ...
+  goblaz query      [-labels GLOB] [-from I] [-to I] [-aggs LIST] [-reduce LIST]
+                    [-metric KIND [-against LABEL] [-peak P]] [-region OFF:SHAPE] [-point IDX]
+                    [-req JSON|@FILE|-] [-cache-bytes N] [-timeout D] IN|MANIFEST|URL`)
 	os.Exit(2)
 }
 
@@ -89,6 +90,7 @@ type options struct {
 	keep         float64
 	codecSpec    string
 	workers      int
+	shards       int
 }
 
 func parseOptions(name string, args []string) (*options, []string, error) {
@@ -102,11 +104,13 @@ func parseOptions(name string, args []string) (*options, []string, error) {
 	keep := fs.Float64("keep", 1, "fraction of low-frequency coefficients to keep (0,1]")
 	codecSpec := fs.String("codec", "", `registry codec spec, e.g. "zfp:rate=16" or "sz:mode=curvefit,tol=1e-4" (overrides the goblaz flags)`)
 	workers := fs.Int("workers", 0, "parallel compression workers for pack (default GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "pack into N shard stores plus a manifest instead of one store")
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, err
 	}
 	o.codecSpec = *codecSpec
 	o.workers = *workers
+	o.shards = *shards
 	var err error
 	if *shapeStr != "" {
 		o.shape, err = parseInts(*shapeStr)

@@ -36,6 +36,7 @@ func runQuery(args []string) error {
 	from := fs.Int("from", -1, "first frame position selected (inclusive)")
 	to := fs.Int("to", -1, "frame position selection end (exclusive)")
 	aggs := fs.String("aggs", "", "comma-separated aggregates: mean,variance,stddev,min,max,l2norm")
+	reduce := fs.String("reduce", "", "comma-separated dataset-level aggregates over all selected frames together")
 	metric := fs.String("metric", "", "pairwise metric: mse|psnr|dot|cosine")
 	against := fs.String("against", "", "reference frame label for -metric (omit to compare 2 selected frames)")
 	peak := fs.Float64("peak", 0, "peak value for -metric psnr (default 1)")
@@ -66,6 +67,9 @@ func runQuery(args []string) error {
 		}
 		if *aggs != "" {
 			req.Aggregates = strings.Split(*aggs, ",")
+		}
+		if *reduce != "" {
+			req.Reduce = strings.Split(*reduce, ",")
 		}
 		if *metric == "" && (*against != "" || *peak != 0) {
 			return fmt.Errorf("-against and -peak need -metric")

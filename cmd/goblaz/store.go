@@ -1,24 +1,28 @@
 package main
 
 // The store subcommands: pack a series of raw frames into the seekable
-// multi-frame container (internal/store), unpack frames back out,
-// inspect the index, and serve stores over the v1 HTTP API.
+// multi-frame container (internal/store) — or, with -shards, into a
+// sharded dataset — unpack frames back out, inspect the index, and
+// serve stores and datasets over the v1 HTTP API.
 //
 //	goblaz pack    -shape 64,64 -codec zfp:rate=16 [-workers 4] out.gbz f0.f64 f1.f64 ...
+//	goblaz pack    -shape 64,64 -shards 4 out.json f0.f64 f1.f64 ...
 //	goblaz unpack  [-frame LABEL] out.gbz prefix        → prefix<label>.f64
-//	goblaz inspect out.gbz              (or an http:// URL)
-//	goblaz serve   -addr :8080 out.gbz [name=other.gbz ...]
+//	goblaz inspect out.gbz              (or a manifest, or an http:// URL)
+//	goblaz serve   -addr :8080 out.gbz [name=other.gbz ...] [runs=out.json ...]
 //
-// inspect accepts a store path or a serving URL interchangeably — both
-// resolve to an api.Backend (see backend.go). serve mounts its first
-// store on the default /v1 routes and every store (named by `name=path`,
-// or the file's base name) under /v1/stores/{name}/.
+// inspect accepts a store path, a dataset manifest, or a serving URL
+// interchangeably — all resolve to an api.Backend (see backend.go).
+// serve mounts its first argument on the default /v1 routes and every
+// argument (named by `name=path`, or the file's base name) under
+// /v1/stores/{name}/ or — for manifests — /v1/datasets/{name}/.
 
 import (
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -34,7 +38,9 @@ import (
 	"repro/internal/codec"
 	"repro/internal/query"
 	"repro/internal/series"
+	"repro/internal/shard"
 	"repro/internal/store"
+	"repro/internal/tensor"
 )
 
 // packCoder resolves the -codec spec, or the goblaz flag set when no
@@ -70,6 +76,11 @@ func runPack(args []string) error {
 	coder, err := packCoder(o)
 	if err != nil {
 		return err
+	}
+	// -shards 1 is a valid (single-shard) dataset: the flag decides the
+	// output format, manifest vs bare store, not just the split.
+	if o.shards > 0 {
+		return packSharded(o, coder, out, frames)
 	}
 	// Build in a temp file and rename on success, so a mid-pack failure
 	// neither leaves a truncated store nor clobbers an existing one.
@@ -118,6 +129,39 @@ func runPack(args []string) error {
 	raw := int64(len(frames)) * int64(tensor8Bytes(o.shape))
 	fmt.Printf("packed %d frames, %d → %d bytes with %s (ratio %.2f)\n",
 		len(frames), raw, st.Size(), coder.Spec(), float64(raw)/float64(st.Size()))
+	return nil
+}
+
+// packSharded writes a sharded dataset: OUT is the manifest path, the
+// shard stores land next to it (see shard.WriteDataset). Frame labels
+// are global positions, exactly like single-store pack.
+func packSharded(o *options, coder codec.Coder, out string, frames []string) error {
+	labels := make([]int, len(frames))
+	for i := range labels {
+		labels[i] = i
+	}
+	man, err := shard.WriteDataset(out, coder, labels, o.shards, o.workers,
+		func(i int) (*tensor.Tensor, error) {
+			t, err := readTensor(frames[i], o.shape)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", frames[i], err)
+			}
+			return t, nil
+		})
+	if err != nil {
+		return err
+	}
+	var packed int64
+	for _, sh := range man.Shards {
+		st, err := os.Stat(filepath.Join(filepath.Dir(out), sh.Path))
+		if err != nil {
+			return err
+		}
+		packed += st.Size()
+	}
+	raw := int64(len(frames)) * int64(tensor8Bytes(o.shape))
+	fmt.Printf("packed %d frames into %d shards, %d → %d bytes with %s (ratio %.2f)\n",
+		len(frames), len(man.Shards), raw, packed, coder.Spec(), float64(raw)/float64(packed))
 	return nil
 }
 
@@ -220,37 +264,62 @@ func mountName(arg string) (name, path string) {
 	return strings.TrimSuffix(base, filepath.Ext(base)), arg
 }
 
-// openMounts opens every [name=]path argument as a Local backend and
-// names its mount. The first store doubles as the default (unprefixed)
-// /v1 mount, preserving the single-store API.
-func openMounts(args []string, cacheBytes int64) (def api.Backend, stores map[string]api.Backend, closeAll func(), err error) {
+// openMounts opens every [name=]path argument — a store file as a
+// Local backend, a dataset manifest as a Sharded one — and names its
+// mount. The first argument doubles as the default (unprefixed) /v1
+// mount, preserving the single-store API.
+func openMounts(args []string, cacheBytes int64) (def api.Backend, stores, datasets map[string]api.Backend, closeAll func(), err error) {
 	stores = map[string]api.Backend{}
-	var opened []*api.Local
+	datasets = map[string]api.Backend{}
+	var opened []io.Closer
 	closeAll = func() {
-		for _, l := range opened {
-			l.Close()
+		for _, c := range opened {
+			c.Close()
 		}
 	}
 	for _, arg := range args {
 		name, path := mountName(arg)
 		if _, dup := stores[name]; dup {
 			closeAll()
-			return nil, nil, nil, fmt.Errorf("duplicate store mount %q (disambiguate with name=path)", name)
+			return nil, nil, nil, nil, fmt.Errorf("duplicate store mount %q (disambiguate with name=path)", name)
 		}
-		l, err := api.OpenLocal(path, query.Options{CacheBytes: cacheBytes})
-		if err != nil {
+		if _, dup := datasets[name]; dup {
 			closeAll()
-			return nil, nil, nil, fmt.Errorf("store %s: %w", path, err)
+			return nil, nil, nil, nil, fmt.Errorf("duplicate dataset mount %q (disambiguate with name=path)", name)
 		}
-		opened = append(opened, l)
-		stores[name] = l
+		var b api.Backend
+		mount := "/v1/stores/"
+		if shard.IsManifest(path) {
+			s, err := api.OpenSharded(path, query.Options{CacheBytes: cacheBytes})
+			if err != nil {
+				closeAll()
+				return nil, nil, nil, nil, fmt.Errorf("dataset %s: %w", path, err)
+			}
+			opened = append(opened, s)
+			datasets[name] = s
+			b, mount = s, "/v1/datasets/"
+		} else {
+			l, err := api.OpenLocal(path, query.Options{CacheBytes: cacheBytes})
+			if err != nil {
+				closeAll()
+				return nil, nil, nil, nil, fmt.Errorf("store %s: %w", path, err)
+			}
+			opened = append(opened, l)
+			stores[name] = l
+			b = l
+		}
 		if def == nil {
-			def = l
+			def = b
 		}
-		info, _ := l.Spec(context.Background())
-		fmt.Printf("mounted %s at /v1/stores/%s (%d frames, codec %s)\n", path, name, info.Frames, info.Spec)
+		info, _ := b.Spec(context.Background())
+		if info.Shards > 0 {
+			fmt.Printf("mounted %s at %s%s (%d frames, %d shards, codec %s)\n",
+				path, mount, name, info.Frames, info.Shards, info.Spec)
+		} else {
+			fmt.Printf("mounted %s at %s%s (%d frames, codec %s)\n", path, mount, name, info.Frames, info.Spec)
+		}
 	}
-	return def, stores, closeAll, nil
+	return def, stores, datasets, closeAll, nil
 }
 
 func runServe(args []string) error {
@@ -265,7 +334,7 @@ func runServe(args []string) error {
 		return fmt.Errorf("serve needs at least one store path ([name=]path ...)")
 	}
 
-	def, stores, closeAll, err := openMounts(fs.Args(), *cacheBytes)
+	def, stores, datasets, closeAll, err := openMounts(fs.Args(), *cacheBytes)
 	if err != nil {
 		return err
 	}
@@ -275,6 +344,7 @@ func runServe(args []string) error {
 	handler := httpapi.New(def, stores, httpapi.Options{
 		RequestTimeout: *timeout,
 		Logf:           logger.Printf,
+		Datasets:       datasets,
 	})
 	// Server-level timeouts keep a slow or stalled client from pinning a
 	// connection (and its decompression work) forever; WriteTimeout
@@ -301,7 +371,7 @@ func runServe(args []string) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("serving %d store(s) on %s\n", len(stores), *addr)
+	fmt.Printf("serving %d store(s) and %d dataset(s) on %s\n", len(stores), len(datasets), *addr)
 	select {
 	case err := <-errCh:
 		return err

@@ -17,6 +17,7 @@ import (
 	"repro/internal/api/httpapi"
 	"repro/internal/codec"
 	"repro/internal/query"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/tensor"
 )
@@ -163,6 +164,139 @@ func TestPackFailureLeavesNoPartialStore(t *testing.T) {
 		if strings.HasPrefix(e.Name(), ".goblaz-pack-") {
 			t.Errorf("temp file %s left behind", e.Name())
 		}
+	}
+}
+
+// packShardedDataset packs n 16×16 frames as a shards-way dataset and
+// returns the manifest path plus the paths of a parallel single-store
+// pack of the same frames.
+func packShardedDataset(t *testing.T, n, shards int) (manifest, single string) {
+	t.Helper()
+	dir := t.TempDir()
+	inputs, _ := packInputs(t, dir, n, 16, 16)
+	manifest = filepath.Join(dir, "ds.json")
+	args := []string{"-shape", "16,16", "-codec", "goblaz:block=4x4,float=float64,index=int16"}
+	if err := runPack(append(append(append([]string{}, args...), "-shards", fmt.Sprint(shards), manifest), inputs...)); err != nil {
+		t.Fatalf("pack -shards: %v", err)
+	}
+	single = filepath.Join(dir, "single.gbz")
+	if err := runPack(append(append(append([]string{}, args...), single), inputs...)); err != nil {
+		t.Fatalf("pack: %v", err)
+	}
+	return manifest, single
+}
+
+func TestPackShardedMatchesSingleStoreCLI(t *testing.T) {
+	// `goblaz query` must answer byte-identically from a manifest and
+	// from a single store of the same frames — the CLI-level face of
+	// the shard-vs-single property.
+	manifest, single := packShardedDataset(t, 5, 3)
+	man, err := shard.LoadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Shards) != 3 || man.Len() != 5 {
+		t.Fatalf("manifest %+v", man)
+	}
+	for _, sh := range man.Shards {
+		if _, err := os.Stat(filepath.Join(filepath.Dir(manifest), sh.Path)); err != nil {
+			t.Fatalf("shard file missing: %v", err)
+		}
+	}
+
+	args := []string{
+		"-aggs", "mean,variance,stddev,min,max,l2norm",
+		"-reduce", "mean,variance,min,max",
+		"-metric", "mse", "-against", "0",
+		"-region", "1,1:3,3", "-point", "2,2",
+	}
+	viaManifest, err := captureStdout(t, func() error { return runQuery(append(args, manifest)) })
+	if err != nil {
+		t.Fatalf("query manifest: %v", err)
+	}
+	viaSingle, err := captureStdout(t, func() error { return runQuery(append(args, single)) })
+	if err != nil {
+		t.Fatalf("query single: %v", err)
+	}
+	if len(viaManifest) == 0 || !strings.Contains(string(viaManifest), `"reduced"`) {
+		t.Fatalf("manifest query output: %s", viaManifest)
+	}
+	// Numeric comparison, not byte equality: the reduction folds shard
+	// partials in a different floating-point grouping than the
+	// single-store frame fold, which is tolerance-equal by contract.
+	var fromManifest, fromSingle any
+	if err := json.Unmarshal(viaManifest, &fromManifest); err != nil {
+		t.Fatalf("manifest output is not JSON: %v", err)
+	}
+	if err := json.Unmarshal(viaSingle, &fromSingle); err != nil {
+		t.Fatalf("single output is not JSON: %v", err)
+	}
+	if !jsonAlmostEqual(fromManifest, fromSingle) {
+		t.Errorf("manifest and single-store results differ:\n--- manifest ---\n%s\n--- single ---\n%s", viaManifest, viaSingle)
+	}
+
+	// inspect resolves a manifest like a store.
+	out, err := captureStdout(t, func() error { return runInspect([]string{manifest}) })
+	if err != nil {
+		t.Fatalf("inspect manifest: %v", err)
+	}
+	if !strings.Contains(string(out), "frames:  5") {
+		t.Errorf("inspect output: %s", out)
+	}
+}
+
+func TestPackSingleShardIsStillAManifest(t *testing.T) {
+	// -shards decides the output format: 1 means a one-shard dataset,
+	// not a silent fall-back to a bare store at the manifest path.
+	manifest, _ := packShardedDataset(t, 3, 1)
+	man, err := shard.LoadManifest(manifest)
+	if err != nil {
+		t.Fatalf("pack -shards 1 did not write a manifest: %v", err)
+	}
+	if len(man.Shards) != 1 || man.Len() != 3 {
+		t.Errorf("manifest %+v, want one 3-frame shard", man)
+	}
+	if _, err := captureStdout(t, func() error { return runQuery([]string{"-aggs", "mean", manifest}) }); err != nil {
+		t.Errorf("query over 1-shard manifest: %v", err)
+	}
+}
+
+// jsonAlmostEqual compares decoded JSON values, with numbers equal
+// within 1e-9 relative tolerance.
+func jsonAlmostEqual(a, b any) bool {
+	switch av := a.(type) {
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for k, v := range av {
+			w, ok := bv[k]
+			if !ok || !jsonAlmostEqual(v, w) {
+				return false
+			}
+		}
+		return true
+	case []any:
+		bv, ok := b.([]any)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if !jsonAlmostEqual(av[i], bv[i]) {
+				return false
+			}
+		}
+		return true
+	case float64:
+		bv, ok := b.(float64)
+		if !ok {
+			return false
+		}
+		scale := math.Max(1, math.Max(math.Abs(av), math.Abs(bv)))
+		return math.Abs(av-bv) <= 1e-9*scale
+	default:
+		return a == b
 	}
 }
 

@@ -187,6 +187,9 @@ type StoreInfo struct {
 	Spec string `json:"spec"`
 	// Frames is the number of frames in the store.
 	Frames int `json:"frames"`
+	// Shards is the shard count of a sharded dataset; 0 (omitted) for a
+	// single store.
+	Shards int `json:"shards,omitempty"`
 }
 
 // FrameInfo is one entry of the frame index: GET /v1/frames.

@@ -1,0 +1,81 @@
+package conformance_test
+
+// One harness, four ways to serve the same frames: in process over a
+// store file, in process over a 3-shard dataset, and over a real HTTP
+// server — against both the default store mount and a dataset mount.
+// Every implementation must satisfy the identical contract.
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/api/conformance"
+	"repro/internal/api/httpapi"
+	"repro/internal/query"
+)
+
+func TestConformanceLocal(t *testing.T) {
+	fx := conformance.NewFixture(t)
+	conformance.Run(t, fx, func(t *testing.T) api.Backend {
+		l, err := api.OpenLocal(fx.BuildStore(t, t.TempDir()), query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		return l
+	})
+}
+
+func TestConformanceSharded(t *testing.T) {
+	fx := conformance.NewFixture(t)
+	conformance.Run(t, fx, func(t *testing.T) api.Backend {
+		s, err := api.OpenSharded(fx.BuildManifest(t, t.TempDir(), 3), query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	})
+}
+
+func TestConformanceClient(t *testing.T) {
+	fx := conformance.NewFixture(t)
+	conformance.Run(t, fx, func(t *testing.T) api.Backend {
+		l, err := api.OpenLocal(fx.BuildStore(t, t.TempDir()), query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		srv := httptest.NewServer(httpapi.New(l, nil, httpapi.Options{}))
+		t.Cleanup(srv.Close)
+		c, err := api.NewClient(srv.URL, api.ClientOptions{HTTPClient: srv.Client()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	})
+}
+
+func TestConformanceClientShardedMount(t *testing.T) {
+	// The client pointed at a /v1/datasets/{name} mount: the whole
+	// contract holds through HTTP and the scatter-gather executor at
+	// once.
+	fx := conformance.NewFixture(t)
+	conformance.Run(t, fx, func(t *testing.T) api.Backend {
+		s, err := api.OpenSharded(fx.BuildManifest(t, t.TempDir(), 4), query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		srv := httptest.NewServer(httpapi.New(nil, nil, httpapi.Options{
+			Datasets: map[string]api.Backend{"fx": s},
+		}))
+		t.Cleanup(srv.Close)
+		c, err := api.NewClient(srv.URL+"/v1/datasets/fx", api.ClientOptions{HTTPClient: srv.Client()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	})
+}

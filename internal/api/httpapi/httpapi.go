@@ -6,10 +6,12 @@
 // an api.Backend, so the same handler serves a local store or proxies
 // another server.
 //
-// Routes (also mounted per named store under /v1/stores/{store}/...):
+// Routes (also mounted per named store under /v1/stores/{store}/...
+// and per named sharded dataset under /v1/datasets/{dataset}/...):
 //
 //	GET  /healthz                   liveness
 //	GET  /v1/stores                 named store list
+//	GET  /v1/datasets               named dataset list
 //	GET  /v1/store                  {"spec": ..., "frames": n}
 //	GET  /v1/frames                 JSON frame index
 //	GET  /v1/frames/{label}         little-endian float64 bytes;
@@ -52,31 +54,42 @@ type Options struct {
 	// Logf receives one access-log line per request (and panic
 	// reports); nil disables logging.
 	Logf func(format string, args ...any)
+	// Datasets names sharded-dataset mounts, served under
+	// /v1/datasets/{name}/ with the full resource set. A dataset
+	// backend (api.Sharded) may also be passed as def or among the
+	// stores — the contract is the same Backend either way; this mount
+	// family only keeps datasets addressable as what they are.
+	Datasets map[string]api.Backend
 }
 
-// Handler serves one default store plus any number of named stores.
+// Handler serves one default store plus any number of named stores and
+// named sharded datasets.
 type Handler struct {
-	def    api.Backend            // default store, "" name; may be nil
-	stores map[string]api.Backend // named mounts under /v1/stores/{name}
-	opts   Options
-	mux    *http.ServeMux
+	def      api.Backend            // default store, "" name; may be nil
+	stores   map[string]api.Backend // named mounts under /v1/stores/{name}
+	datasets map[string]api.Backend // named mounts under /v1/datasets/{name}
+	opts     Options
+	mux      *http.ServeMux
 }
 
 // New builds the v1 HTTP handler. def serves the unprefixed routes
 // (/v1/store, /v1/frames, ...); stores (may be nil) mount additionally
-// under /v1/stores/{name}/. The same backend may appear as both.
+// under /v1/stores/{name}/, and opts.Datasets under
+// /v1/datasets/{name}/. The same backend may appear in several places.
 func New(def api.Backend, stores map[string]api.Backend, opts Options) http.Handler {
 	if opts.MaxRequestBytes <= 0 {
 		opts.MaxRequestBytes = 1 << 20
 	}
-	h := &Handler{def: def, stores: stores, opts: opts, mux: http.NewServeMux()}
+	h := &Handler{def: def, stores: stores, datasets: opts.Datasets, opts: opts, mux: http.NewServeMux()}
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	h.mux.HandleFunc("GET /v1/stores", h.handleStoreList)
+	h.mux.HandleFunc("GET /v1/datasets", h.handleDatasetList)
 
-	// Each resource registers twice: on the default mount and under the
-	// named-store prefix, resolved per request.
+	// Each resource registers three times: on the default mount and
+	// under the named-store and named-dataset prefixes, resolved per
+	// request.
 	for _, m := range []struct {
 		method, path string
 		fn           resourceFunc
@@ -89,11 +102,13 @@ func New(def api.Backend, stores map[string]api.Backend, opts Options) http.Hand
 		{"GET", "/frames/{label}/region", (*Handler).handleRegion},
 		{"POST", "/query", (*Handler).handleQuery},
 	} {
-		h.mux.HandleFunc(m.method+" /v1"+m.path, h.resolve(m.fn, false))
-		h.mux.HandleFunc(m.method+" /v1/stores/{store}"+m.path, h.resolve(m.fn, true))
+		h.mux.HandleFunc(m.method+" /v1"+m.path, h.resolve(m.fn, h.defaultMount))
+		h.mux.HandleFunc(m.method+" /v1/stores/{store}"+m.path, h.resolve(m.fn, h.storeMount))
+		h.mux.HandleFunc(m.method+" /v1/datasets/{store}"+m.path, h.resolve(m.fn, h.datasetMount))
 	}
-	// The named-store root doubles as its StoreInfo resource.
-	h.mux.HandleFunc("GET /v1/stores/{store}", h.resolve((*Handler).handleStore, true))
+	// The named roots double as their StoreInfo resources.
+	h.mux.HandleFunc("GET /v1/stores/{store}", h.resolve((*Handler).handleStore, h.storeMount))
+	h.mux.HandleFunc("GET /v1/datasets/{store}", h.resolve((*Handler).handleStore, h.datasetMount))
 	return withMiddleware(h.mux, opts)
 }
 
@@ -101,14 +116,20 @@ func New(def api.Backend, stores map[string]api.Backend, opts Options) http.Hand
 // and returns an error to be rendered as the JSON envelope.
 type resourceFunc func(h *Handler, b api.Backend, w http.ResponseWriter, req *http.Request) error
 
-// resolve picks the backend — the default mount or a named store from
-// the path — and funnels the resource's error into the envelope.
-func (h *Handler) resolve(fn resourceFunc, named bool) http.HandlerFunc {
+// The mount families a request can resolve through.
+func (h *Handler) defaultMount(req *http.Request) api.Backend { return h.def }
+func (h *Handler) storeMount(req *http.Request) api.Backend {
+	return h.stores[req.PathValue("store")]
+}
+func (h *Handler) datasetMount(req *http.Request) api.Backend {
+	return h.datasets[req.PathValue("store")]
+}
+
+// resolve picks the backend through the mount family and funnels the
+// resource's error into the envelope.
+func (h *Handler) resolve(fn resourceFunc, mount func(*http.Request) api.Backend) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
-		b := h.def
-		if named {
-			b = h.stores[req.PathValue("store")]
-		}
+		b := mount(req)
 		if b == nil {
 			writeError(w, api.Errorf(api.CodeNotFound, "no such store"))
 			return
@@ -120,12 +141,20 @@ func (h *Handler) resolve(fn resourceFunc, named bool) http.HandlerFunc {
 }
 
 func (h *Handler) handleStoreList(w http.ResponseWriter, req *http.Request) {
-	names := make([]string, 0, len(h.stores))
-	for name := range h.stores {
+	writeJSON(w, map[string]any{"stores": mountNames(h.stores)})
+}
+
+func (h *Handler) handleDatasetList(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, map[string]any{"datasets": mountNames(h.datasets)})
+}
+
+func mountNames(mounts map[string]api.Backend) []string {
+	names := make([]string, 0, len(mounts))
+	for name := range mounts {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	writeJSON(w, map[string]any{"stores": names})
+	return names
 }
 
 func (h *Handler) handleStore(b api.Backend, w http.ResponseWriter, req *http.Request) error {

@@ -158,6 +158,60 @@ func TestMultiStoreMounts(t *testing.T) {
 	}
 }
 
+func TestDatasetMounts(t *testing.T) {
+	// The dataset mount family is plain routing: any Backend serves
+	// under /v1/datasets/{name}/ (the sharded backend's end-to-end HTTP
+	// behavior is covered by the conformance suite).
+	a, b := buildLocal(t, 2, 8, 8), buildLocal(t, 3, 8, 8)
+	srv := httptest.NewServer(New(a, map[string]api.Backend{"run": a}, Options{
+		Datasets: map[string]api.Backend{"ds": b},
+	}))
+	defer srv.Close()
+
+	get := func(path string, want int) *http.Response {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != want {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("GET %s = %d, want %d: %s", path, resp.StatusCode, want, body)
+		}
+		return resp
+	}
+
+	resp := get("/v1/datasets", 200)
+	var list map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil || fmt.Sprint(list["datasets"]) != "[ds]" {
+		t.Errorf("dataset list = %v, %v", list, err)
+	}
+	resp.Body.Close()
+
+	resp = get("/v1/datasets/ds", 200)
+	var info api.StoreInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil || info.Frames != 3 {
+		t.Errorf("dataset root = %+v, %v", info, err)
+	}
+	resp.Body.Close()
+
+	get("/v1/datasets/ds/frames/1/stats", 200).Body.Close()
+	get("/v1/datasets/nope/frames", 404).Body.Close()
+	// A dataset name does not leak into the store mount family.
+	get("/v1/stores/ds/frames", 404).Body.Close()
+
+	qresp, err := srv.Client().Post(srv.URL+"/v1/datasets/ds/query", "application/json",
+		strings.NewReader(`{"aggregates":["mean"],"reduce":["mean"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qresp.Body.Close()
+	var res query.Result
+	if err := json.NewDecoder(qresp.Body).Decode(&res); err != nil || len(res.Frames) != 3 || res.Reduced == nil {
+		t.Errorf("dataset query = %d frames, reduced %v, %v", len(res.Frames), res.Reduced, err)
+	}
+}
+
 func TestStatsAndRegionETag(t *testing.T) {
 	// Satellite: the 304 revalidation path, previously frame/payload
 	// only, covers the stats and region resources too.

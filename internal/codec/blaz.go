@@ -116,6 +116,14 @@ func (blazCodec) CosineSimilarity(Compressed, Compressed) (float64, error) {
 	return 0, fmt.Errorf("blaz cosine: %w", ErrNotSupported)
 }
 
+func (b blazCodec) Shape(c Compressed) ([]int, error) {
+	a, err := b.arr(c)
+	if err != nil {
+		return nil, err
+	}
+	return []int{a.Rows, a.Cols}, nil
+}
+
 func (b blazCodec) Encode(c Compressed) ([]byte, error) {
 	a, err := b.arr(c)
 	if err != nil {

@@ -104,6 +104,17 @@ type RegionReader interface {
 	At(c Compressed, idx ...int) (float64, error)
 }
 
+// Shaper is the optional shape-introspection sub-interface, for
+// backends whose compressed representation records the array shape (all
+// four built-ins). It lets callers — the query engine's reduce path —
+// learn a frame's element count without decompressing it, which is what
+// keeps dataset-level moment merging in compressed space.
+type Shaper interface {
+	Codec
+	// Shape returns the shape of the array c decompresses to.
+	Shape(c Compressed) ([]int, error)
+}
+
 // Coder is the optional serialization sub-interface for backends whose
 // compressed form round-trips through bytes (all four built-ins).
 type Coder interface {

@@ -251,6 +251,14 @@ func (g *goblazCodec) At(c Compressed, idx ...int) (float64, error) {
 	return g.c.At(a, idx...)
 }
 
+func (g *goblazCodec) Shape(c Compressed) ([]int, error) {
+	a, err := g.arr(c)
+	if err != nil {
+		return nil, err
+	}
+	return append([]int(nil), a.Shape...), nil
+}
+
 func (g *goblazCodec) Encode(c Compressed) ([]byte, error) {
 	a, err := g.arr(c)
 	if err != nil {

@@ -91,6 +91,14 @@ func (s szCodec) EncodedSize(c Compressed) int {
 	return a.CompressedSizeBytes()
 }
 
+func (s szCodec) Shape(c Compressed) ([]int, error) {
+	a, err := s.arr(c)
+	if err != nil {
+		return nil, err
+	}
+	return append([]int(nil), a.Shape...), nil
+}
+
 func (s szCodec) Encode(c Compressed) ([]byte, error) {
 	a, err := s.arr(c)
 	if err != nil {

@@ -67,6 +67,14 @@ func (z zfpCodec) EncodedSize(c Compressed) int {
 	return len(a.Payload)
 }
 
+func (z zfpCodec) Shape(c Compressed) ([]int, error) {
+	a, err := z.arr(c)
+	if err != nil {
+		return nil, err
+	}
+	return append([]int(nil), a.Shape...), nil
+}
+
 func (z zfpCodec) Encode(c Compressed) ([]byte, error) {
 	a, err := z.arr(c)
 	if err != nil {

@@ -7,28 +7,41 @@ import (
 	"repro/internal/tensor"
 )
 
-// Cache is a byte-budgeted LRU of decoded frames, shared across every
-// query an Engine runs. The decode-then-compute fallback pays a full
-// decompression per frame; repeated queries over the same frames — a
-// dashboard polling /v1/frames/{label}/stats, a region scrubbed through
-// interactively — hit the cache instead. Keys are store frame indices,
-// values decoded tensors, cost accounting 8 bytes per element.
+// Cache is a byte-budgeted LRU of decoded frames. The decode-then-
+// compute fallback pays a full decompression per frame; repeated
+// queries over the same frames — a dashboard polling
+// /v1/frames/{label}/stats, a region scrubbed through interactively —
+// hit the cache instead. One Cache may back many engines (Options.Cache
+// shares one memory budget across every shard of a dataset), so keys
+// are (namespace, frame index) pairs: engines key by their source's
+// stable frame identity (FrameKeyer — the owning store reader) or by a
+// private per-engine namespace, so two engines over different stores
+// can never alias each other's frame 0, while two views of the same
+// store share entries. Cost accounting is 8 bytes per element.
 //
 // A Cache is safe for concurrent use. Concurrent misses on the same
-// frame may decode it twice and the later Put wins; the duplicate work
-// is bounded by one decode and keeps the lock hold times trivial.
+// frame may decode it twice; the first Put wins and later ones only
+// refresh recency (the tensors are identical — same frame, same codec).
+// The duplicate work is bounded by one decode and keeps the lock hold
+// times trivial.
 type Cache struct {
 	mu      sync.Mutex
 	budget  int64
 	used    int64
-	entries map[int]*list.Element
+	entries map[cacheKey]*list.Element
 	lru     list.List // front = most recently used
 	hits    int64
 	misses  int64
 }
 
+// cacheKey scopes a frame index to the engine that decoded it.
+type cacheKey struct {
+	ns    uint64
+	frame int
+}
+
 type cacheEntry struct {
-	key   int
+	key   cacheKey
 	t     *tensor.Tensor
 	bytes int64
 }
@@ -37,21 +50,21 @@ type cacheEntry struct {
 // decoded bytes held exceed budget. A budget ≤ 0 disables caching: Get
 // always misses and Put is a no-op.
 func NewCache(budget int64) *Cache {
-	c := &Cache{budget: budget, entries: map[int]*list.Element{}}
+	c := &Cache{budget: budget, entries: map[cacheKey]*list.Element{}}
 	c.lru.Init()
 	return c
 }
 
-// Get returns the cached decode of frame key, marking it most recently
-// used. The caller must not mutate the returned tensor — it is shared
-// with every other cache hit.
-func (c *Cache) Get(key int) (*tensor.Tensor, bool) {
+// Get returns the cached decode of frame key in namespace ns, marking
+// it most recently used. The caller must not mutate the returned tensor
+// — it is shared with every other cache hit.
+func (c *Cache) Get(ns uint64, key int) (*tensor.Tensor, bool) {
 	if c == nil || c.budget <= 0 {
 		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	el, ok := c.entries[cacheKey{ns, key}]
 	if !ok {
 		c.misses++
 		return nil, false
@@ -63,7 +76,7 @@ func (c *Cache) Get(key int) (*tensor.Tensor, bool) {
 
 // Put inserts the decode of frame key, evicting from the cold end until
 // the budget holds. A frame bigger than the whole budget is not cached.
-func (c *Cache) Put(key int, t *tensor.Tensor) {
+func (c *Cache) Put(ns uint64, key int, t *tensor.Tensor) {
 	if c == nil || c.budget <= 0 {
 		return
 	}
@@ -73,20 +86,28 @@ func (c *Cache) Put(key int, t *tensor.Tensor) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		// Same frame index always decodes to the same tensor; just
-		// refresh recency.
+	k := cacheKey{ns, key}
+	if el, ok := c.entries[k]; ok {
+		// A concurrent miss decoded the same frame twice; the entry
+		// already accounts for it, so just refresh recency.
 		c.lru.MoveToFront(el)
 		return
 	}
 	for c.used+bytes > c.budget {
 		cold := c.lru.Back()
+		if cold == nil {
+			// Unreachable while accounting is consistent (used > 0
+			// implies a resident entry), but an accounting bug must not
+			// become an infinite loop or a nil dereference.
+			c.used = 0
+			break
+		}
 		e := cold.Value.(*cacheEntry)
 		c.lru.Remove(cold)
 		delete(c.entries, e.key)
 		c.used -= e.bytes
 	}
-	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, t: t, bytes: bytes})
+	c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, t: t, bytes: bytes})
 	c.used += bytes
 }
 

@@ -6,16 +6,25 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/codec"
-	"repro/internal/store"
 	"repro/internal/tensor"
 )
 
 // Options configures an Engine.
 type Options struct {
 	// CacheBytes budgets the decoded-frame LRU cache; ≤ 0 disables it.
+	// Ignored when Cache is set.
 	CacheBytes int64
+	// Cache, when non-nil, is used instead of a private cache, sharing
+	// one byte budget across every engine built over it (the sharded
+	// executor budgets a whole dataset this way). Entries key by the
+	// source's stable frame identity (FrameKeyer), so sharing never
+	// aliases frames of different stores, while different views of the
+	// same store — a shard engine and a dataset-wide engine — share
+	// decodes.
+	Cache *Cache
 	// ForceDecode disables the compressed-space and partial-decode
 	// paths, so every frame is answered decode-then-compute. For
 	// benchmarks and differential tests; production callers leave it
@@ -23,22 +32,44 @@ type Options struct {
 	ForceDecode bool
 }
 
-// Engine executes query plans against one store. It is safe for
-// concurrent use — the store reader is concurrency-safe, the cache
-// locks internally, and per-query state lives on the stack.
+// Engine executes query plans against one frame source. It is safe for
+// concurrent use — sources are concurrency-safe, the cache locks
+// internally, and per-query state lives on the stack.
 type Engine struct {
-	r           *store.Reader
+	src         Source
+	keyer       FrameKeyer // nil when src has no stable frame identity
 	cache       *Cache
+	ns          uint64 // fallback cache namespace for keyerless sources
 	forceDecode bool
 }
 
-// New returns an engine over r.
-func New(r *store.Reader, opts Options) *Engine {
+// engineNS hands each engine a process-unique cache namespace.
+var engineNS atomic.Uint64
+
+// New returns an engine over src — a *store.Reader, or any other
+// Source implementation (a sharded dataset's concatenated view).
+func New(src Source, opts Options) *Engine {
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewCache(opts.CacheBytes)
+	}
+	keyer, _ := src.(FrameKeyer)
 	return &Engine{
-		r:           r,
-		cache:       NewCache(opts.CacheBytes),
+		src:         src,
+		keyer:       keyer,
+		cache:       cache,
+		ns:          engineNS.Add(1),
 		forceDecode: opts.ForceDecode,
 	}
+}
+
+// cacheKeyOf maps frame i to its cache identity: the source's stable
+// frame key when it has one, else this engine's private namespace.
+func (e *Engine) cacheKeyOf(i int) (uint64, int) {
+	if e.keyer != nil {
+		return e.keyer.FrameKey(i)
+	}
+	return e.ns, i
 }
 
 // Cache exposes the engine's decoded-frame cache (for stats endpoints).
@@ -47,7 +78,7 @@ func (e *Engine) Cache() *Cache { return e.cache }
 // Run compiles and executes req. Canceling ctx stops the plan between
 // frames — the engine returns ctx's error within one frame's work.
 func (e *Engine) Run(ctx context.Context, req *Request) (*Result, error) {
-	p, err := Compile(e.r, req)
+	p, err := Compile(e.src, req)
 	if err != nil {
 		return nil, err
 	}
@@ -59,15 +90,17 @@ func (e *Engine) Run(ctx context.Context, req *Request) (*Result, error) {
 // work, so a dropped connection or an expired CLI deadline abandons the
 // remaining frames instead of decompressing them for nobody.
 func (e *Engine) Execute(ctx context.Context, p *Plan) (*Result, error) {
-	coder, err := e.r.Coder()
+	coder, err := e.src.Coder()
 	if err != nil {
 		return nil, err
 	}
 	var ops codec.Ops
 	var rr codec.RegionReader
+	var shaper codec.Shaper
 	if !e.forceDecode {
 		ops, _ = coder.(codec.Ops)
 		rr, _ = coder.(codec.RegionReader)
+		shaper, _ = coder.(codec.Shaper)
 	}
 
 	// The reference frame of a vs-reference metric is shared by every
@@ -80,7 +113,7 @@ func (e *Engine) Execute(ctx context.Context, p *Plan) (*Result, error) {
 	var refT func() (*tensor.Tensor, error)
 	if p.metric != nil && !p.pairMode {
 		if ops != nil {
-			if refC, err = e.r.Frame(p.refIndex); err != nil {
+			if refC, err = e.src.Frame(p.refIndex); err != nil {
 				return nil, err
 			}
 		}
@@ -94,9 +127,17 @@ func (e *Engine) Execute(ctx context.Context, p *Plan) (*Result, error) {
 	}
 
 	frames := make([]FrameResult, len(p.frames))
+	var moments []Moments
+	if len(p.reduce) > 0 {
+		moments = make([]Moments, len(p.frames))
+	}
 	errs := make([]error, len(p.frames))
 	if err := tensor.ParallelForCoarseCtx(ctx, len(p.frames), func(j int) {
-		frames[j], errs[j] = e.runFrame(ctx, p, ops, rr, p.frames[j], refC, refT)
+		var mom *Moments
+		if moments != nil {
+			mom = &moments[j]
+		}
+		frames[j], errs[j] = e.runFrame(ctx, p, ops, rr, shaper, p.frames[j], refC, refT, mom)
 	}); err != nil {
 		return nil, err
 	}
@@ -104,9 +145,20 @@ func (e *Engine) Execute(ctx context.Context, p *Plan) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Spec: e.r.Spec(), Frames: frames, ExecutedInCompressedSpace: true}
+	res := &Result{Spec: e.src.Spec(), Frames: frames, ExecutedInCompressedSpace: true}
 	for i := range frames {
 		res.ExecutedInCompressedSpace = res.ExecutedInCompressedSpace && frames[i].ExecutedInCompressedSpace
+	}
+	if moments != nil {
+		// Fold in frame order, so the merge is deterministic for a given
+		// selection.
+		total := EmptyMoments()
+		for _, m := range moments {
+			total.Merge(m)
+		}
+		if res.Reduced, err = total.Reduced(p.reduce); err != nil {
+			return nil, err
+		}
 	}
 	if p.pairMode {
 		if err := ctx.Err(); err != nil {
@@ -133,8 +185,8 @@ func (e *Engine) Execute(ctx context.Context, p *Plan) (*Result, error) {
 // decompression are both loaded at most once, the latter through the
 // LRU cache; the frame's ExecutedInCompressedSpace flag is true iff the
 // full decompression was never needed.
-func (e *Engine) runFrame(ctx context.Context, p *Plan, ops codec.Ops, rr codec.RegionReader, i int, refC codec.Compressed, refT func() (*tensor.Tensor, error)) (FrameResult, error) {
-	out := FrameResult{Index: i, Label: e.r.Info(i).Label, ExecutedInCompressedSpace: true}
+func (e *Engine) runFrame(ctx context.Context, p *Plan, ops codec.Ops, rr codec.RegionReader, shaper codec.Shaper, i int, refC codec.Compressed, refT func() (*tensor.Tensor, error), mom *Moments) (FrameResult, error) {
+	out := FrameResult{Index: i, Label: e.src.Info(i).Label, ExecutedInCompressedSpace: true}
 	if err := ctx.Err(); err != nil {
 		return out, err
 	}
@@ -143,7 +195,7 @@ func (e *Engine) runFrame(ctx context.Context, p *Plan, ops codec.Ops, rr codec.
 	loadC := func() (codec.Compressed, error) {
 		if fc == nil {
 			var err error
-			if fc, err = e.r.Frame(i); err != nil {
+			if fc, err = e.src.Frame(i); err != nil {
 				return nil, err
 			}
 		}
@@ -173,7 +225,7 @@ func (e *Engine) runFrame(ctx context.Context, p *Plan, ops codec.Ops, rr codec.
 		v, err := e.frameMetric(p, ops, refC, refT, loadC, decode)
 		if err != nil {
 			return out, fmt.Errorf("frame %d (label %d) %s vs label %d: %w",
-				i, out.Label, p.metric.Kind, e.r.Info(p.refIndex).Label, err)
+				i, out.Label, p.metric.Kind, e.src.Info(p.refIndex).Label, err)
 		}
 		fv := Float(v)
 		out.Metric = &fv
@@ -195,7 +247,95 @@ func (e *Engine) runFrame(ctx context.Context, p *Plan, ops codec.Ops, rr codec.
 		fv := Float(v)
 		out.Point = &fv
 	}
+
+	if mom != nil {
+		m, err := e.frameMoments(p, ops, shaper, loadC, decode)
+		if err != nil {
+			return out, fmt.Errorf("frame %d (label %d) reduce: %w", i, out.Label, err)
+		}
+		*mom = m
+	}
 	return out, nil
+}
+
+// frameMoments computes one frame's share of a dataset-level reduction.
+// When the reduction needs no extrema and the codec exposes both the
+// moment entry points (Ops) and the compressed shape (Shaper), the
+// partial state comes straight from compressed space: Σx = n·mean and
+// Σx² = ‖x‖₂²; otherwise the frame decodes (through the LRU cache) and
+// one pass accumulates everything.
+func (e *Engine) frameMoments(p *Plan, ops codec.Ops, shaper codec.Shaper,
+	loadC func() (codec.Compressed, error), decode func() (*tensor.Tensor, error)) (Moments, error) {
+	if ops != nil && shaper != nil && !p.reduceMinMax {
+		c, err := loadC()
+		if err != nil {
+			return Moments{}, err
+		}
+		m, err := compressedMoments(ops, shaper, c)
+		if err == nil {
+			return m, nil
+		}
+		if !errors.Is(err, codec.ErrNotSupported) {
+			return Moments{}, err
+		}
+	}
+	t, err := decode()
+	if err != nil {
+		return Moments{}, err
+	}
+	return decodedMoments(t, p.reduceMinMax), nil
+}
+
+// compressedMoments derives a frame's moment state from the Ops entry
+// points without decompression.
+func compressedMoments(ops codec.Ops, shaper codec.Shaper, c codec.Compressed) (Moments, error) {
+	shape, err := shaper.Shape(c)
+	if err != nil {
+		return Moments{}, err
+	}
+	n := 1
+	for _, e := range shape {
+		n *= e
+	}
+	mean, err := ops.Mean(c)
+	if err != nil {
+		return Moments{}, err
+	}
+	l2, err := ops.L2Norm(c)
+	if err != nil {
+		return Moments{}, err
+	}
+	m := EmptyMoments()
+	m.Frames = 1
+	m.N = int64(n)
+	m.Sum = Float(mean * float64(n))
+	m.SumSq = Float(l2 * l2)
+	return m, nil
+}
+
+// decodedMoments accumulates a frame's moment state in one pass over
+// the decompressed data. Extrema are tracked only when the reduction
+// asked for them, so both execution paths report the same untracked
+// identity values.
+func decodedMoments(t *tensor.Tensor, minMax bool) Moments {
+	m := EmptyMoments()
+	m.Frames = 1
+	m.N = int64(t.Len())
+	var sum, sumSq float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range t.Data() {
+		sum += v
+		sumSq += v * v
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	m.Sum = Float(sum)
+	m.SumSq = Float(sumSq)
+	if minMax {
+		m.Min = Float(lo)
+		m.Max = Float(hi)
+	}
+	return m
 }
 
 // frameAggs computes the requested aggregates, compressed-space when
@@ -321,16 +461,16 @@ func (e *Engine) framePoint(p *Plan, rr codec.RegionReader,
 func (e *Engine) runPair(p *Plan, ops codec.Ops) (*PairResult, error) {
 	ia, ib := p.frames[0], p.frames[1]
 	pr := &PairResult{
-		A: e.r.Info(ia).Label, B: e.r.Info(ib).Label,
+		A: e.src.Info(ia).Label, B: e.src.Info(ib).Label,
 		Kind: p.metric.Kind, ExecutedInCompressedSpace: true,
 	}
 	var ca, cb codec.Compressed
 	if ops != nil {
 		var err error
-		if ca, err = e.r.Frame(ia); err != nil {
+		if ca, err = e.src.Frame(ia); err != nil {
 			return nil, err
 		}
-		if cb, err = e.r.Frame(ib); err != nil {
+		if cb, err = e.src.Frame(ib); err != nil {
 			return nil, err
 		}
 		v, err := compressedMetric(ops, ca, cb, p.metric.Kind, p.metric.Peak)
@@ -370,24 +510,25 @@ func (e *Engine) decoded(i int) (*tensor.Tensor, error) {
 // answering ErrNotSupported after loadC) decompresses what it has
 // instead of re-reading and re-decoding the payload.
 func (e *Engine) decodedFrom(i int, fc codec.Compressed) (*tensor.Tensor, error) {
-	if t, ok := e.cache.Get(i); ok {
+	ns, key := e.cacheKeyOf(i)
+	if t, ok := e.cache.Get(ns, key); ok {
 		return t, nil
 	}
 	var t *tensor.Tensor
 	var err error
 	if fc != nil {
-		coder, cerr := e.r.Coder()
+		coder, cerr := e.src.Coder()
 		if cerr != nil {
 			return nil, cerr
 		}
 		t, err = coder.Decompress(fc)
 	} else {
-		t, err = e.r.Decompress(i)
+		t, err = e.src.Decompress(i)
 	}
 	if err != nil {
 		return nil, err
 	}
-	e.cache.Put(i, t)
+	e.cache.Put(ns, key, t)
 	return t, nil
 }
 

@@ -22,8 +22,45 @@ import (
 	"path"
 	"strconv"
 
+	"repro/internal/codec"
 	"repro/internal/store"
+	"repro/internal/tensor"
 )
+
+// Source is the frame collection a query runs over. store.Reader
+// satisfies it directly; shard.Dataset satisfies it with a virtual
+// concatenated view over many stores, which is what lets one Engine
+// answer cross-shard questions (pairwise metrics, references in another
+// shard) with exactly single-store semantics. Implementations must be
+// safe for concurrent use; Info's positions are commit order.
+type Source interface {
+	// Spec returns the codec spec every frame was written with.
+	Spec() string
+	// Len returns the number of frames.
+	Len() int
+	// Info returns the index entry of frame i.
+	Info(i int) store.FrameInfo
+	// IndexOf returns the position of the frame with the given label.
+	IndexOf(label int) (int, bool)
+	// Coder returns the codec that wrote the frames.
+	Coder() (codec.Coder, error)
+	// Frame reads and decodes frame i into the codec's compressed
+	// representation.
+	Frame(i int) (codec.Compressed, error)
+	// Decompress reads, decodes, and fully decompresses frame i.
+	Decompress(i int) (*tensor.Tensor, error)
+}
+
+// FrameKeyer is an optional Source capability: a stable, process-wide
+// identity for frame i, shared by every view of the same underlying
+// frame. Engines use it to key the decoded-frame cache, so a shard
+// engine and a dataset-wide engine over the same store file hit each
+// other's entries instead of decoding (and holding) the frame twice.
+// store.Reader and shard.Dataset both implement it; sources without it
+// cache under a private per-engine namespace.
+type FrameKeyer interface {
+	FrameKey(i int) (source uint64, frame int)
+}
 
 // ErrBadRequest marks request-validation failures (unknown aggregate,
 // empty selection, out-of-bounds region, ...). HTTP frontends map it to
@@ -82,6 +119,12 @@ type Request struct {
 	// Point reads the single element at this multi-index from each
 	// selected frame.
 	Point []int `json:"point,omitempty"`
+	// Reduce lists dataset-level aggregates (same kinds as Aggregates)
+	// computed over the elements of every selected frame together, as if
+	// the selection were one virtual array. Partial per-frame moments
+	// merge exactly (see Moments), which is what lets a sharded dataset
+	// answer the same reduction by combining per-shard partials.
+	Reduce []string `json:"reduce,omitempty"`
 }
 
 // Selector picks frames by label glob and/or index range; conditions
@@ -168,6 +211,9 @@ type Result struct {
 	// Pair holds the two-frame metric when the request used the
 	// pairwise (no-reference) form.
 	Pair *PairResult `json:"pair,omitempty"`
+	// Reduced holds the dataset-level reduction when the request asked
+	// for one, including the mergeable moment state.
+	Reduced *ReducedResult `json:"reduced,omitempty"`
 	// ExecutedInCompressedSpace is true iff every frame's work ran
 	// without full decompression.
 	ExecutedInCompressedSpace bool `json:"executedInCompressedSpace"`
@@ -218,20 +264,22 @@ type Plan struct {
 	pairMode bool // metric over exactly two selected frames
 	region   *RegionRequest
 	point    []int
+	reduce   []string
 
 	aggsCompressible bool // every requested aggregate has an Ops entry point
+	reduceMinMax     bool // the reduction needs extrema, which always decode
 }
 
-// Compile validates req against the store and resolves the selection
+// Compile validates req against the source and resolves the selection
 // into a Plan. All failures wrap ErrBadRequest.
-func Compile(r *store.Reader, req *Request) (*Plan, error) {
+func Compile(src Source, req *Request) (*Plan, error) {
 	if req == nil {
 		return nil, badf("nil request")
 	}
 	p := &Plan{refIndex: -1, aggsCompressible: true}
 
-	if len(req.Aggregates) == 0 && req.Metric == nil && req.Region == nil && len(req.Point) == 0 {
-		return nil, badf("empty query: request aggregates, a metric, a region, or a point")
+	if len(req.Aggregates) == 0 && req.Metric == nil && req.Region == nil && len(req.Point) == 0 && len(req.Reduce) == 0 {
+		return nil, badf("empty query: request aggregates, a metric, a region, a point, or a reduction")
 	}
 
 	seen := map[string]bool{}
@@ -248,7 +296,20 @@ func Compile(r *store.Reader, req *Request) (*Plan, error) {
 		p.aggsCompressible = p.aggsCompressible && compressible
 	}
 
-	frames, err := selectFrames(r, req.Select)
+	seenReduce := map[string]bool{}
+	for _, kind := range req.Reduce {
+		if _, ok := aggCompressible[kind]; !ok {
+			return nil, badf("unknown reduce aggregate %q (have mean|variance|stddev|min|max|l2norm)", kind)
+		}
+		if seenReduce[kind] {
+			continue
+		}
+		seenReduce[kind] = true
+		p.reduce = append(p.reduce, kind)
+		p.reduceMinMax = p.reduceMinMax || kind == AggMin || kind == AggMax
+	}
+
+	frames, err := selectFrames(src, req.Select)
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +327,7 @@ func Compile(r *store.Reader, req *Request) (*Plan, error) {
 			return nil, badf("psnr peak %g must be positive", mc.Peak)
 		}
 		if m.Against != nil {
-			ref, ok := r.IndexOf(*m.Against)
+			ref, ok := src.IndexOf(*m.Against)
 			if !ok {
 				return nil, badf("metric reference label %d not in store", *m.Against)
 			}
@@ -294,25 +355,30 @@ func Compile(r *store.Reader, req *Request) (*Plan, error) {
 // Frames returns the selected store positions, in commit order.
 func (p *Plan) Frames() []int { return append([]int(nil), p.frames...) }
 
+// Reduce returns the validated, deduplicated reduce kinds, in request
+// order — the list Execute derives Result.Reduced from, exposed so a
+// scatter-gather merger reduces exactly the kinds the plan did.
+func (p *Plan) Reduce() []string { return append([]string(nil), p.reduce...) }
+
 // selectFrames resolves a Selector to store positions.
-func selectFrames(r *store.Reader, sel Selector) ([]int, error) {
+func selectFrames(src Source, sel Selector) ([]int, error) {
 	if sel.Labels != "" {
 		// Surface glob syntax errors before, not during, the scan.
 		if _, err := path.Match(sel.Labels, "0"); err != nil {
 			return nil, badf("bad label glob %q", sel.Labels)
 		}
 	}
-	from, to := 0, r.Len()
+	from, to := 0, src.Len()
 	if sel.From != nil {
 		from = max(*sel.From, 0)
 	}
 	if sel.To != nil {
-		to = min(*sel.To, r.Len())
+		to = min(*sel.To, src.Len())
 	}
 	var frames []int
 	for i := from; i < to; i++ {
 		if sel.Labels != "" {
-			ok, _ := path.Match(sel.Labels, strconv.Itoa(r.Info(i).Label))
+			ok, _ := path.Match(sel.Labels, strconv.Itoa(src.Info(i).Label))
 			if !ok {
 				continue
 			}

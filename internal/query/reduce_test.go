@@ -1,0 +1,90 @@
+package query
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestMomentsMergeMatchesDirect(t *testing.T) {
+	// Folding per-part moments must equal computing over the
+	// concatenation, whatever the split.
+	data := []float64{3, -1, 4, 1, -5, 9, 2, 6, 5, 3.5}
+	direct := EmptyMoments()
+	for _, v := range data {
+		m := EmptyMoments()
+		m.Frames, m.N = 1, 1
+		m.Sum, m.SumSq = Float(v), Float(v*v)
+		m.Min, m.Max = Float(v), Float(v)
+		direct.Merge(m)
+	}
+	for _, split := range []int{1, 3, 5, 9} {
+		parts := EmptyMoments()
+		for start := 0; start < len(data); start += split {
+			end := min(start+split, len(data))
+			part := EmptyMoments()
+			for _, v := range data[start:end] {
+				one := EmptyMoments()
+				one.Frames, one.N = 1, 1
+				one.Sum, one.SumSq = Float(v), Float(v*v)
+				one.Min, one.Max = Float(v), Float(v)
+				part.Merge(one)
+			}
+			parts.Merge(part)
+		}
+		if parts.N != direct.N || parts.Frames != direct.Frames {
+			t.Fatalf("split %d: state %+v != %+v", split, parts, direct)
+		}
+		for _, kind := range []string{AggMean, AggVariance, AggStdDev, AggMin, AggMax, AggL2Norm} {
+			a, err := parts.Value(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _ := direct.Value(kind)
+			if math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(b)) {
+				t.Errorf("split %d %s = %g, want %g", split, kind, a, b)
+			}
+		}
+	}
+}
+
+func TestMomentsValueEdges(t *testing.T) {
+	if _, err := EmptyMoments().Value(AggMean); err == nil {
+		t.Error("reduction over zero elements should fail")
+	}
+	m := EmptyMoments()
+	m.Frames, m.N = 1, 4
+	m.Sum, m.SumSq = 8, 15.999999999999 // variance numerically ≈ −ε
+	if v, _ := m.Value(AggStdDev); v != 0 {
+		t.Errorf("stddev of ≈0 variance = %g, want clamped 0", v)
+	}
+	if _, err := m.Value("median"); err == nil {
+		t.Error("unknown reduce kind should fail")
+	}
+}
+
+func TestReducedResultJSONRoundTrip(t *testing.T) {
+	// Untracked extrema are ±Inf, which must survive JSON (the Float
+	// string encoding) so a client can re-merge shard partials.
+	m := EmptyMoments()
+	m.Frames, m.N = 2, 8
+	m.Sum, m.SumSq = 4, 10
+	red, err := m.Reduced([]string{AggMean, AggL2Norm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ReducedResult
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(float64(back.Min), 1) || !math.IsInf(float64(back.Max), -1) {
+		t.Errorf("untracked extrema lost in JSON: %+v", back.Moments)
+	}
+	if back.N != 8 || back.Values[AggMean] != red.Values[AggMean] {
+		t.Errorf("round trip %+v != %+v", back, red)
+	}
+}

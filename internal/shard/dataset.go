@@ -1,0 +1,186 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/codec"
+	"repro/internal/query"
+	"repro/internal/store"
+	"repro/internal/tensor"
+)
+
+// frameRef locates a global frame position inside its shard.
+type frameRef struct {
+	shard, local int
+}
+
+// Dataset is an open sharded dataset: one store.Reader per shard plus
+// the global index over all of them. It implements query.Source as the
+// concatenation of its shards in manifest order — global frame i lives
+// in the shard covering i, at position i minus that shard's base — so a
+// query.Engine built over a Dataset behaves exactly like one over a
+// single store holding the same frames in the same order.
+//
+// A Dataset is safe for concurrent use: readers are concurrency-safe
+// and the index is immutable after Open.
+type Dataset struct {
+	man     *Manifest
+	readers []*store.Reader
+	bases   []int // global position of each shard's first frame
+	total   int
+	refs    []frameRef  // global position → shard location
+	labels  map[int]int // label → global position
+	cache   *query.Cache
+	engines []*query.Engine // one per shard, sharing cache
+	unified *query.Engine   // over the concatenated view, for cross-shard plans
+}
+
+// Open opens the dataset described by the manifest at path. Shard paths
+// resolve relative to the manifest's directory. Every shard must carry
+// the manifest's codec spec and match its label list — a manifest that
+// drifted from its stores fails here, not mid-query. opts configures
+// the query engines; the decoded-frame cache budget (opts.CacheBytes,
+// or opts.Cache) is shared across all shards. Close releases the file
+// handles.
+func Open(path string, opts query.Options) (*Dataset, error) {
+	man, err := LoadManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	d := &Dataset{
+		man:    man,
+		bases:  make([]int, len(man.Shards)),
+		labels: make(map[int]int),
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			d.Close()
+		}
+	}()
+	for s, sh := range man.Shards {
+		r, err := store.Open(filepath.Join(dir, sh.Path))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		d.readers = append(d.readers, r)
+		if r.Spec() != man.Spec {
+			return nil, fmt.Errorf("shard: %s has codec spec %q, manifest says %q", sh.Path, r.Spec(), man.Spec)
+		}
+		if r.Len() != sh.Frames {
+			return nil, fmt.Errorf("shard: %s holds %d frames, manifest says %d", sh.Path, r.Len(), sh.Frames)
+		}
+		if sh.CRC32 != "" {
+			if got := fmt.Sprintf("%08x", r.FooterCRC()); got != sh.CRC32 {
+				return nil, fmt.Errorf("shard: %s footer CRC %s, manifest says %s (stale or swapped shard file?)",
+					sh.Path, got, sh.CRC32)
+			}
+		}
+		d.bases[s] = d.total
+		for i := 0; i < r.Len(); i++ {
+			label := r.Info(i).Label
+			if label != sh.Labels[i] {
+				return nil, fmt.Errorf("shard: %s frame %d has label %d, manifest says %d",
+					sh.Path, i, label, sh.Labels[i])
+			}
+			d.labels[label] = d.total
+			d.refs = append(d.refs, frameRef{shard: s, local: i})
+			d.total++
+		}
+	}
+
+	d.cache = opts.Cache
+	if d.cache == nil {
+		d.cache = query.NewCache(opts.CacheBytes)
+	}
+	shardOpts := query.Options{Cache: d.cache, ForceDecode: opts.ForceDecode}
+	for _, r := range d.readers {
+		d.engines = append(d.engines, query.New(r, shardOpts))
+	}
+	d.unified = query.New(d, shardOpts)
+	ok = true
+	return d, nil
+}
+
+// Close releases every shard's file handle.
+func (d *Dataset) Close() error {
+	var errs []error
+	for _, r := range d.readers {
+		if r != nil {
+			errs = append(errs, r.Close())
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Manifest returns the dataset's manifest.
+func (d *Dataset) Manifest() *Manifest { return d.man }
+
+// Shards returns the number of shards.
+func (d *Dataset) Shards() int { return len(d.readers) }
+
+// Cache exposes the shared decoded-frame cache (for stats endpoints).
+func (d *Dataset) Cache() *query.Cache { return d.cache }
+
+// Locate maps a global frame position to its shard and local position.
+func (d *Dataset) Locate(i int) (shard, local int) {
+	ref := d.refs[i]
+	return ref.shard, ref.local
+}
+
+// Spec returns the codec spec shared by every shard.
+func (d *Dataset) Spec() string { return d.man.Spec }
+
+// Len returns the dataset's total frame count.
+func (d *Dataset) Len() int { return d.total }
+
+// Info returns the index entry of global frame i. Offset and Length
+// are relative to the owning shard's file.
+func (d *Dataset) Info(i int) store.FrameInfo {
+	ref := d.refs[i]
+	return d.readers[ref.shard].Info(ref.local)
+}
+
+// IndexOf returns the global position of the frame with the given
+// label.
+func (d *Dataset) IndexOf(label int) (int, bool) {
+	i, ok := d.labels[label]
+	return i, ok
+}
+
+// FrameKey returns the stable identity of global frame i — the owning
+// shard reader's key — so the unified engine and the per-shard engines
+// share decoded-frame cache entries for the same physical frame.
+func (d *Dataset) FrameKey(i int) (source uint64, frame int) {
+	ref := d.refs[i]
+	return d.readers[ref.shard].FrameKey(ref.local)
+}
+
+// Coder returns the codec that wrote the shards (their specs are
+// verified equal at Open).
+func (d *Dataset) Coder() (codec.Coder, error) {
+	return d.readers[0].Coder()
+}
+
+// Frame reads and decodes global frame i into the codec's compressed
+// representation.
+func (d *Dataset) Frame(i int) (codec.Compressed, error) {
+	ref := d.refs[i]
+	return d.readers[ref.shard].Frame(ref.local)
+}
+
+// Decompress reads, decodes, and fully decompresses global frame i.
+func (d *Dataset) Decompress(i int) (*tensor.Tensor, error) {
+	ref := d.refs[i]
+	return d.readers[ref.shard].Decompress(ref.local)
+}
+
+// Payload reads the raw encoded bytes of global frame i and verifies
+// their checksum.
+func (d *Dataset) Payload(i int) ([]byte, error) {
+	ref := d.refs[i]
+	return d.readers[ref.shard].Payload(ref.local)
+}

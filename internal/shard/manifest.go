@@ -1,0 +1,162 @@
+// Package shard scales the frame store horizontally: a Dataset is N
+// store files described by a JSON manifest, presented as one logical
+// frame collection. Frames keep a stable global order — the
+// concatenation of the shards in manifest order — and a global label
+// index, so a dataset answers every question a single store does.
+//
+// Queries scatter-gather: a router resolves the request's label glob
+// and index range to the shards that can possibly answer (the manifest
+// carries each shard's label list, so non-matching shards are skipped
+// without opening a frame), per-shard query engines run concurrently on
+// the shared tensor worker pool, and partial results merge — per-frame
+// results by concatenation in global order, dataset-level reductions by
+// exact moment merging (query.Moments). Requests that couple frames
+// across shards (pairwise metrics, a reference frame in another shard)
+// run on a unified engine over the dataset's concatenated view
+// (query.Source), so their semantics match a single store by
+// construction.
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestVersion is the current manifest format version.
+const ManifestVersion = 1
+
+// ShardInfo describes one shard of a dataset.
+type ShardInfo struct {
+	// Path locates the shard's store file, relative to the manifest.
+	Path string `json:"path"`
+	// Frames is the shard's frame count.
+	Frames int `json:"frames"`
+	// Labels lists the shard's frame labels in commit order — the
+	// router's index for skipping shards a label glob cannot match.
+	Labels []int `json:"labels"`
+	// CRC32 is the shard store's footer CRC (hex) — a fingerprint of
+	// its whole frame inventory. When present, Open rejects a shard
+	// file that does not match, so a dataset assembled from a mix of
+	// old and new shard files (an interrupted repack) cannot silently
+	// serve wrong frames.
+	CRC32 string `json:"crc32,omitempty"`
+}
+
+// Manifest is the on-disk description of a sharded dataset: the codec
+// spec shared by every shard plus the shard list in global frame order.
+type Manifest struct {
+	Version int         `json:"version"`
+	Spec    string      `json:"spec"`
+	Shards  []ShardInfo `json:"shards"`
+}
+
+// Validate checks the manifest's internal consistency: version, spec,
+// per-shard frame counts matching label lists, and globally unique
+// labels.
+func (m *Manifest) Validate() error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("shard: unsupported manifest version %d (have %d)", m.Version, ManifestVersion)
+	}
+	if m.Spec == "" {
+		return fmt.Errorf("shard: manifest has no codec spec")
+	}
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("shard: manifest lists no shards")
+	}
+	seen := map[int]int{}
+	for s, sh := range m.Shards {
+		if sh.Path == "" {
+			return fmt.Errorf("shard: shard %d has no path", s)
+		}
+		if sh.Frames != len(sh.Labels) {
+			return fmt.Errorf("shard: shard %d (%s) claims %d frames but lists %d labels",
+				s, sh.Path, sh.Frames, len(sh.Labels))
+		}
+		for _, label := range sh.Labels {
+			if prev, dup := seen[label]; dup {
+				return fmt.Errorf("shard: label %d appears in shards %d and %d", label, prev, s)
+			}
+			seen[label] = s
+		}
+	}
+	return nil
+}
+
+// Len returns the dataset's total frame count.
+func (m *Manifest) Len() int {
+	n := 0
+	for _, sh := range m.Shards {
+		n += sh.Frames
+	}
+	return n
+}
+
+// LoadManifest reads and validates a manifest file. Shard paths stay
+// relative; Open resolves them against the manifest's directory.
+func LoadManifest(path string) (*Manifest, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(blob))
+	dec.DisallowUnknownFields()
+	m := &Manifest{}
+	if err := dec.Decode(m); err != nil {
+		return nil, fmt.Errorf("shard: bad manifest %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return m, nil
+}
+
+// Write validates and writes the manifest as indented JSON, via a temp
+// file and rename so a failure mid-write cannot truncate a previously
+// valid manifest.
+func (m *Manifest) Write(path string) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), ".goblaz-manifest-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(append(blob, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// IsManifest sniffs whether the file at path is a dataset manifest
+// (JSON) rather than a store file (which starts with the "GBZS" magic).
+// It reports false for unreadable or empty files, leaving the error to
+// whichever open path the caller picks.
+func IsManifest(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	head := make([]byte, 64)
+	n, _ := f.Read(head)
+	trimmed := bytes.TrimLeft(head[:n], " \t\r\n")
+	return len(trimmed) > 0 && trimmed[0] == '{'
+}

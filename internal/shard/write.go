@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/series"
+	"repro/internal/store"
+	"repro/internal/tensor"
+)
+
+// FrameFunc supplies the i-th frame of a dataset being written. It is
+// called once per frame, in global order, so callers can stream frames
+// from disk instead of holding the whole dataset in memory.
+type FrameFunc func(i int) (*tensor.Tensor, error)
+
+// WriteDataset packs frames into a sharded dataset: nShards store files
+// next to the manifest at path, split into contiguous runs so global
+// frame order equals input order, plus the manifest itself. labels
+// assigns each frame's label (they must be unique). Each shard
+// compresses through its own parallel pipeline; shard files land via
+// temp-file-and-rename and the manifest is written last, so a mid-pack
+// failure leaves no readable-but-wrong dataset behind.
+//
+// Shard files are named after the manifest: "data.json" yields
+// "data-000.gbz", "data-001.gbz", ...; the manifest records the names
+// relative to its own directory.
+func WriteDataset(path string, coder codec.Coder, labels []int, nShards, workers int, frame FrameFunc) (*Manifest, error) {
+	total := len(labels)
+	if total == 0 {
+		return nil, fmt.Errorf("shard: dataset needs at least one frame")
+	}
+	// Reject bad label lists before compressing anything: the manifest
+	// would fail validation anyway, but only after the expensive pack.
+	seen := make(map[int]struct{}, total)
+	for _, label := range labels {
+		if _, dup := seen[label]; dup {
+			return nil, fmt.Errorf("shard: duplicate frame label %d", label)
+		}
+		seen[label] = struct{}{}
+	}
+	if nShards < 1 {
+		nShards = 1
+	}
+	if nShards > total {
+		nShards = total
+	}
+	dir := filepath.Dir(path)
+	base := strings.TrimSuffix(filepath.Base(path), filepath.Ext(filepath.Base(path)))
+
+	man := &Manifest{Version: ManifestVersion, Spec: coder.Spec()}
+	var tmps []string
+	cleanup := func() {
+		for _, tmp := range tmps {
+			os.Remove(tmp)
+		}
+	}
+	defer func() { cleanup() }()
+
+	var finals []string
+	next := 0
+	for s := 0; s < nShards; s++ {
+		// Contiguous split: shard s covers [s·T/N, (s+1)·T/N).
+		end := (s + 1) * total / nShards
+		name := fmt.Sprintf("%s-%03d.gbz", base, s)
+		tmp, crc, err := writeShard(dir, coder, labels[next:end], next, workers, frame)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d (%s): %w", s, name, err)
+		}
+		tmps = append(tmps, tmp)
+		finals = append(finals, filepath.Join(dir, name))
+		man.Shards = append(man.Shards, ShardInfo{
+			Path:   name,
+			Frames: end - next,
+			Labels: append([]int(nil), labels[next:end]...),
+			CRC32:  fmt.Sprintf("%08x", crc),
+		})
+		next = end
+	}
+
+	// Every shard compressed cleanly; move them into place, then commit
+	// the manifest.
+	for i, tmp := range tmps {
+		if err := os.Rename(tmp, finals[i]); err != nil {
+			return nil, err
+		}
+		tmps[i] = ""
+	}
+	tmps = nil
+	if err := man.Write(path); err != nil {
+		return nil, err
+	}
+	return man, nil
+}
+
+// writeShard packs one shard into a temp file in dir and returns the
+// temp path plus the store's footer CRC (recorded in the manifest);
+// the caller renames it into place once every shard succeeds. The
+// finished file is re-opened to read the CRC, which doubles as a check
+// that what was written parses.
+func writeShard(dir string, coder codec.Coder, labels []int, first, workers int, frame FrameFunc) (string, uint32, error) {
+	f, err := os.CreateTemp(dir, ".goblaz-shard-*")
+	if err != nil {
+		return "", 0, err
+	}
+	tmp := f.Name()
+	fail := func(err error) (string, uint32, error) {
+		f.Close()
+		os.Remove(tmp)
+		return "", 0, err
+	}
+	w, err := store.NewWriter(f, coder.Spec())
+	if err != nil {
+		return fail(err)
+	}
+	p := series.NewCodecPipeline(coder, w.Sink(coder), workers)
+	for i, label := range labels {
+		t, err := frame(first + i)
+		if err != nil {
+			return fail(errors.Join(fmt.Errorf("frame %d: %w", first+i, err), p.Wait()))
+		}
+		p.Submit(label, t)
+	}
+	if err := p.Wait(); err != nil {
+		return fail(err)
+	}
+	if err := w.Close(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", 0, err
+	}
+	r, err := store.Open(tmp)
+	if err != nil {
+		os.Remove(tmp)
+		return "", 0, fmt.Errorf("written shard does not parse: %w", err)
+	}
+	crc := r.FooterCRC()
+	r.Close()
+	return tmp, crc, nil
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/codec"
 	"repro/internal/tensor"
@@ -22,16 +23,21 @@ import (
 // shared file cursor), the index is immutable after open, and registry
 // codecs are documented concurrency-safe.
 type Reader struct {
-	r      io.ReaderAt
-	closer io.Closer // set when Open owns the file
-	spec   string
-	frames []FrameInfo
-	index  map[int]int // label → frame position
+	r         io.ReaderAt
+	closer    io.Closer // set when Open owns the file
+	id        uint64    // process-unique reader identity (see FrameKey)
+	spec      string
+	footerCRC uint32
+	frames    []FrameInfo
+	index     map[int]int // label → frame position
 
 	coderOnce sync.Once
 	coder     codec.Coder
 	coderErr  error
 }
+
+// readerID hands each Reader a process-unique identity.
+var readerID atomic.Uint64
 
 // Open opens a store file for random access. The returned Reader owns
 // the file handle; release it with Close.
@@ -129,8 +135,20 @@ func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
 		frames[i] = e
 		index[e.Label] = i
 	}
-	return &Reader{r: r, spec: string(spec), frames: frames, index: index}, nil
+	return &Reader{r: r, id: readerID.Add(1), spec: string(spec), footerCRC: footerCRC, frames: frames, index: index}, nil
 }
+
+// FooterCRC returns the CRC32 of the footer index — a fingerprint of
+// the store's whole frame inventory (labels, offsets, payload CRCs).
+// Dataset manifests record it per shard to detect swapped or stale
+// shard files at open.
+func (r *Reader) FooterCRC() uint32 { return r.footerCRC }
+
+// FrameKey returns a stable, process-unique identity for frame i: this
+// reader instance plus the frame position. Consumers key shared caches
+// of decoded frames with it, so two engines over the same reader share
+// entries while engines over different readers can never alias.
+func (r *Reader) FrameKey(i int) (source uint64, frame int) { return r.id, i }
 
 // Close releases the file handle when the Reader was built by Open; it
 // is a no-op for NewReader.
