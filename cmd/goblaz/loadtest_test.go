@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+func TestLoadtestSmoke(t *testing.T) {
+	// A short closed-loop run against a real store must complete inside
+	// the error budget and leave a well-formed benchmark artifact.
+	path := packQueryStore(t)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	_, err := captureStdout(t, func() error {
+		return runLoadtest([]string{
+			"-duration", "300ms", "-workers", "2",
+			"-mix", "query=1,frame=1,region=2",
+			"-out", out, path,
+		})
+	})
+	if err != nil {
+		t.Fatalf("loadtest: %v", err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, blob)
+	}
+	if rep.Bench != "loadtest" || rep.Requests <= 0 || rep.Workers != 2 {
+		t.Errorf("artifact looks wrong: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("local loadtest had %d errors", rep.Errors)
+	}
+	if rep.LatencyMS.P50 <= 0 || rep.LatencyMS.P99 < rep.LatencyMS.P50 {
+		t.Errorf("percentiles not ordered: %+v", rep.LatencyMS)
+	}
+	if rep.Mix["query"]+rep.Mix["frame"]+rep.Mix["region"] != rep.Requests {
+		t.Errorf("mix counts %v do not add up to %d", rep.Mix, rep.Requests)
+	}
+}
+
+func TestLoadtestOverHTTP(t *testing.T) {
+	// The same generator pointed at a serving URL exercises the Client
+	// SDK path end to end.
+	path := packQueryStore(t)
+	url := startServe(t, path)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if _, err := captureStdout(t, func() error {
+		return runLoadtest([]string{
+			"-duration", "300ms", "-workers", "2", "-rps", "50", "-out", out, url,
+		})
+	}); err != nil {
+		t.Fatalf("loadtest over HTTP: %v", err)
+	}
+	var rep loadReport
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests <= 0 {
+		t.Error("no requests completed over HTTP")
+	}
+	// Paced at 50 rps for ~300ms, the run must stay well under the
+	// closed-loop request count — the token bucket is actually pacing.
+	if rep.Requests > 60 {
+		t.Errorf("paced run issued %d requests, pacing is not limiting", rep.Requests)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	uniform, err := parseMix("")
+	if err != nil || uniform != [numOps]int{1, 1, 1} {
+		t.Errorf("parseMix(\"\") = %v, %v", uniform, err)
+	}
+	w, err := parseMix("query=1,frame=0,region=4")
+	if err != nil || w != [numOps]int{1, 0, 4} {
+		t.Errorf("parseMix = %v, %v", w, err)
+	}
+	for _, bad := range []string{"query", "query=x", "nope=1", "query=0,frame=0,region=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var ds []time.Duration
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	if p := percentile(ds, 0.50); p != 51*time.Millisecond {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := percentile(ds, 0.99); p != 100*time.Millisecond {
+		t.Errorf("p99 = %v", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %v", p)
+	}
+}
+
+func TestLimitMountsSharesDefaultLimiter(t *testing.T) {
+	path := packQueryStore(t)
+	var (
+		def              api.Backend
+		stores, datasets map[string]api.Backend
+	)
+	if _, err := captureStdout(t, func() error {
+		var closeAll func()
+		var err error
+		def, stores, datasets, closeAll, err = openMounts([]string{path}, 0)
+		if err == nil {
+			t.Cleanup(closeAll)
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wrappedDef := limitMounts(def, stores, datasets, api.LimitOptions{MaxConcurrent: 4})
+	if wrappedDef == def {
+		t.Fatal("default mount was not wrapped")
+	}
+	if stores["q"] != wrappedDef { // packQueryStore writes q.gbz
+		t.Error("default and named mounts must share one limiter instance")
+	}
+	if limitMounts(def, stores, datasets, api.LimitOptions{}) != def {
+		t.Error("MaxConcurrent 0 must leave the default unwrapped")
+	}
+}

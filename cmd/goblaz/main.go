@@ -56,6 +56,8 @@ func main() {
 		err = runServe(args)
 	case "query":
 		err = runQuery(args)
+	case "loadtest":
+		err = runLoadtest(args)
 	default:
 		usage()
 	}
@@ -75,7 +77,10 @@ func usage() {
   goblaz pack       -shape N,M[,K] [-codec SPEC] [-workers N] [-shards N] OUT FRAME...
   goblaz unpack     [-frame LABEL] IN OUTPREFIX
   goblaz inspect    IN|MANIFEST|URL
-  goblaz serve      [-addr HOST:PORT] [-cache-bytes N] [-timeout D] [NAME=]IN|MANIFEST ...
+  goblaz serve      [-addr HOST:PORT] [-cache-bytes N] [-timeout D] [-debug-addr HOST:PORT]
+                    [-max-concurrent N] [-max-queue N] [-queue-wait D] [NAME=]IN|MANIFEST ...
+  goblaz loadtest   [-duration D] [-rps N] [-workers N] [-mix query=W,frame=W,region=W]
+                    [-out BENCH.json] [-error-budget F] [-cpuprofile F] [-memprofile F] IN|MANIFEST|URL
   goblaz query      [-labels GLOB] [-from I] [-to I] [-aggs LIST] [-reduce LIST]
                     [-metric KIND [-against LABEL] [-peak P]] [-region OFF:SHAPE] [-point IDX]
                     [-req JSON|@FILE|-] [-cache-bytes N] [-timeout D] IN|MANIFEST|URL`)

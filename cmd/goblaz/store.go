@@ -25,6 +25,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -322,11 +323,64 @@ func openMounts(args []string, cacheBytes int64) (def api.Backend, stores, datas
 	return def, stores, datasets, closeAll, nil
 }
 
+// limitMounts wraps every mount in admission control and returns the
+// wrapped default. The default mount aliases one of the named entries
+// (openMounts reuses the first backend), so wrapping goes through an
+// identity map — both routes must share one limiter, not get one each.
+func limitMounts(def api.Backend, stores, datasets map[string]api.Backend, opts api.LimitOptions) api.Backend {
+	if opts.MaxConcurrent <= 0 {
+		return def
+	}
+	wrapped := map[api.Backend]api.Backend{}
+	lim := func(b api.Backend) api.Backend {
+		if b == nil {
+			return nil
+		}
+		if w, ok := wrapped[b]; ok {
+			return w
+		}
+		w := api.Limit(b, opts)
+		wrapped[b] = w
+		return w
+	}
+	for name, b := range stores {
+		stores[name] = lim(b)
+	}
+	for name, b := range datasets {
+		datasets[name] = lim(b)
+	}
+	return lim(def)
+}
+
+// debugServer exposes net/http/pprof on its own mux and address, so
+// profiling never rides the public listener: the data (and the
+// DefaultServeMux side effects of importing net/http/pprof) stay on an
+// operator-chosen, typically loopback, port.
+func debugServer(addr string, logf func(string, ...any)) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logf("debug server: %v", err)
+		}
+	}()
+	return srv
+}
+
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheBytes := fs.Int64("cache-bytes", 64<<20, "decoded-frame LRU cache budget in bytes, per store (0 disables)")
 	timeout := fs.Duration("timeout", 55*time.Second, "per-request deadline; canceled work stops the query engine (0 disables)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "per-mount concurrent decode/query limit (0 disables admission control)")
+	maxQueue := fs.Int("max-queue", 0, "requests allowed to wait for a slot once -max-concurrent are busy")
+	queueWait := fs.Duration("queue-wait", api.DefaultQueueWait, "how long a queued request waits before being shed with 429")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -339,8 +393,16 @@ func runServe(args []string) error {
 		return err
 	}
 	defer closeAll()
+	def = limitMounts(def, stores, datasets, api.LimitOptions{
+		MaxConcurrent: *maxConcurrent, MaxQueue: *maxQueue, QueueWait: *queueWait,
+	})
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	if *debugAddr != "" {
+		dbg := debugServer(*debugAddr, logger.Printf)
+		defer dbg.Close()
+		fmt.Printf("pprof debug server on %s\n", *debugAddr)
+	}
 	handler := httpapi.New(def, stores, httpapi.Options{
 		RequestTimeout: *timeout,
 		Logf:           logger.Printf,

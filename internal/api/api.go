@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"repro/internal/codec"
@@ -41,6 +42,12 @@ const (
 	// CodeCanceled marks work abandoned because the caller's context
 	// was canceled or its deadline expired.
 	CodeCanceled Code = "canceled"
+	// CodeOverloaded marks requests shed by admission control: the
+	// backend's concurrency limit and wait queue are both full, or the
+	// request waited longer than the queue allows. The request was not
+	// executed; retrying after a backoff is safe and expected (HTTP
+	// responses carry Retry-After).
+	CodeOverloaded Code = "overloaded"
 	// CodeInternal marks everything else. Over HTTP the message is a
 	// constant — internal details are logged server-side, not shipped
 	// to clients.
@@ -95,6 +102,8 @@ func HTTPStatus(code Code) int {
 		return http.StatusNotImplemented
 	case CodeCanceled:
 		return StatusClientClosedRequest
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
 	}
 	return http.StatusInternalServerError
 }
@@ -109,6 +118,8 @@ func codeOfStatus(status int) Code {
 		return CodeNotSupported
 	case status == StatusClientClosedRequest:
 		return CodeCanceled
+	case status == http.StatusTooManyRequests:
+		return CodeOverloaded
 	case status >= 400 && status < 500:
 		return CodeBadRequest
 	}
@@ -118,6 +129,10 @@ func codeOfStatus(status int) Code {
 // ErrNotFound marks lookups of frames or stores that do not exist;
 // FromError classifies anything wrapping it as CodeNotFound.
 var ErrNotFound = errors.New("api: not found")
+
+// ErrOverloaded marks requests shed by admission control; FromError
+// classifies anything wrapping it as CodeOverloaded.
+var ErrOverloaded = errors.New("api: overloaded")
 
 // FromError classifies err into the v1 error model. Known sentinel
 // errors pick their code — query validation failures are the caller's,
@@ -144,6 +159,8 @@ func FromError(err error) *Error {
 		return classify(CodeNotFound)
 	case errors.Is(err, codec.ErrNotSupported):
 		return classify(CodeNotSupported)
+	case errors.Is(err, ErrOverloaded):
+		return classify(CodeOverloaded)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return classify(CodeCanceled)
 	}
@@ -162,6 +179,8 @@ func sentinelOf(code Code) error {
 		return codec.ErrNotSupported
 	case CodeCanceled:
 		return context.Canceled
+	case CodeOverloaded:
+		return ErrOverloaded
 	}
 	return nil
 }
@@ -239,6 +258,15 @@ type Backend interface {
 // it return a CodeNotSupported error from the HTTP layer instead.
 type Payloads interface {
 	Payload(ctx context.Context, label int) ([]byte, error)
+}
+
+// PayloadStreamer is an optional Backend capability: positioned
+// read access to a frame's verified raw payload. The HTTP layer
+// prefers it over Payloads — a memory-mapped store serves the bytes
+// zero-copy through http.ServeContent (Content-Length, Accept-Ranges,
+// Range) instead of materializing a payload copy per request.
+type PayloadStreamer interface {
+	PayloadReader(ctx context.Context, label int) (io.ReadSeeker, error)
 }
 
 // FrameResolver is an optional Backend capability: O(1) resolution of

@@ -69,6 +69,7 @@ func TestHTTPStatusMapping(t *testing.T) {
 		CodeNotFound:     http.StatusNotFound,
 		CodeNotSupported: http.StatusNotImplemented,
 		CodeCanceled:     StatusClientClosedRequest,
+		CodeOverloaded:   http.StatusTooManyRequests,
 		CodeInternal:     http.StatusInternalServerError,
 		Code("future"):   http.StatusInternalServerError,
 	}
@@ -87,6 +88,7 @@ func TestFromErrorClassification(t *testing.T) {
 		{fmt.Errorf("wrap: %w", query.ErrBadRequest), CodeBadRequest},
 		{fmt.Errorf("wrap: %w", ErrNotFound), CodeNotFound},
 		{fmt.Errorf("wrap: %w", codec.ErrNotSupported), CodeNotSupported},
+		{fmt.Errorf("wrap: %w", ErrOverloaded), CodeOverloaded},
 		{context.Canceled, CodeCanceled},
 		{context.DeadlineExceeded, CodeCanceled},
 		{errors.New("disk on fire"), CodeInternal},

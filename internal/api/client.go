@@ -85,15 +85,33 @@ func NewClient(baseURL string, opts ClientOptions) (*Client, error) {
 }
 
 // retryableStatus reports whether a status is worth retrying: gateway
-// hiccups and overload. Not 500 — the v1 server answers it only for
-// deterministic failures, so a replay re-runs the whole (possibly
-// expensive) query just to fail identically.
+// hiccups and overload. 429 is the admission controller shedding load —
+// the request never executed, so a backed-off replay is safe and is
+// exactly what Retry-After asks for. Not 500 — the v1 server answers it
+// only for deterministic failures, so a replay re-runs the whole
+// (possibly expensive) query just to fail identically.
 func retryableStatus(status int) bool {
 	switch status {
-	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 		return true
 	}
 	return false
+}
+
+// retryAfterOf parses a Retry-After header (delta-seconds form) into
+// the server-requested pause; 0 when absent or unparseable, so callers
+// fall back to their own backoff.
+func retryAfterOf(resp *http.Response) time.Duration {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // do runs one API call with per-attempt timeout and retry. On success
@@ -106,12 +124,14 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, body
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		var retryAfter time.Duration
 		resp, err := c.attempt(ctx, method, u, body)
 		switch {
 		case err == nil && resp.StatusCode < 400:
 			return resp, nil
 		case err == nil:
 			apiErr := decodeErrorResponse(resp)
+			retryAfter = retryAfterOf(resp)
 			resp.Body.Close()
 			if !retryableStatus(resp.StatusCode) {
 				return nil, apiErr
@@ -126,10 +146,16 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, body
 		if attempt >= c.retries {
 			return nil, lastErr
 		}
+		// Honor a server-requested Retry-After when it asks for a longer
+		// pause than the client's own exponential backoff.
+		delay := c.backoff << attempt
+		if retryAfter > delay {
+			delay = retryAfter
+		}
 		select {
 		case <-ctx.Done():
 			return nil, FromError(ctx.Err())
-		case <-time.After(c.backoff << attempt):
+		case <-time.After(delay):
 		}
 	}
 }

@@ -247,3 +247,57 @@ func TestNewClientRejectsNonHTTP(t *testing.T) {
 		}
 	}
 }
+
+func TestClientRetries429HonoringRetryAfter(t *testing.T) {
+	local := buildLocal(t, goblazSpec, 2, 8, 8)
+	inner := httpapi.New(local, nil, httpapi.Options{})
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"overloaded","message":"shed"}}`))
+			return
+		}
+		inner.ServeHTTP(w, req)
+	}))
+	defer srv.Close()
+	c, err := api.NewClient(srv.URL, api.ClientOptions{Retries: 1, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	info, err := c.Spec(context.Background())
+	if err != nil || info.Frames != 2 {
+		t.Fatalf("Spec after a 429 = %+v, %v (calls %d)", info, err, calls.Load())
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("made %d calls, want 2 (one 429, one success)", calls.Load())
+	}
+	// The server asked for a 1 s pause; the client's own backoff was 1 ms,
+	// so the observed delay proves Retry-After won.
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("retried after %v, want ≥ ~1s per Retry-After", elapsed)
+	}
+}
+
+func TestClientExhausted429KeepsOverloadedCode(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":{"code":"overloaded","message":"shed"}}`))
+	}))
+	defer srv.Close()
+	c, err := api.NewClient(srv.URL, api.ClientOptions{Retries: 1, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Spec(context.Background())
+	if api.CodeOf(err) != api.CodeOverloaded {
+		t.Fatalf("code = %q, want overloaded", api.CodeOf(err))
+	}
+	if !errors.Is(err, api.ErrOverloaded) {
+		t.Fatalf("sentinel not re-attached across the wire: %v", err)
+	}
+}

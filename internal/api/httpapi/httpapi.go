@@ -27,11 +27,13 @@
 package httpapi
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"slices"
@@ -245,13 +247,24 @@ func (h *Handler) handleFrame(b api.Backend, w http.ResponseWriter, req *http.Re
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Goblaz-Shape", strings.Join(shape, ","))
-	w.Write(raw)
+	serveBytes(w, req, bytes.NewReader(raw))
 	return nil
 }
 
+// serveBytes hands a fully-validated body to http.ServeContent, which
+// supplies Content-Length, Accept-Ranges: bytes, and Range (206)
+// handling. The Content-Type is set by the caller beforehand so the
+// sniffer never runs; the zero modtime suppresses Last-Modified —
+// frame freshness is governed by the CRC-derived ETag notModified
+// already wrote.
+func serveBytes(w http.ResponseWriter, req *http.Request, content io.ReadSeeker) {
+	http.ServeContent(w, req, "", time.Time{}, content)
+}
+
 func (h *Handler) handlePayload(b api.Backend, w http.ResponseWriter, req *http.Request) error {
-	p, ok := b.(api.Payloads)
-	if !ok {
+	ps, psOK := b.(api.PayloadStreamer)
+	p, pOK := b.(api.Payloads)
+	if !psOK && !pOK {
 		return api.Errorf(api.CodeNotSupported, "backend does not expose raw payloads")
 	}
 	info, err := frameInfo(req.Context(), b, req)
@@ -261,12 +274,23 @@ func (h *Handler) handlePayload(b api.Backend, w http.ResponseWriter, req *http.
 	if notModified(w, req, info) {
 		return nil
 	}
-	payload, err := p.Payload(req.Context(), info.Label)
-	if err != nil {
-		return err
+	// Prefer the positioned reader: a memory-mapped store serves the
+	// bytes zero-copy, and ServeContent seeks instead of materializing
+	// the payload for Range requests.
+	var content io.ReadSeeker
+	if psOK {
+		if content, err = ps.PayloadReader(req.Context(), info.Label); err != nil {
+			return err
+		}
+	} else {
+		payload, err := p.Payload(req.Context(), info.Label)
+		if err != nil {
+			return err
+		}
+		content = bytes.NewReader(payload)
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(payload)
+	serveBytes(w, req, content)
 	return nil
 }
 
@@ -372,6 +396,11 @@ func writeJSON(w http.ResponseWriter, v any) {
 	w.Write(append(buf, '\n'))
 }
 
+// retryAfterSeconds is the delta-seconds Retry-After value served with
+// every 429: one second matches the admission controller's default
+// queue wait, so a shed burst retries roughly when capacity returns.
+const retryAfterSeconds = "1"
+
 // writeError renders err as the v1 JSON envelope at its mapped status.
 // Internal causes were already stripped by api.FromError — only the
 // stable code and a safe message cross the wire.
@@ -383,6 +412,11 @@ func writeError(w http.ResponseWriter, err error) {
 	var maxBytes *http.MaxBytesError
 	if errors.As(err, &maxBytes) {
 		apiErr = api.Errorf(api.CodeBadRequest, "request body exceeds %d bytes", maxBytes.Limit)
+	}
+	if apiErr.Code == api.CodeOverloaded {
+		// Shed requests were refused before executing: tell well-behaved
+		// clients when to come back instead of letting them hammer.
+		w.Header().Set("Retry-After", retryAfterSeconds)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(apiErr.HTTPStatus())

@@ -442,3 +442,88 @@ func TestAccessLogFields(t *testing.T) {
 		t.Errorf("access log = %q", lines)
 	}
 }
+
+func TestByteServingHeadersAndRange(t *testing.T) {
+	// Payload and frame routes serve through http.ServeContent: the
+	// declared length, Accept-Ranges, and honored Range requests are part
+	// of the wire contract tools like curl -C and parallel fetchers rely
+	// on.
+	srv := httptest.NewServer(New(buildLocal(t, 2, 8, 8), nil, Options{}))
+	defer srv.Close()
+
+	for _, path := range []string{"/v1/frames/0/payload", "/v1/frames/0"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Content-Length"); got != fmt.Sprint(len(full)) {
+			t.Errorf("%s Content-Length = %q, want %d", path, got, len(full))
+		}
+		if got := resp.Header.Get("Accept-Ranges"); got != "bytes" {
+			t.Errorf("%s Accept-Ranges = %q, want bytes", path, got)
+		}
+		if got := resp.Header.Get("Content-Type"); got != "application/octet-stream" {
+			t.Errorf("%s Content-Type = %q", path, got)
+		}
+
+		// A bounded Range must come back 206 with exactly those bytes.
+		req, _ := http.NewRequest("GET", srv.URL+path, nil)
+		req.Header.Set("Range", "bytes=3-9")
+		resp, err = srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusPartialContent {
+			t.Fatalf("%s with Range = %d, want 206", path, resp.StatusCode)
+		}
+		if want := fmt.Sprintf("bytes 3-9/%d", len(full)); resp.Header.Get("Content-Range") != want {
+			t.Errorf("%s Content-Range = %q, want %q", path, resp.Header.Get("Content-Range"), want)
+		}
+		if !bytes.Equal(part, full[3:10]) {
+			t.Errorf("%s range bytes do not match the full body slice", path)
+		}
+
+		// An open-ended suffix range resumes from an offset, the way a
+		// restarted download would.
+		req, _ = http.NewRequest("GET", srv.URL+path, nil)
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", len(full)-5))
+		resp, err = srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusPartialContent || !bytes.Equal(tail, full[len(full)-5:]) {
+			t.Errorf("%s suffix range = %d, %d bytes", path, resp.StatusCode, len(tail))
+		}
+	}
+
+	// An unsatisfiable range reports the full size so clients resync.
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/frames/0/payload", nil)
+	req.Header.Set("Range", "bytes=999999999-")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Errorf("unsatisfiable range = %d, want 416", resp.StatusCode)
+	}
+}

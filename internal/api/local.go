@@ -3,6 +3,7 @@ package api
 import (
 	"context"
 	"fmt"
+	"io"
 	"strconv"
 
 	"repro/internal/query"
@@ -25,10 +26,12 @@ func NewLocal(r *store.Reader, eng *query.Engine) *Local {
 	return &Local{r: r, eng: eng}
 }
 
-// OpenLocal opens the store at path with a fresh engine. Close releases
-// the file handle.
+// OpenLocal opens the store at path with a fresh engine, memory-mapped
+// where the platform supports it so payload serving is zero-copy (the
+// portable fallback is plain positioned reads). Close releases the
+// mapping or file handle.
 func OpenLocal(path string, opts query.Options) (*Local, error) {
-	r, err := store.Open(path)
+	r, err := store.OpenReaderMmap(path)
 	if err != nil {
 		return nil, FromError(err)
 	}
@@ -123,6 +126,24 @@ func (l *Local) Payload(ctx context.Context, label int) ([]byte, error) {
 		return nil, FromError(err)
 	}
 	return payload, nil
+}
+
+// PayloadReader is the PayloadStreamer capability: a positioned reader
+// over the verified payload, zero-copy from the store's memory mapping
+// when it has one.
+func (l *Local) PayloadReader(ctx context.Context, label int) (io.ReadSeeker, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, FromError(err)
+	}
+	i, err := l.indexOf(label)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := l.r.PayloadReader(i)
+	if err != nil {
+		return nil, FromError(err)
+	}
+	return rs, nil
 }
 
 // frameQuery runs a query scoped to one frame and returns that frame's

@@ -3,6 +3,7 @@ package api
 import (
 	"context"
 	"fmt"
+	"io"
 	"strconv"
 
 	"repro/internal/query"
@@ -14,6 +15,7 @@ var _ interface {
 	Backend
 	FrameResolver
 	Payloads
+	PayloadStreamer
 } = (*Sharded)(nil)
 
 // Sharded is the Backend over a sharded dataset (internal/shard): the
@@ -129,6 +131,23 @@ func (s *Sharded) Payload(ctx context.Context, label int) ([]byte, error) {
 		return nil, FromError(err)
 	}
 	return payload, nil
+}
+
+// PayloadReader is the PayloadStreamer capability: a positioned reader
+// over the verified payload bytes in the owning shard.
+func (s *Sharded) PayloadReader(ctx context.Context, label int) (io.ReadSeeker, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, FromError(err)
+	}
+	i, err := s.indexOf(label)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := s.ds.PayloadReader(i)
+	if err != nil {
+		return nil, FromError(err)
+	}
+	return rs, nil
 }
 
 // frameQuery runs a query scoped to one frame, mirroring Local.

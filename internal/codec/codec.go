@@ -121,6 +121,9 @@ type Coder interface {
 	Codec
 	// Encode serializes c.
 	Encode(c Compressed) ([]byte, error)
-	// Decode reverses Encode.
+	// Decode reverses Encode. Implementations must not retain data or
+	// alias it from the returned Compressed: callers decode straight
+	// from pooled scratch buffers and memory-mapped store images, and
+	// reuse or unmap the bytes once Decode returns.
 	Decode(data []byte) (Compressed, error)
 }

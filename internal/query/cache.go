@@ -3,6 +3,7 @@ package query
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/tensor"
 )
@@ -20,10 +21,12 @@ import (
 // store share entries. Cost accounting is 8 bytes per element.
 //
 // A Cache is safe for concurrent use. Concurrent misses on the same
-// frame may decode it twice; the first Put wins and later ones only
-// refresh recency (the tensors are identical — same frame, same codec).
-// The duplicate work is bounded by one decode and keeps the lock hold
-// times trivial.
+// frame are coalesced through Decode: the first caller runs the decode,
+// the rest wait on it and share the result — a thundering herd on one
+// hot frame costs one decompression, not one per request. The flight
+// table is keyed like the cache itself, so coalescing follows cache
+// sharing: every engine over one shared Cache (all shards of a dataset)
+// coalesces together.
 type Cache struct {
 	mu      sync.Mutex
 	budget  int64
@@ -32,6 +35,21 @@ type Cache struct {
 	lru     list.List // front = most recently used
 	hits    int64
 	misses  int64
+
+	// In-flight decode coalescing. A separate lock from mu: waiters
+	// block on a flight's done channel, never while holding either lock,
+	// and mu's hold times stay trivial.
+	fmu       sync.Mutex
+	flights   map[cacheKey]*flight
+	coalesced atomic.Int64
+}
+
+// flight is one in-progress decode; waiters block on done and read the
+// result fields after it closes.
+type flight struct {
+	done chan struct{}
+	t    *tensor.Tensor
+	err  error
 }
 
 // cacheKey scopes a frame index to the engine that decoded it.
@@ -111,6 +129,53 @@ func (c *Cache) Put(ns uint64, key int, t *tensor.Tensor) {
 	c.used += bytes
 }
 
+// Decode returns frame key of namespace ns decoded, serving it from
+// the cache when resident and otherwise coalescing concurrent misses:
+// exactly one caller per generation runs decode, everyone else piled up
+// on the same frame waits and shares its result. A generation ends when
+// the decode completes — the flight is forgotten before its waiters
+// wake, so a later miss (after eviction, or with caching disabled by a
+// ≤ 0 budget) starts a fresh decode rather than reusing a stale flight.
+// Errors are never cached: each new generation retries.
+//
+// Decode works on a nil or disabled Cache too — coalescing does not
+// depend on the byte budget, only result retention does.
+func (c *Cache) Decode(ns uint64, key int, decode func() (*tensor.Tensor, error)) (*tensor.Tensor, error) {
+	if c == nil {
+		return decode()
+	}
+	if t, ok := c.Get(ns, key); ok {
+		return t, nil
+	}
+	k := cacheKey{ns, key}
+	c.fmu.Lock()
+	if f, ok := c.flights[k]; ok {
+		c.fmu.Unlock()
+		c.coalesced.Add(1)
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		return f.t, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	if c.flights == nil {
+		c.flights = map[cacheKey]*flight{}
+	}
+	c.flights[k] = f
+	c.fmu.Unlock()
+
+	f.t, f.err = decode()
+	if f.err == nil {
+		c.Put(ns, key, f.t)
+	}
+	c.fmu.Lock()
+	delete(c.flights, k)
+	c.fmu.Unlock()
+	close(f.done)
+	return f.t, f.err
+}
+
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 type CacheStats struct {
 	Budget int64 `json:"budgetBytes"`
@@ -118,6 +183,9 @@ type CacheStats struct {
 	Frames int   `json:"frames"`
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
+	// Coalesced counts misses that waited on another caller's in-flight
+	// decode instead of decoding themselves.
+	Coalesced int64 `json:"coalesced"`
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -128,10 +196,11 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Budget: c.budget,
-		Used:   c.used,
-		Frames: c.lru.Len(),
-		Hits:   c.hits,
-		Misses: c.misses,
+		Budget:    c.budget,
+		Used:      c.used,
+		Frames:    c.lru.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced.Load(),
 	}
 }

@@ -75,6 +75,35 @@ func (e *Engine) cacheKeyOf(i int) (uint64, int) {
 // Cache exposes the engine's decoded-frame cache (for stats endpoints).
 func (e *Engine) Cache() *Cache { return e.cache }
 
+// loadFrame reads and decodes frame i's compressed representation,
+// recycling payload scratch through the arena when the source supports
+// caller-supplied buffers. A memory-mapped source decodes straight from
+// its image via Frame — copying the mapped bytes into scratch first
+// would only add a memmove.
+func (e *Engine) loadFrame(i int) (codec.Compressed, error) {
+	if m, ok := e.src.(interface{ Mapped() bool }); ok && m.Mapped() {
+		return e.src.Frame(i)
+	}
+	pa, ok := e.src.(PayloadAppender)
+	if !ok {
+		return e.src.Frame(i)
+	}
+	coder, err := e.src.Coder()
+	if err != nil {
+		return nil, err
+	}
+	bp := getPayloadBuf()
+	data, err := pa.PayloadAppend((*bp)[:0], i)
+	if err != nil {
+		putPayloadBuf(bp)
+		return nil, err
+	}
+	*bp = data // keep the grown capacity for the next lease
+	c, err := coder.Decode(data)
+	putPayloadBuf(bp)
+	return c, err
+}
+
 // Run compiles and executes req. Canceling ctx stops the plan between
 // frames — the engine returns ctx's error within one frame's work.
 func (e *Engine) Run(ctx context.Context, req *Request) (*Result, error) {
@@ -113,7 +142,7 @@ func (e *Engine) Execute(ctx context.Context, p *Plan) (*Result, error) {
 	var refT func() (*tensor.Tensor, error)
 	if p.metric != nil && !p.pairMode {
 		if ops != nil {
-			if refC, err = e.src.Frame(p.refIndex); err != nil {
+			if refC, err = e.loadFrame(p.refIndex); err != nil {
 				return nil, err
 			}
 		}
@@ -195,7 +224,7 @@ func (e *Engine) runFrame(ctx context.Context, p *Plan, ops codec.Ops, rr codec.
 	loadC := func() (codec.Compressed, error) {
 		if fc == nil {
 			var err error
-			if fc, err = e.src.Frame(i); err != nil {
+			if fc, err = e.loadFrame(i); err != nil {
 				return nil, err
 			}
 		}
@@ -467,10 +496,10 @@ func (e *Engine) runPair(p *Plan, ops codec.Ops) (*PairResult, error) {
 	var ca, cb codec.Compressed
 	if ops != nil {
 		var err error
-		if ca, err = e.src.Frame(ia); err != nil {
+		if ca, err = e.loadFrame(ia); err != nil {
 			return nil, err
 		}
-		if cb, err = e.src.Frame(ib); err != nil {
+		if cb, err = e.loadFrame(ib); err != nil {
 			return nil, err
 		}
 		v, err := compressedMetric(ops, ca, cb, p.metric.Kind, p.metric.Peak)
@@ -508,28 +537,26 @@ func (e *Engine) decoded(i int) (*tensor.Tensor, error) {
 // decodedFrom is decoded for callers that may already hold frame i's
 // compressed representation: a frame that fell back mid-path (e.g. blaz
 // answering ErrNotSupported after loadC) decompresses what it has
-// instead of re-reading and re-decoding the payload.
+// instead of re-reading and re-decoding the payload. The cache-miss
+// decode runs under the cache's singleflight, so a thundering herd of
+// queries on one cold frame decompresses it once per generation —
+// whichever caller wins the flight decodes (from its held compressed
+// form if it has one), and the rest share that result.
 func (e *Engine) decodedFrom(i int, fc codec.Compressed) (*tensor.Tensor, error) {
 	ns, key := e.cacheKeyOf(i)
-	if t, ok := e.cache.Get(ns, key); ok {
-		return t, nil
-	}
-	var t *tensor.Tensor
-	var err error
-	if fc != nil {
-		coder, cerr := e.src.Coder()
-		if cerr != nil {
-			return nil, cerr
+	return e.cache.Decode(ns, key, func() (*tensor.Tensor, error) {
+		coder, err := e.src.Coder()
+		if err != nil {
+			return nil, err
 		}
-		t, err = coder.Decompress(fc)
-	} else {
-		t, err = e.src.Decompress(i)
-	}
-	if err != nil {
-		return nil, err
-	}
-	e.cache.Put(ns, key, t)
-	return t, nil
+		c := fc
+		if c == nil {
+			if c, err = e.loadFrame(i); err != nil {
+				return nil, err
+			}
+		}
+		return coder.Decompress(c)
+	})
 }
 
 // compressedAgg dispatches one aggregate to its Ops entry point. stddev

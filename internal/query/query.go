@@ -62,6 +62,18 @@ type FrameKeyer interface {
 	FrameKey(i int) (source uint64, frame int)
 }
 
+// PayloadAppender is an optional Source capability: read frame i's raw
+// compressed payload into caller-supplied scratch instead of a fresh
+// allocation. Engines use it to route decodes through a pooled buffer
+// arena — the payload bytes live only for the duration of the decode
+// (codec.Coder.Decode must not retain its input), so recycling them
+// removes the dominant per-miss allocation. store.Reader and
+// shard.Dataset both implement it; sources without it decode through
+// Frame as before.
+type PayloadAppender interface {
+	PayloadAppend(dst []byte, i int) ([]byte, error)
+}
+
 // ErrBadRequest marks request-validation failures (unknown aggregate,
 // empty selection, out-of-bounds region, ...). HTTP frontends map it to
 // 400 with errors.Is; everything else is a server-side failure.

@@ -3,6 +3,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"io"
 	"path/filepath"
 
 	"repro/internal/codec"
@@ -62,7 +63,9 @@ func Open(path string, opts query.Options) (*Dataset, error) {
 		}
 	}()
 	for s, sh := range man.Shards {
-		r, err := store.Open(filepath.Join(dir, sh.Path))
+		// Mapped where supported: payload reads across every shard serve
+		// zero-copy, same as a single mmap-opened store.
+		r, err := store.OpenReaderMmap(filepath.Join(dir, sh.Path))
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", s, err)
 		}
@@ -165,6 +168,18 @@ func (d *Dataset) Coder() (codec.Coder, error) {
 	return d.readers[0].Coder()
 }
 
+// Mapped reports whether every shard reader is memory-mapped; the
+// query engine then decodes frames straight from the mappings instead
+// of staging payloads through pooled scratch.
+func (d *Dataset) Mapped() bool {
+	for _, r := range d.readers {
+		if !r.Mapped() {
+			return false
+		}
+	}
+	return len(d.readers) > 0
+}
+
 // Frame reads and decodes global frame i into the codec's compressed
 // representation.
 func (d *Dataset) Frame(i int) (codec.Compressed, error) {
@@ -183,4 +198,19 @@ func (d *Dataset) Decompress(i int) (*tensor.Tensor, error) {
 func (d *Dataset) Payload(i int) ([]byte, error) {
 	ref := d.refs[i]
 	return d.readers[ref.shard].Payload(ref.local)
+}
+
+// PayloadAppend appends the verified encoded bytes of global frame i
+// to dst (query.PayloadAppender — lets engines decode from pooled
+// scratch).
+func (d *Dataset) PayloadAppend(dst []byte, i int) ([]byte, error) {
+	ref := d.refs[i]
+	return d.readers[ref.shard].PayloadAppend(dst, ref.local)
+}
+
+// PayloadReader returns a positioned reader over the verified encoded
+// bytes of global frame i, for zero-copy HTTP serving.
+func (d *Dataset) PayloadReader(i int) (*io.SectionReader, error) {
+	ref := d.refs[i]
+	return d.readers[ref.shard].PayloadReader(ref.local)
 }

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package store
+
+// MmapSupported reports whether OpenReaderMmap maps on this platform
+// (false here) or falls back to positioned file reads.
+const MmapSupported = false
+
+// openReaderMmap is the portable fallback: a plain positioned-read
+// Reader with the identical API — Mapped reports false and payload
+// access pays one ReadAt per request.
+func openReaderMmap(path string) (*Reader, error) {
+	return Open(path)
+}

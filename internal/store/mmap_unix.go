@@ -1,0 +1,80 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// MmapSupported reports whether OpenReaderMmap maps on this platform
+// (true here) or falls back to positioned file reads.
+const MmapSupported = true
+
+// mmapFile is the mapped image of a store file: an io.ReaderAt over the
+// mapping plus the Close that releases it. The file descriptor is
+// closed right after mapping — the mapping keeps the pages alive.
+type mmapFile struct {
+	data []byte
+}
+
+func (m *mmapFile) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("store: negative mmap offset %d", off)
+	}
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (m *mmapFile) Close() error {
+	data := m.data
+	m.data = nil
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}
+
+// openReaderMmap is OpenReaderMmap on unix: map the whole file
+// read-only and parse the store from the mapping. Every failure after
+// os.Open releases whatever was acquired — the descriptor always, the
+// mapping when the header/spec/footer parse rejects the file.
+func openReaderMmap(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // the mapping, not the descriptor, keeps pages alive
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, truncErr("store")
+	}
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("store: %s is %d bytes, too large to map on this platform", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("store: mmap %s: %w", path, err)
+	}
+	m := &mmapFile{data: data}
+	r, err := NewReader(m, size)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	r.closer = m
+	r.mem = data
+	return r, nil
+}

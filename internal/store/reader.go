@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -21,37 +22,53 @@ import (
 //
 // A Reader is safe for concurrent use: ReadAt is positioned I/O (no
 // shared file cursor), the index is immutable after open, and registry
-// codecs are documented concurrency-safe.
+// codecs are documented concurrency-safe. Close must not race with
+// in-flight accesses; accesses after Close fail with ErrClosed.
 type Reader struct {
 	r         io.ReaderAt
 	closer    io.Closer // set when Open owns the file
-	id        uint64    // process-unique reader identity (see FrameKey)
+	mem       []byte    // mmap-backed image when built by OpenReaderMmap
+	closed    atomic.Bool
+	id        uint64 // process-unique reader identity (see FrameKey)
 	spec      string
 	footerCRC uint32
 	frames    []FrameInfo
 	index     map[int]int // label → frame position
+
+	// verified is a bitmap of frames whose payload CRC has already been
+	// checked, so zero-copy serving (PayloadReader) pays the checksum
+	// pass once per frame instead of once per request.
+	verified []atomic.Uint32
 
 	coderOnce sync.Once
 	coder     codec.Coder
 	coderErr  error
 }
 
+// ErrClosed reports an access through a Reader whose Close already ran;
+// unwrap with errors.Is.
+var ErrClosed = errors.New("store: reader is closed")
+
 // readerID hands each Reader a process-unique identity.
 var readerID atomic.Uint64
 
 // Open opens a store file for random access. The returned Reader owns
-// the file handle; release it with Close.
+// the file handle; release it with Close. Every failure after os.Open —
+// stat, header/spec/footer parsing — closes the handle before
+// returning, so a directory of corrupt stores cannot exhaust
+// descriptors.
 func Open(path string) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	r, err := NewReader(f, st.Size())
+	r, err := func() (*Reader, error) {
+		st, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		return NewReader(f, st.Size())
+	}()
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -59,6 +76,21 @@ func Open(path string) (*Reader, error) {
 	r.closer = f
 	return r, nil
 }
+
+// OpenReaderMmap opens the store at path backed by a read-only memory
+// mapping instead of positioned file reads: payload access serves bytes
+// straight from the page cache with no read syscall, and Frame decodes
+// straight from the mapping with no intermediate payload allocation. On
+// platforms without mmap it falls back to Open — the Reader API is
+// identical either way; Mapped reports which one was taken. Close
+// releases the mapping (and must not race with in-flight accesses).
+func OpenReaderMmap(path string) (*Reader, error) {
+	return openReaderMmap(path)
+}
+
+// Mapped reports whether the reader serves from a memory mapping
+// (OpenReaderMmap on a supporting platform) rather than file reads.
+func (r *Reader) Mapped() bool { return r.mem != nil }
 
 // NewReader parses a store from any positioned reader of the given total
 // size — an *os.File, a *bytes.Reader over a memory-mapped or in-memory
@@ -135,7 +167,11 @@ func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
 		frames[i] = e
 		index[e.Label] = i
 	}
-	return &Reader{r: r, id: readerID.Add(1), spec: string(spec), footerCRC: footerCRC, frames: frames, index: index}, nil
+	return &Reader{
+		r: r, id: readerID.Add(1), spec: string(spec), footerCRC: footerCRC,
+		frames: frames, index: index,
+		verified: make([]atomic.Uint32, (count+31)/32),
+	}, nil
 }
 
 // FooterCRC returns the CRC32 of the footer index — a fingerprint of
@@ -150,13 +186,30 @@ func (r *Reader) FooterCRC() uint32 { return r.footerCRC }
 // entries while engines over different readers can never alias.
 func (r *Reader) FrameKey(i int) (source uint64, frame int) { return r.id, i }
 
-// Close releases the file handle when the Reader was built by Open; it
-// is a no-op for NewReader.
+// Close releases the file handle (Open) or memory mapping
+// (OpenReaderMmap) when the Reader owns one; it is a no-op for
+// NewReader. Close is idempotent; every later access fails with
+// ErrClosed instead of touching released resources.
 func (r *Reader) Close() error {
+	if !r.closed.CompareAndSwap(false, true) {
+		return nil
+	}
 	if r.closer != nil {
 		return r.closer.Close()
 	}
 	return nil
+}
+
+// access guards every payload read: frame bounds plus the closed flag —
+// an unmapped mmap region must fail cleanly, never fault.
+func (r *Reader) access(i int) (FrameInfo, error) {
+	if i < 0 || i >= len(r.frames) {
+		return FrameInfo{}, fmt.Errorf("store: frame %d out of range [0, %d)", i, len(r.frames))
+	}
+	if r.closed.Load() {
+		return FrameInfo{}, fmt.Errorf("store: frame %d: %w", i, ErrClosed)
+	}
+	return r.frames[i], nil
 }
 
 // Spec returns the codec spec string embedded in the header.
@@ -201,11 +254,33 @@ func (r *Reader) Coder() (codec.Coder, error) {
 // Payload reads the raw encoded bytes of frame i and verifies their
 // checksum.
 func (r *Reader) Payload(i int) ([]byte, error) {
-	if i < 0 || i >= len(r.frames) {
-		return nil, fmt.Errorf("store: frame %d out of range [0, %d)", i, len(r.frames))
+	return r.PayloadAppend(nil, i)
+}
+
+// PayloadAppend appends the raw encoded bytes of frame i to dst
+// (growing it as needed) and verifies their checksum. Serving layers
+// pass pooled scratch as dst, so the per-request payload allocation of
+// Payload becomes buffer reuse on the hot path.
+func (r *Reader) PayloadAppend(dst []byte, i int) ([]byte, error) {
+	e, err := r.access(i)
+	if err != nil {
+		return nil, err
 	}
-	e := r.frames[i]
-	buf := make([]byte, e.Length)
+	if view, ok := r.payloadView(e); ok {
+		if err := r.verifyOnce(i, e, view); err != nil {
+			return nil, err
+		}
+		return append(dst, view...), nil
+	}
+	n := len(dst)
+	if need := n + int(e.Length); cap(dst) < need {
+		grown := make([]byte, need)
+		copy(grown, dst[:n])
+		dst = grown
+	} else {
+		dst = dst[:need]
+	}
+	buf := dst[n:]
 	if _, err := r.r.ReadAt(buf, e.Offset); err != nil {
 		return nil, fmt.Errorf("store: reading frame %d: %w", i, err)
 	}
@@ -213,16 +288,94 @@ func (r *Reader) Payload(i int) ([]byte, error) {
 		return nil, fmt.Errorf("%w: frame %d (label %d) has %08x, index says %08x",
 			ErrCRCMismatch, i, e.Label, got, e.CRC32)
 	}
-	return buf, nil
+	return dst, nil
+}
+
+// payloadView returns frame e's bytes as a slice of the memory mapping,
+// zero-copy; ok is false for file-backed readers. Callers must treat
+// the view as read-only and must not retain it past the Reader's Close.
+func (r *Reader) payloadView(e FrameInfo) ([]byte, bool) {
+	if r.mem == nil {
+		return nil, false
+	}
+	return r.mem[e.Offset : e.Offset+e.Length], true
+}
+
+// verifyOnce checks frame i's payload CRC the first time the frame is
+// served zero-copy and remembers the verdict in a bitmap, so repeated
+// serving of a hot frame does not re-hash it per request. data must be
+// the frame's full payload. Concurrent first accesses may both hash;
+// both reach the same verdict (the mapping is immutable).
+func (r *Reader) verifyOnce(i int, e FrameInfo, data []byte) error {
+	word, bit := i/32, uint32(1)<<(i%32)
+	if r.verified[word].Load()&bit != 0 {
+		return nil
+	}
+	if got := crc32.ChecksumIEEE(data); got != e.CRC32 {
+		return fmt.Errorf("%w: frame %d (label %d) has %08x, index says %08x",
+			ErrCRCMismatch, i, e.Label, got, e.CRC32)
+	}
+	for {
+		old := r.verified[word].Load()
+		if r.verified[word].CompareAndSwap(old, old|bit) {
+			return nil
+		}
+	}
+}
+
+// PayloadReader returns frame i's raw encoded bytes as an
+// io.ReadSeeker — the shape http.ServeContent wants — without copying
+// them into a per-request buffer: a section over the memory mapping or
+// the file, sized so Content-Length and Range requests fall out of
+// Seek. Integrity still holds: the payload CRC is verified (once per
+// frame, cached in a bitmap) before the section is handed out.
+func (r *Reader) PayloadReader(i int) (*io.SectionReader, error) {
+	e, err := r.access(i)
+	if err != nil {
+		return nil, err
+	}
+	if view, ok := r.payloadView(e); ok {
+		if err := r.verifyOnce(i, e, view); err != nil {
+			return nil, err
+		}
+	} else {
+		word, bit := i/32, uint32(1)<<(i%32)
+		if r.verified[word].Load()&bit == 0 {
+			// File-backed: one buffered verification pass per frame
+			// lifetime, then every request streams straight from the file.
+			if _, err := r.Payload(i); err != nil {
+				return nil, err
+			}
+			for {
+				old := r.verified[word].Load()
+				if r.verified[word].CompareAndSwap(old, old|bit) {
+					break
+				}
+			}
+		}
+	}
+	return io.NewSectionReader(r.r, e.Offset, e.Length), nil
 }
 
 // Frame reads and decodes frame i into the codec's compressed
 // representation, on which compressed-space operations (codec.Ops) can
-// run without full decompression.
+// run without full decompression. On an mmap-backed reader the decode
+// runs straight over the mapping — no payload copy, no allocation
+// (registry codecs are documented not to retain their input).
 func (r *Reader) Frame(i int) (codec.Compressed, error) {
 	coder, err := r.Coder()
 	if err != nil {
 		return nil, err
+	}
+	e, err := r.access(i)
+	if err != nil {
+		return nil, err
+	}
+	if view, ok := r.payloadView(e); ok {
+		if err := r.verifyOnce(i, e, view); err != nil {
+			return nil, err
+		}
+		return coder.Decode(view)
 	}
 	payload, err := r.Payload(i)
 	if err != nil {
