@@ -48,6 +48,8 @@ func main() {
 		err = runCodecs(args)
 	case "pack":
 		err = runPack(args)
+	case "tune":
+		err = runTune(args)
 	case "unpack":
 		err = runUnpack(args)
 	case "inspect":
@@ -74,7 +76,10 @@ func usage() {
   goblaz info       IN
   goblaz stats      -shape N,M[,K] [options] IN
   goblaz codecs
-  goblaz pack       -shape N,M[,K] [-codec SPEC] [-workers N] [-shards N] OUT FRAME...
+  goblaz pack       -shape N,M[,K] [-codec SPEC] [-workers N] [-shards N]
+                    [-auto [-candidates "SPEC;..."] [-max-err F] [-report JSON]] OUT FRAME...
+  goblaz tune       -shape N,M[,K] [-candidates "SPEC;..."] [-max-err F] [-sample K]
+                    [-w-ratio F] [-w-err F] [-w-lat F] [-report JSON] FRAME...
   goblaz unpack     [-frame LABEL] IN OUTPREFIX
   goblaz inspect    IN|MANIFEST|URL
   goblaz serve      [-addr HOST:PORT] [-cache-bytes N] [-timeout D] [-debug-addr HOST:PORT]
@@ -98,9 +103,14 @@ type options struct {
 	shards       int
 }
 
-func parseOptions(name string, args []string) (*options, []string, error) {
+// parseOptions parses the shared codec/shape flag set; extra (may be
+// nil) registers subcommand-specific flags on the same set.
+func parseOptions(name string, args []string, extra func(fs *flag.FlagSet)) (*options, []string, error) {
 	o := &options{}
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	if extra != nil {
+		extra(fs)
+	}
 	shapeStr := fs.String("shape", "", "comma-separated array shape (required)")
 	blockStr := fs.String("block", "", "comma-separated block shape (default 4 per dimension)")
 	floatStr := fs.String("float", "float32", "float type: bfloat16|float16|float32|float64")
@@ -255,7 +265,7 @@ func lookupCoder(spec string) (codec.Coder, error) {
 }
 
 func runCompress(args []string) error {
-	o, rest, err := parseOptions("compress", args)
+	o, rest, err := parseOptions("compress", args, nil)
 	if err != nil {
 		return err
 	}
@@ -408,7 +418,7 @@ func runInfo(args []string) error {
 }
 
 func runStats(args []string) error {
-	o, rest, err := parseOptions("stats", args)
+	o, rest, err := parseOptions("stats", args, nil)
 	if err != nil {
 		return err
 	}

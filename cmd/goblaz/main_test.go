@@ -181,7 +181,7 @@ func TestParseInts(t *testing.T) {
 }
 
 func TestParseOptionsDefaults(t *testing.T) {
-	o, rest, err := parseOptions("t", []string{"-shape", "8,8", "a", "b"})
+	o, rest, err := parseOptions("t", []string{"-shape", "8,8", "a", "b"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,13 +191,13 @@ func TestParseOptionsDefaults(t *testing.T) {
 	if len(o.block) != 2 || o.block[0] != 4 {
 		t.Fatalf("default block = %v", o.block)
 	}
-	if _, _, err := parseOptions("t", []string{"-shape", "8,8", "-float", "float128"}); err == nil {
+	if _, _, err := parseOptions("t", []string{"-shape", "8,8", "-float", "float128"}, nil); err == nil {
 		t.Error("bad float type should fail")
 	}
-	if _, _, err := parseOptions("t", []string{"-shape", "8,8", "-index", "uint8"}); err == nil {
+	if _, _, err := parseOptions("t", []string{"-shape", "8,8", "-index", "uint8"}, nil); err == nil {
 		t.Error("bad index type should fail")
 	}
-	if _, _, err := parseOptions("t", []string{"-shape", "8,8", "-transform", "fft"}); err == nil {
+	if _, _, err := parseOptions("t", []string{"-shape", "8,8", "-transform", "fft"}, nil); err == nil {
 		t.Error("bad transform should fail")
 	}
 }

@@ -66,7 +66,8 @@ func packCoder(o *options) (codec.Coder, error) {
 }
 
 func runPack(args []string) error {
-	o, paths, err := parseOptions("pack", args)
+	var tf tuneFlags
+	o, paths, err := parseOptions("pack", args, func(fs *flag.FlagSet) { tf.register(fs, true) })
 	if err != nil {
 		return err
 	}
@@ -78,10 +79,27 @@ func runPack(args []string) error {
 	if err != nil {
 		return err
 	}
+	// -auto runs the tune trial pass first and packs each frame under its
+	// chosen codec (mixed-codec v2 store); the -codec/-block flags still
+	// set the default spec and lead the candidate list.
+	var assign shard.AssignFunc
+	if tf.auto {
+		rep, err := tf.run(o, frames)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("auto-assigned codecs over %d candidates:\n", len(rep.Candidates))
+		summarizeTune(rep)
+		fn, err := rep.Coders(coder.Spec())
+		if err != nil {
+			return err
+		}
+		assign = fn
+	}
 	// -shards 1 is a valid (single-shard) dataset: the flag decides the
 	// output format, manifest vs bare store, not just the split.
 	if o.shards > 0 {
-		return packSharded(o, coder, out, frames)
+		return packSharded(o, coder, assign, out, frames)
 	}
 	// Build in a temp file and rename on success, so a mid-pack failure
 	// neither leaves a truncated store nor clobbers an existing one.
@@ -100,7 +118,12 @@ func runPack(args []string) error {
 	if err != nil {
 		return err
 	}
-	p := series.NewCodecPipeline(coder, w.Sink(coder), o.workers)
+	var p *series.Pipeline
+	if assign == nil {
+		p = series.NewCodecPipeline(coder, w.Sink(coder), o.workers)
+	} else {
+		p = series.NewAssignedPipeline(assign, w.SinkAssigned(), o.workers)
+	}
 	for label, path := range frames {
 		t, err := readTensor(path, o.shape)
 		if err != nil {
@@ -128,27 +151,38 @@ func runPack(args []string) error {
 		return err
 	}
 	raw := int64(len(frames)) * int64(tensor8Bytes(o.shape))
+	spec := coder.Spec()
+	if assign != nil {
+		spec = "per-frame codecs (default " + spec + ")"
+	}
 	fmt.Printf("packed %d frames, %d → %d bytes with %s (ratio %.2f)\n",
-		len(frames), raw, st.Size(), coder.Spec(), float64(raw)/float64(st.Size()))
+		len(frames), raw, st.Size(), spec, float64(raw)/float64(st.Size()))
 	return nil
 }
 
 // packSharded writes a sharded dataset: OUT is the manifest path, the
 // shard stores land next to it (see shard.WriteDataset). Frame labels
-// are global positions, exactly like single-store pack.
-func packSharded(o *options, coder codec.Coder, out string, frames []string) error {
+// are global positions, exactly like single-store pack. A non-nil
+// assign (pack -auto) compresses each frame under its assigned codec.
+func packSharded(o *options, coder codec.Coder, assign shard.AssignFunc, out string, frames []string) error {
 	labels := make([]int, len(frames))
 	for i := range labels {
 		labels[i] = i
 	}
-	man, err := shard.WriteDataset(out, coder, labels, o.shards, o.workers,
-		func(i int) (*tensor.Tensor, error) {
-			t, err := readTensor(frames[i], o.shape)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", frames[i], err)
-			}
-			return t, nil
-		})
+	frame := func(i int) (*tensor.Tensor, error) {
+		t, err := readTensor(frames[i], o.shape)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", frames[i], err)
+		}
+		return t, nil
+	}
+	var man *shard.Manifest
+	var err error
+	if assign == nil {
+		man, err = shard.WriteDataset(out, coder, labels, o.shards, o.workers, frame)
+	} else {
+		man, err = shard.WriteDatasetAssigned(out, coder, assign, labels, o.shards, o.workers, frame)
+	}
 	if err != nil {
 		return err
 	}
@@ -239,6 +273,9 @@ func runInspect(args []string) error {
 		return err
 	}
 	fmt.Printf("codec:   %s\n", info.Spec)
+	if len(info.Specs) > 1 {
+		fmt.Printf("specs:   %s\n", strings.Join(info.Specs, ", "))
+	}
 	fmt.Printf("frames:  %d\n", info.Frames)
 	var total int64
 	for _, e := range frames {
@@ -246,9 +283,23 @@ func runInspect(args []string) error {
 	}
 	fmt.Printf("payload: %d bytes\n", total)
 	if len(frames) > 0 {
-		fmt.Printf("%8s %8s %12s %10s %10s\n", "frame", "label", "offset", "length", "crc32")
+		// Mixed-codec stores get a spec column; "·" marks the default.
+		mixed := len(info.Specs) > 1
+		if mixed {
+			fmt.Printf("%8s %8s %12s %10s %10s  %s\n", "frame", "label", "offset", "length", "crc32", "spec")
+		} else {
+			fmt.Printf("%8s %8s %12s %10s %10s\n", "frame", "label", "offset", "length", "crc32")
+		}
 		for _, e := range frames {
-			fmt.Printf("%8d %8d %12d %10d %10s\n", e.Index, e.Label, e.Offset, e.Length, e.CRC32)
+			if mixed {
+				spec := e.Spec
+				if spec == "" {
+					spec = "·"
+				}
+				fmt.Printf("%8d %8d %12d %10d %10s  %s\n", e.Index, e.Label, e.Offset, e.Length, e.CRC32, spec)
+			} else {
+				fmt.Printf("%8d %8d %12d %10d %10s\n", e.Index, e.Label, e.Offset, e.Length, e.CRC32)
+			}
 		}
 	}
 	return nil

@@ -202,8 +202,12 @@ type ErrorEnvelope struct {
 
 // StoreInfo describes a store: GET /v1/store.
 type StoreInfo struct {
-	// Spec is the canonical codec spec embedded in the store header.
+	// Spec is the default codec spec embedded in the store header.
 	Spec string `json:"spec"`
+	// Specs lists every codec spec the store uses, default first —
+	// present only for mixed-codec stores (format v2 with per-frame
+	// specs).
+	Specs []string `json:"specs,omitempty"`
 	// Frames is the number of frames in the store.
 	Frames int `json:"frames"`
 	// Shards is the shard count of a sharded dataset; 0 (omitted) for a
@@ -222,6 +226,9 @@ type FrameInfo struct {
 	Length int64 `json:"length"`
 	// CRC32 is the payload checksum (hex), the basis of frame ETags.
 	CRC32 string `json:"crc32"`
+	// Spec is the frame's codec spec when it differs from the store
+	// default (mixed-codec stores); empty otherwise.
+	Spec string `json:"spec,omitempty"`
 }
 
 // Frame is a fully decompressed frame: GET /v1/frames/{label}.

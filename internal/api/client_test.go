@@ -84,7 +84,7 @@ func TestClientMatchesLocal(t *testing.T) {
 
 	lInfo, _ := local.Spec(ctx)
 	cInfo, err := c.Spec(ctx)
-	if err != nil || cInfo != lInfo {
+	if err != nil || !reflect.DeepEqual(cInfo, lInfo) {
 		t.Errorf("Spec: client %+v vs local %+v (%v)", cInfo, lInfo, err)
 	}
 

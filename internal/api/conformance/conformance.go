@@ -31,6 +31,11 @@ import (
 // paths still both execute (min/max always decode).
 const Spec = "goblaz:block=4x4,float=float64,index=int16"
 
+// MixedSpec is the off-default codec of the mixed-codec fixture
+// (NewMixedFixture): odd frames compress under it, exercising store
+// format v2's per-frame specs through every backend.
+const MixedSpec = "zfp:rate=32"
+
 // FrameCount and the fixture dimensions are part of the expected-value
 // table below; changing them means re-deriving the cases.
 const (
@@ -47,6 +52,10 @@ type Fixture struct {
 	// Spec is the canonical codec spec a conforming backend must
 	// report (Lookup(Spec) normalized).
 	Spec string
+	// FrameSpecs is each frame's canonical codec spec; nil for the
+	// uniform fixture. Entries equal to Spec compress under the default
+	// and must surface with an empty FrameInfo.Spec.
+	FrameSpecs []string
 	// Frames holds the original (pre-compression) frames by label.
 	Frames []*tensor.Tensor
 	// Decoded holds the codec round trip of each frame — what a
@@ -54,15 +63,42 @@ type Fixture struct {
 	Decoded []*tensor.Tensor
 }
 
+// Mixed reports whether the fixture uses more than one codec.
+func (fx *Fixture) Mixed() bool { return fx.FrameSpecs != nil }
+
 // NewFixture builds the canonical frames and their expected decodes.
 func NewFixture(t testing.TB) *Fixture {
+	return newFixture(t, false)
+}
+
+// NewMixedFixture builds the same frames with odd labels compressed
+// under MixedSpec: a mixed-codec (format v2) dataset whose expected
+// decodes follow each frame's own codec. Every backend must serve it
+// through the identical contract, plus the per-frame spec surfacing
+// the uniform fixture never exercises.
+func NewMixedFixture(t testing.TB) *Fixture {
+	return newFixture(t, true)
+}
+
+func newFixture(t testing.TB, mixed bool) *Fixture {
 	t.Helper()
-	cd, err := codec.Lookup(Spec)
-	if err != nil {
-		t.Fatal(err)
+	coderOf := func(spec string) codec.Codec {
+		cd, err := codec.Lookup(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cd
 	}
-	fx := &Fixture{Spec: cd.Spec()}
+	def := coderOf(Spec)
+	fx := &Fixture{Spec: def.Spec()}
 	for k := 0; k < FrameCount; k++ {
+		cd := def
+		if mixed && k%2 == 1 {
+			cd = coderOf(MixedSpec)
+		}
+		if mixed {
+			fx.FrameSpecs = append(fx.FrameSpecs, cd.Spec())
+		}
 		f := tensor.New(Rows, Cols)
 		for i := range f.Data() {
 			f.Data()[i] = math.Sin(float64(i)/7+float64(k)) + 0.25*float64(k)
@@ -107,16 +143,34 @@ func (fx *Fixture) BuildManifest(t testing.TB, dir string, nShards int) string {
 
 func (fx *Fixture) buildManifest(t testing.TB, dir string, nShards int) *shard.Manifest {
 	t.Helper()
-	cd, err := codec.Lookup(Spec)
-	if err != nil {
-		t.Fatal(err)
+	mustCoder := func(spec string) codec.Coder {
+		cd, err := codec.Lookup(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coder, ok := cd.(codec.Coder)
+		if !ok {
+			t.Fatalf("codec %q does not serialize", spec)
+		}
+		return coder
 	}
-	coder, ok := cd.(codec.Coder)
-	if !ok {
-		t.Fatalf("codec %q does not serialize", Spec)
+	coder := mustCoder(Spec)
+	path := filepath.Join(dir, "fixture.json")
+	frame := func(i int) (*tensor.Tensor, error) { return fx.Frames[i], nil }
+	var man *shard.Manifest
+	var err error
+	if fx.Mixed() {
+		coders := make([]codec.Coder, len(fx.FrameSpecs))
+		for i, spec := range fx.FrameSpecs {
+			coders[i] = mustCoder(spec)
+		}
+		// Labels are positions, so the assignment indexes by label.
+		man, err = shard.WriteDatasetAssigned(path, coder,
+			func(label int, _ *tensor.Tensor) (codec.Coder, error) { return coders[label], nil },
+			fx.labels(), nShards, 0, frame)
+	} else {
+		man, err = shard.WriteDataset(path, coder, fx.labels(), nShards, 0, frame)
 	}
-	man, err := shard.WriteDataset(filepath.Join(dir, "fixture.json"), coder, fx.labels(), nShards, 0,
-		func(i int) (*tensor.Tensor, error) { return fx.Frames[i], nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,6 +214,24 @@ func testSpec(t *testing.T, fx *Fixture, b api.Backend) {
 	if info.Frames != FrameCount {
 		t.Errorf("frames %d, want %d", info.Frames, FrameCount)
 	}
+	if fx.Mixed() {
+		// The spec list leads with the default and covers every distinct
+		// frame spec.
+		if len(info.Specs) < 2 || info.Specs[0] != fx.Spec {
+			t.Fatalf("mixed store specs %v, want default-first list with ≥2 entries", info.Specs)
+		}
+		listed := map[string]bool{}
+		for _, s := range info.Specs {
+			listed[s] = true
+		}
+		for _, s := range fx.FrameSpecs {
+			if !listed[s] {
+				t.Errorf("frame spec %q missing from store specs %v", s, info.Specs)
+			}
+		}
+	} else if info.Specs != nil {
+		t.Errorf("uniform store lists specs %v, want none", info.Specs)
+	}
 }
 
 func testFrames(t *testing.T, fx *Fixture, b api.Backend) {
@@ -176,6 +248,15 @@ func testFrames(t *testing.T, fx *Fixture, b api.Backend) {
 		}
 		if e.Length <= 0 || len(e.CRC32) != 8 {
 			t.Errorf("entry %d malformed: %+v", i, e)
+		}
+		// FrameInfo.Spec is set exactly when the frame deviates from the
+		// store default.
+		want := ""
+		if fx.Mixed() && fx.FrameSpecs[i] != fx.Spec {
+			want = fx.FrameSpecs[i]
+		}
+		if e.Spec != want {
+			t.Errorf("entry %d spec %q, want %q", i, e.Spec, want)
 		}
 	}
 	// The optional O(1) resolver must agree with the full index.
@@ -283,9 +364,21 @@ func testQuery(t *testing.T, fx *Fixture, b api.Backend) {
 	if len(res.Frames) != 3 {
 		t.Fatalf("glob selected %d frames, want 3", len(res.Frames))
 	}
+	if fx.Mixed() && len(res.Specs) < 2 {
+		t.Errorf("mixed-codec result lists specs %v, want ≥2", res.Specs)
+	}
 	for i, fr := range res.Frames {
 		if fr.Label != i {
 			t.Errorf("result %d has label %d", i, fr.Label)
+		}
+		if fx.Mixed() {
+			wantSpec := ""
+			if fx.FrameSpecs[i] != fx.Spec {
+				wantSpec = fx.FrameSpecs[i]
+			}
+			if fr.Spec != wantSpec {
+				t.Errorf("frame %d result spec %q, want %q", i, fr.Spec, wantSpec)
+			}
 		}
 		if !near(float64(fr.Aggregates[query.AggMean]), fx.Decoded[i].Mean()) {
 			t.Errorf("frame %d mean = %v", i, fr.Aggregates[query.AggMean])

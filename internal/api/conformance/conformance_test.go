@@ -87,6 +87,74 @@ func TestConformanceClientShardedMount(t *testing.T) {
 	})
 }
 
+// The mixed-codec fixture (store format v2, goblaz + zfp frames in one
+// store) must pass the identical contract on every backend — including
+// the per-frame spec surfacing only it exercises.
+
+func TestConformanceMixedLocal(t *testing.T) {
+	fx := conformance.NewMixedFixture(t)
+	conformance.Run(t, fx, func(t *testing.T) api.Backend {
+		l, err := api.OpenLocal(fx.BuildStore(t, t.TempDir()), query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		return l
+	})
+}
+
+func TestConformanceMixedSharded(t *testing.T) {
+	fx := conformance.NewMixedFixture(t)
+	conformance.Run(t, fx, func(t *testing.T) api.Backend {
+		s, err := api.OpenSharded(fx.BuildManifest(t, t.TempDir(), 3), query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	})
+}
+
+func TestConformanceMixedClient(t *testing.T) {
+	fx := conformance.NewMixedFixture(t)
+	conformance.Run(t, fx, func(t *testing.T) api.Backend {
+		l, err := api.OpenLocal(fx.BuildStore(t, t.TempDir()), query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		srv := httptest.NewServer(httpapi.New(l, nil, httpapi.Options{}))
+		t.Cleanup(srv.Close)
+		c, err := api.NewClient(srv.URL, api.ClientOptions{HTTPClient: srv.Client()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	})
+}
+
+func TestConformanceMixedClientShardedMount(t *testing.T) {
+	// The deepest stack: mixed-codec frames through the scatter-gather
+	// executor and a real HTTP hop at once.
+	fx := conformance.NewMixedFixture(t)
+	conformance.Run(t, fx, func(t *testing.T) api.Backend {
+		s, err := api.OpenSharded(fx.BuildManifest(t, t.TempDir(), 4), query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		srv := httptest.NewServer(httpapi.New(nil, nil, httpapi.Options{
+			Datasets: map[string]api.Backend{"fx": s},
+		}))
+		t.Cleanup(srv.Close)
+		c, err := api.NewClient(srv.URL+"/v1/datasets/fx", api.ClientOptions{HTTPClient: srv.Client()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	})
+}
+
 // limited wraps a backend in admission control generous enough that the
 // whole conformance suite passes through the limiter untouched — the
 // decorator must be contract-transparent when capacity is available.

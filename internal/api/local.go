@@ -50,7 +50,11 @@ func (l *Local) Spec(ctx context.Context) (StoreInfo, error) {
 	if err := ctx.Err(); err != nil {
 		return StoreInfo{}, FromError(err)
 	}
-	return StoreInfo{Spec: l.r.Spec(), Frames: l.r.Len()}, nil
+	info := StoreInfo{Spec: l.r.Spec(), Frames: l.r.Len()}
+	if l.r.MixedCodec() {
+		info.Specs = l.r.Specs()
+	}
+	return info, nil
 }
 
 func (l *Local) Frames(ctx context.Context) ([]FrameInfo, error) {
@@ -67,13 +71,17 @@ func (l *Local) Frames(ctx context.Context) ([]FrameInfo, error) {
 // frameInfoAt converts the index entry at store position i.
 func (l *Local) frameInfoAt(i int) FrameInfo {
 	e := l.r.Info(i)
-	return FrameInfo{
+	info := FrameInfo{
 		Index:  i,
 		Label:  e.Label,
 		Offset: e.Offset,
 		Length: e.Length,
 		CRC32:  fmt.Sprintf("%08x", e.CRC32),
 	}
+	if spec := l.r.FrameSpec(i); spec != l.r.Spec() {
+		info.Spec = spec
+	}
+	return info
 }
 
 // indexOf resolves a label to its store position.

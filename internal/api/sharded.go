@@ -53,7 +53,11 @@ func (s *Sharded) Spec(ctx context.Context) (StoreInfo, error) {
 	if err := ctx.Err(); err != nil {
 		return StoreInfo{}, FromError(err)
 	}
-	return StoreInfo{Spec: s.ds.Spec(), Frames: s.ds.Len(), Shards: s.ds.Shards()}, nil
+	info := StoreInfo{Spec: s.ds.Spec(), Frames: s.ds.Len(), Shards: s.ds.Shards()}
+	if s.ds.MixedCodec() {
+		info.Specs = s.ds.Specs()
+	}
+	return info, nil
 }
 
 func (s *Sharded) Frames(ctx context.Context) ([]FrameInfo, error) {
@@ -70,13 +74,17 @@ func (s *Sharded) Frames(ctx context.Context) ([]FrameInfo, error) {
 // frameInfoAt converts the index entry at global position i.
 func (s *Sharded) frameInfoAt(i int) FrameInfo {
 	e := s.ds.Info(i)
-	return FrameInfo{
+	info := FrameInfo{
 		Index:  i,
 		Label:  e.Label,
 		Offset: e.Offset,
 		Length: e.Length,
 		CRC32:  fmt.Sprintf("%08x", e.CRC32),
 	}
+	if spec := s.ds.FrameSpec(i); spec != s.ds.Spec() {
+		info.Spec = spec
+	}
+	return info
 }
 
 // indexOf resolves a label to its global position.

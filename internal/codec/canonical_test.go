@@ -1,0 +1,90 @@
+package codec
+
+import "testing"
+
+func TestCanonical(t *testing.T) {
+	cases := []struct {
+		spec, want string
+	}{
+		{"blaz", "blaz"},
+		{"zfp:rate=16", "zfp:rate=16"},
+		{"goblaz:float=float64,block=8x8", "goblaz:block=8x8,float=float64"},
+		{"goblaz:transform=dct,keep=0.5,block=4x4,index=int8,float=float32",
+			"goblaz:block=4x4,float=float32,index=int8,keep=0.5,transform=dct"},
+		{"sz:tol=1e-4,mode=curvefit", "sz:mode=curvefit,tol=1e-4"},
+		// Unregistered names canonicalize too: normalization is syntactic.
+		{"future:b=2,a=1", "future:a=1,b=2"},
+	}
+	for _, tc := range cases {
+		got, err := Canonical(tc.spec)
+		if err != nil {
+			t.Errorf("Canonical(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Canonical(%q) = %q, want %q", tc.spec, got, tc.want)
+		}
+		// Stability: canonical forms are fixed points.
+		again, err := Canonical(got)
+		if err != nil || again != got {
+			t.Errorf("Canonical(%q) = %q, %v — not a fixed point", got, again, err)
+		}
+	}
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	// parse → re-emit preserves the name and every parameter.
+	spec := "goblaz:keep=0.25,index=int16,float=float64,block=8x16,transform=haar"
+	canon, err := Canonical(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name0, p0, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name1, p1, err := ParseSpec(canon)
+	if err != nil {
+		t.Fatalf("canonical form %q does not parse: %v", canon, err)
+	}
+	if name0 != name1 || len(p0) != len(p1) {
+		t.Fatalf("round trip changed name/params: %q vs %q", spec, canon)
+	}
+	for k, v := range p0 {
+		if p1[k] != v {
+			t.Errorf("round trip lost %s=%s (got %s)", k, v, p1[k])
+		}
+	}
+}
+
+func TestCanonicalErrors(t *testing.T) {
+	for _, spec := range []string{"", ":x=1", "name:", "name:k", "name:k=", "name:k=1,k=2"} {
+		if _, err := Canonical(spec); err == nil {
+			t.Errorf("Canonical(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+func TestCanonicalMatchesCoderSpecs(t *testing.T) {
+	// Registry coders must emit specs that are already canonical, so
+	// header/table interning never sees two forms of one codec config.
+	for _, spec := range []string{
+		"goblaz:block=4x4,float=float64,index=int16",
+		"goblaz:block=8x8,float=float32,index=int16,keep=0.5,transform=dct",
+		"blaz",
+		"sz:mode=curvefit,tol=0.0001",
+		"zfp:rate=16",
+	} {
+		cd, err := Lookup(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon, err := Canonical(cd.Spec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if canon != cd.Spec() {
+			t.Errorf("%s: Spec() %q is not canonical (canonical %q)", cd.Name(), cd.Spec(), canon)
+		}
+	}
+}

@@ -71,14 +71,15 @@ func newGoblaz(p Params) (Codec, error) {
 	if err != nil {
 		return nil, err
 	}
-	spec := goblazSpec(s)
-	if keep < 1 {
-		spec += fmt.Sprintf(",keep=%g", keep)
-	}
-	return &goblazCodec{c: c, spec: spec}, nil
+	return &goblazCodec{c: c, spec: goblazSpecKeep(s, keep)}, nil
 }
 
-func goblazSpec(s core.Settings) string {
+func goblazSpec(s core.Settings) string { return goblazSpecKeep(s, 1) }
+
+// goblazSpecKeep emits the canonical spec: parameters in sorted key
+// order (block, float, index, keep, transform), so codec.Canonical is
+// the identity on every Spec() this adapter returns.
+func goblazSpecKeep(s core.Settings, keep float64) string {
 	block := ""
 	for i, e := range s.BlockShape {
 		if i > 0 {
@@ -86,8 +87,12 @@ func goblazSpec(s core.Settings) string {
 		}
 		block += fmt.Sprint(e)
 	}
-	return fmt.Sprintf("goblaz:block=%s,float=%v,index=%v,transform=%v",
-		block, s.FloatType, s.IndexType, s.Transform)
+	kp := ""
+	if keep < 1 {
+		kp = fmt.Sprintf("keep=%g,", keep)
+	}
+	return fmt.Sprintf("goblaz:block=%s,float=%v,index=%v,%stransform=%v",
+		block, s.FloatType, s.IndexType, kp, s.Transform)
 }
 
 // FromCompressor wraps an existing core.Compressor as a Codec, for callers

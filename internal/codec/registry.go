@@ -138,6 +138,42 @@ func ParseSpec(spec string) (string, Params, error) {
 	return name, params, nil
 }
 
+// Canonical normalizes a spec string to its stable form: the codec name
+// followed by its parameters sorted by key. Parsing Canonical's output
+// yields the same name and parameters, and two specs that differ only
+// in parameter order canonicalize identically — which is what lets the
+// store's v2 spec-interning table and per-spec cache keys deduplicate
+// "zfp:rate=16" written by different producers. Canonicalization is
+// purely syntactic: the codec need not be registered, and parameter
+// values are not validated or rewritten.
+func Canonical(spec string) (string, error) {
+	name, params, err := ParseSpec(spec)
+	if err != nil {
+		return "", err
+	}
+	if len(params) == 0 {
+		return name, nil
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	for i, k := range keys {
+		if i == 0 {
+			b.WriteByte(':')
+		} else {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(params[k])
+	}
+	return b.String(), nil
+}
+
 // Lookup constructs a codec from a spec string, e.g.
 // "goblaz:block=8x8,index=int8" or "zfp:rate=16". Unknown codec names and
 // unconsumed parameters are errors.

@@ -37,10 +37,28 @@ type Options struct {
 // internally, and per-query state lives on the stack.
 type Engine struct {
 	src         Source
-	keyer       FrameKeyer // nil when src has no stable frame identity
+	keyer       FrameKeyer   // nil when src has no stable frame identity
+	speccer     FrameSpeccer // nil when src is codec-uniform by contract
 	cache       *Cache
 	ns          uint64 // fallback cache namespace for keyerless sources
 	forceDecode bool
+
+	// capsMu guards capsBySpec, the per-spec capability cache: codec
+	// construction and interface assertions happen once per distinct
+	// spec, not per frame, however many frames a mixed store holds.
+	capsMu     sync.Mutex
+	capsBySpec map[string]*frameCaps
+}
+
+// frameCaps is one codec spec's resolved execution capabilities. ops,
+// rr, and shaper are nil when the codec lacks the interface or the
+// engine forces decode.
+type frameCaps struct {
+	spec   string
+	coder  codec.Coder
+	ops    codec.Ops
+	rr     codec.RegionReader
+	shaper codec.Shaper
 }
 
 // engineNS hands each engine a process-unique cache namespace.
@@ -54,13 +72,49 @@ func New(src Source, opts Options) *Engine {
 		cache = NewCache(opts.CacheBytes)
 	}
 	keyer, _ := src.(FrameKeyer)
+	speccer, _ := src.(FrameSpeccer)
 	return &Engine{
 		src:         src,
 		keyer:       keyer,
+		speccer:     speccer,
 		cache:       cache,
 		ns:          engineNS.Add(1),
 		forceDecode: opts.ForceDecode,
+		capsBySpec:  make(map[string]*frameCaps),
 	}
+}
+
+// capsFor resolves the execution capabilities of frame i's codec,
+// memoized per spec. For a speccer-less source every frame resolves to
+// the default spec.
+func (e *Engine) capsFor(i int) (*frameCaps, error) {
+	spec := e.src.Spec()
+	if e.speccer != nil {
+		spec = e.speccer.FrameSpec(i)
+	}
+	e.capsMu.Lock()
+	defer e.capsMu.Unlock()
+	if c, ok := e.capsBySpec[spec]; ok {
+		return c, nil
+	}
+	var coder codec.Coder
+	var err error
+	if e.speccer != nil {
+		coder, err = e.speccer.FrameCoder(i)
+	} else {
+		coder, err = e.src.Coder()
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := &frameCaps{spec: spec, coder: coder}
+	if !e.forceDecode {
+		c.ops, _ = coder.(codec.Ops)
+		c.rr, _ = coder.(codec.RegionReader)
+		c.shaper, _ = coder.(codec.Shaper)
+	}
+	e.capsBySpec[spec] = c
+	return c, nil
 }
 
 // cacheKeyOf maps frame i to its cache identity: the source's stable
@@ -88,10 +142,11 @@ func (e *Engine) loadFrame(i int) (codec.Compressed, error) {
 	if !ok {
 		return e.src.Frame(i)
 	}
-	coder, err := e.src.Coder()
+	caps, err := e.capsFor(i)
 	if err != nil {
 		return nil, err
 	}
+	coder := caps.coder
 	bp := getPayloadBuf()
 	data, err := pa.PayloadAppend((*bp)[:0], i)
 	if err != nil {
@@ -119,37 +174,36 @@ func (e *Engine) Run(ctx context.Context, req *Request) (*Result, error) {
 // work, so a dropped connection or an expired CLI deadline abandons the
 // remaining frames instead of decompressing them for nobody.
 func (e *Engine) Execute(ctx context.Context, p *Plan) (*Result, error) {
-	coder, err := e.src.Coder()
-	if err != nil {
-		return nil, err
-	}
-	var ops codec.Ops
-	var rr codec.RegionReader
-	var shaper codec.Shaper
-	if !e.forceDecode {
-		ops, _ = coder.(codec.Ops)
-		rr, _ = coder.(codec.RegionReader)
-		shaper, _ = coder.(codec.Shaper)
+	// Resolving frame 0's caps up front surfaces an unusable default
+	// codec as one error instead of one per frame.
+	if len(p.frames) > 0 {
+		if _, err := e.capsFor(p.frames[0]); err != nil {
+			return nil, err
+		}
 	}
 
 	// The reference frame of a vs-reference metric is shared by every
 	// frame task, so it is materialized at most once per Execute: the
-	// compressed form eagerly when the codec has Ops, and the full
+	// compressed form eagerly when its codec has Ops, and the full
 	// decompression lazily and memoized — one decode serves all N
 	// frame tasks even with the cache disabled, and a purely
 	// compressed-space query never triggers it at all.
-	var refC codec.Compressed
-	var refT func() (*tensor.Tensor, error)
+	var ref *refFrame
 	if p.metric != nil && !p.pairMode {
-		if ops != nil {
-			if refC, err = e.loadFrame(p.refIndex); err != nil {
+		refCaps, err := e.capsFor(p.refIndex)
+		if err != nil {
+			return nil, err
+		}
+		ref = &refFrame{caps: refCaps}
+		if refCaps.ops != nil {
+			if ref.c, err = e.loadFrame(p.refIndex); err != nil {
 				return nil, err
 			}
 		}
 		var once sync.Once
 		var t *tensor.Tensor
 		var terr error
-		refT = func() (*tensor.Tensor, error) {
+		ref.decoded = func() (*tensor.Tensor, error) {
 			once.Do(func() { t, terr = e.decoded(p.refIndex) })
 			return t, terr
 		}
@@ -166,7 +220,7 @@ func (e *Engine) Execute(ctx context.Context, p *Plan) (*Result, error) {
 		if moments != nil {
 			mom = &moments[j]
 		}
-		frames[j], errs[j] = e.runFrame(ctx, p, ops, rr, shaper, p.frames[j], refC, refT, mom)
+		frames[j], errs[j] = e.runFrame(ctx, p, p.frames[j], ref, mom)
 	}); err != nil {
 		return nil, err
 	}
@@ -175,6 +229,11 @@ func (e *Engine) Execute(ctx context.Context, p *Plan) (*Result, error) {
 	}
 
 	res := &Result{Spec: e.src.Spec(), Frames: frames, ExecutedInCompressedSpace: true}
+	if e.speccer != nil {
+		if specs := e.speccer.Specs(); len(specs) > 1 {
+			res.Specs = specs
+		}
+	}
 	for i := range frames {
 		res.ExecutedInCompressedSpace = res.ExecutedInCompressedSpace && frames[i].ExecutedInCompressedSpace
 	}
@@ -185,15 +244,17 @@ func (e *Engine) Execute(ctx context.Context, p *Plan) (*Result, error) {
 		for _, m := range moments {
 			total.Merge(m)
 		}
-		if res.Reduced, err = total.Reduced(p.reduce); err != nil {
+		reduced, err := total.Reduced(p.reduce)
+		if err != nil {
 			return nil, err
 		}
+		res.Reduced = reduced
 	}
 	if p.pairMode {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		pair, err := e.runPair(p, ops)
+		pair, err := e.runPair(p)
 		if err != nil {
 			return nil, err
 		}
@@ -209,16 +270,34 @@ func (e *Engine) Execute(ctx context.Context, p *Plan) (*Result, error) {
 	return res, nil
 }
 
-// runFrame answers one frame's share of the plan. The compressed
-// representation (payload decode, no inverse transform) and the full
-// decompression are both loaded at most once, the latter through the
-// LRU cache; the frame's ExecutedInCompressedSpace flag is true iff the
-// full decompression was never needed.
-func (e *Engine) runFrame(ctx context.Context, p *Plan, ops codec.Ops, rr codec.RegionReader, shaper codec.Shaper, i int, refC codec.Compressed, refT func() (*tensor.Tensor, error), mom *Moments) (FrameResult, error) {
+// refFrame is the shared reference frame of a vs-reference metric: its
+// capabilities, its compressed form (loaded iff its codec has Ops), and
+// its memoized full decompression.
+type refFrame struct {
+	caps    *frameCaps
+	c       codec.Compressed
+	decoded func() (*tensor.Tensor, error)
+}
+
+// runFrame answers one frame's share of the plan under the codec that
+// wrote the frame. The compressed representation (payload decode, no
+// inverse transform) and the full decompression are both loaded at most
+// once, the latter through the LRU cache; the frame's
+// ExecutedInCompressedSpace flag is true iff the full decompression was
+// never needed.
+func (e *Engine) runFrame(ctx context.Context, p *Plan, i int, ref *refFrame, mom *Moments) (FrameResult, error) {
 	out := FrameResult{Index: i, Label: e.src.Info(i).Label, ExecutedInCompressedSpace: true}
 	if err := ctx.Err(); err != nil {
 		return out, err
 	}
+	caps, err := e.capsFor(i)
+	if err != nil {
+		return out, err
+	}
+	if caps.spec != e.src.Spec() {
+		out.Spec = caps.spec
+	}
+	ops, rr, shaper := caps.ops, caps.rr, caps.shaper
 
 	var fc codec.Compressed
 	loadC := func() (codec.Compressed, error) {
@@ -251,7 +330,7 @@ func (e *Engine) runFrame(ctx context.Context, p *Plan, ops codec.Ops, rr codec.
 	}
 
 	if p.metric != nil && !p.pairMode {
-		v, err := e.frameMetric(p, ops, refC, refT, loadC, decode)
+		v, err := e.frameMetric(p, caps, ref, loadC, decode)
 		if err != nil {
 			return out, fmt.Errorf("frame %d (label %d) %s vs label %d: %w",
 				i, out.Label, p.metric.Kind, e.src.Info(p.refIndex).Label, err)
@@ -401,15 +480,19 @@ func (e *Engine) frameAggs(p *Plan, ops codec.Ops,
 	return decodedAggs(t, p.aggs), nil
 }
 
-func (e *Engine) frameMetric(p *Plan, ops codec.Ops, refC codec.Compressed, refT func() (*tensor.Tensor, error),
+// frameMetric computes one frame's metric against the shared reference.
+// The compressed-space path additionally requires the frame and the
+// reference to share a codec spec: compressed arithmetic only composes
+// within one compressed representation, so a mixed-codec pair decodes.
+func (e *Engine) frameMetric(p *Plan, caps *frameCaps, ref *refFrame,
 	loadC func() (codec.Compressed, error), decode func() (*tensor.Tensor, error)) (float64, error) {
 	m := p.metric
-	if ops != nil && refC != nil {
+	if caps.ops != nil && ref.c != nil && caps.spec == ref.caps.spec {
 		c, err := loadC()
 		if err != nil {
 			return 0, err
 		}
-		v, err := compressedMetric(ops, c, refC, m.Kind, m.Peak)
+		v, err := compressedMetric(caps.ops, c, ref.c, m.Kind, m.Peak)
 		if err == nil {
 			return v, nil
 		}
@@ -421,11 +504,11 @@ func (e *Engine) frameMetric(p *Plan, ops codec.Ops, refC codec.Compressed, refT
 	if err != nil {
 		return 0, err
 	}
-	ref, err := refT() // memoized: one decode shared by all frame tasks
+	rt, err := ref.decoded() // memoized: one decode shared by all frame tasks
 	if err != nil {
 		return 0, err
 	}
-	return decodedMetric(t, ref, m.Kind, m.Peak)
+	return decodedMetric(t, rt, m.Kind, m.Peak)
 }
 
 func (e *Engine) frameRegion(p *Plan, rr codec.RegionReader,
@@ -487,22 +570,31 @@ func (e *Engine) framePoint(p *Plan, rr codec.RegionReader,
 // region work decodes those two payloads twice, a bounded duplication
 // (pair mode is always exactly two frames) taken for the simpler
 // frame-task lifecycle.
-func (e *Engine) runPair(p *Plan, ops codec.Ops) (*PairResult, error) {
+func (e *Engine) runPair(p *Plan) (*PairResult, error) {
 	ia, ib := p.frames[0], p.frames[1]
 	pr := &PairResult{
 		A: e.src.Info(ia).Label, B: e.src.Info(ib).Label,
 		Kind: p.metric.Kind, ExecutedInCompressedSpace: true,
 	}
+	capsA, err := e.capsFor(ia)
+	if err != nil {
+		return nil, err
+	}
+	capsB, err := e.capsFor(ib)
+	if err != nil {
+		return nil, err
+	}
 	var ca, cb codec.Compressed
-	if ops != nil {
-		var err error
+	// Compressed-space comparison needs both frames in one codec's
+	// compressed representation: same spec, and that codec has Ops.
+	if capsA.ops != nil && capsA.spec == capsB.spec {
 		if ca, err = e.loadFrame(ia); err != nil {
 			return nil, err
 		}
 		if cb, err = e.loadFrame(ib); err != nil {
 			return nil, err
 		}
-		v, err := compressedMetric(ops, ca, cb, p.metric.Kind, p.metric.Peak)
+		v, err := compressedMetric(capsA.ops, ca, cb, p.metric.Kind, p.metric.Peak)
 		if err == nil {
 			pr.Value = Float(v)
 			return pr, nil
@@ -545,7 +637,7 @@ func (e *Engine) decoded(i int) (*tensor.Tensor, error) {
 func (e *Engine) decodedFrom(i int, fc codec.Compressed) (*tensor.Tensor, error) {
 	ns, key := e.cacheKeyOf(i)
 	return e.cache.Decode(ns, key, func() (*tensor.Tensor, error) {
-		coder, err := e.src.Coder()
+		caps, err := e.capsFor(i)
 		if err != nil {
 			return nil, err
 		}
@@ -555,7 +647,7 @@ func (e *Engine) decodedFrom(i int, fc codec.Compressed) (*tensor.Tensor, error)
 				return nil, err
 			}
 		}
-		return coder.Decompress(c)
+		return caps.coder.Decompress(c)
 	})
 }
 

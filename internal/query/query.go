@@ -62,6 +62,24 @@ type FrameKeyer interface {
 	FrameKey(i int) (source uint64, frame int)
 }
 
+// FrameSpeccer is an optional Source capability: per-frame codec
+// resolution for mixed-codec sources (store format v2, where each frame
+// may carry its own spec). Engines use it to decode every frame with
+// the codec that wrote it and to gate compressed-space pairwise metrics
+// on spec equality — compressed arithmetic between frames of different
+// codecs falls back to decode-then-compute. store.Reader and
+// shard.Dataset both implement it; a source without it is treated as
+// codec-uniform under Spec().
+type FrameSpeccer interface {
+	// FrameSpec returns the codec spec of frame i (the source default
+	// for most frames of most stores).
+	FrameSpec(i int) string
+	// FrameCoder returns the codec that wrote frame i.
+	FrameCoder(i int) (codec.Coder, error)
+	// Specs returns every spec the source uses, default first.
+	Specs() []string
+}
+
 // PayloadAppender is an optional Source capability: read frame i's raw
 // compressed payload into caller-supplied scratch instead of a fresh
 // allocation. Engines use it to route decodes through a pooled buffer
@@ -216,8 +234,11 @@ func (f *Float) UnmarshalJSON(b []byte) error {
 
 // Result is a query answer.
 type Result struct {
-	// Spec is the store's codec spec.
+	// Spec is the store's default codec spec.
 	Spec string `json:"spec"`
+	// Specs lists every codec spec the source uses, default first —
+	// present only for mixed-codec sources (more than one spec).
+	Specs []string `json:"specs,omitempty"`
 	// Frames holds one entry per selected frame, in commit order.
 	Frames []FrameResult `json:"frames"`
 	// Pair holds the two-frame metric when the request used the
@@ -235,6 +256,9 @@ type Result struct {
 type FrameResult struct {
 	Index int `json:"index"`
 	Label int `json:"label"`
+	// Spec is this frame's codec spec when it differs from the source
+	// default (mixed-codec stores); empty otherwise.
+	Spec string `json:"spec,omitempty"`
 	// Aggregates maps requested aggregate kind → value.
 	Aggregates map[string]Float `json:"aggregates,omitempty"`
 	// Metric is this frame's metric against the reference frame.

@@ -25,15 +25,15 @@ import (
 // in-order commit) is bounded: when a worker stalls or the sink is slow,
 // Submit blocks instead of buffering every completed frame in memory.
 type Pipeline struct {
-	cd      codec.Codec
-	sink    func(label int, c codec.Compressed) error
-	jobs    chan job
-	inFly   chan struct{} // in-flight window; bounds the reorder buffer
-	wg      sync.WaitGroup
-	results chan result
-	done    chan struct{}
-	err     error // written only by commit, read after done closes
-	next    int   // sequence number to hand out
+	compress func(label int, frame *tensor.Tensor) result
+	sink     func(r result) error
+	jobs     chan job
+	inFly    chan struct{} // in-flight window; bounds the reorder buffer
+	wg       sync.WaitGroup
+	results  chan result
+	done     chan struct{}
+	err      error // written only by commit, read after done closes
+	next     int   // sequence number to hand out
 }
 
 type job struct {
@@ -45,6 +45,7 @@ type job struct {
 type result struct {
 	seq   int
 	label int
+	coder codec.Coder // assigned pipelines only: the codec that compressed c
 	c     codec.Compressed
 	err   error
 }
@@ -68,24 +69,61 @@ func NewPipeline(s *Series, workers int) *Pipeline {
 // called again. Close with Wait. A non-positive workers count uses
 // GOMAXPROCS.
 func NewCodecPipeline(cd codec.Codec, sink func(label int, c codec.Compressed) error, workers int) *Pipeline {
+	return newPipeline(
+		func(label int, frame *tensor.Tensor) result {
+			c, err := cd.Compress(frame)
+			return result{label: label, c: c, err: err}
+		},
+		func(r result) error { return sink(r.label, r.c) },
+		workers,
+	)
+}
+
+// NewAssignedPipeline starts a pipeline in which every frame may
+// compress under a different codec: assign picks a coder per frame
+// (workers call it concurrently, so it must be safe for concurrent use —
+// e.g. select from a fixed table by label, or from a tune report), and
+// the sink receives the winning coder alongside the compressed frame so
+// it can record the frame under that coder's spec (see
+// store.Writer.SinkAssigned). Ordering and error semantics match
+// NewCodecPipeline.
+func NewAssignedPipeline(assign func(label int, frame *tensor.Tensor) (codec.Coder, error),
+	sink func(label int, coder codec.Coder, c codec.Compressed) error, workers int) *Pipeline {
+	return newPipeline(
+		func(label int, frame *tensor.Tensor) result {
+			coder, err := assign(label, frame)
+			if err != nil {
+				return result{label: label, err: fmt.Errorf("assigning codec: %w", err)}
+			}
+			c, err := coder.Compress(frame)
+			return result{label: label, coder: coder, c: c, err: err}
+		},
+		func(r result) error { return sink(r.label, r.coder, r.c) },
+		workers,
+	)
+}
+
+func newPipeline(compress func(label int, frame *tensor.Tensor) result,
+	sink func(r result) error, workers int) *Pipeline {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	p := &Pipeline{
-		cd:      cd,
-		sink:    sink,
-		jobs:    make(chan job, workers),
-		inFly:   make(chan struct{}, 2*workers),
-		results: make(chan result, workers),
-		done:    make(chan struct{}),
+		compress: compress,
+		sink:     sink,
+		jobs:     make(chan job, workers),
+		inFly:    make(chan struct{}, 2*workers),
+		results:  make(chan result, workers),
+		done:     make(chan struct{}),
 	}
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
 			for j := range p.jobs {
-				c, err := p.cd.Compress(j.frame)
-				p.results <- result{seq: j.seq, label: j.label, c: c, err: err}
+				r := p.compress(j.label, j.frame)
+				r.seq = j.seq
+				p.results <- r
 			}
 		}()
 	}
@@ -118,7 +156,7 @@ func (p *Pipeline) commit() {
 				p.err = fmt.Errorf("series: compressing frame %d (label %d): %w", c.seq, c.label, c.err)
 				continue
 			}
-			if err := p.sink(c.label, c.c); err != nil {
+			if err := p.sink(c); err != nil {
 				p.err = fmt.Errorf("series: committing frame %d (label %d): %w", c.seq, c.label, err)
 			}
 		}

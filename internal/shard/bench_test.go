@@ -93,3 +93,43 @@ func BenchmarkShardedQuery(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkMixedCodecQuery measures what per-frame specs cost the query
+// path: the same frames in a uniform goblaz store versus a mixed
+// goblaz/zfp v2 store, through the identical engine. The mixed store
+// pays per-spec coder resolution and loses compressed-space pairwise
+// shortcuts across codec boundaries; this keeps that overhead visible.
+func BenchmarkMixedCodecQuery(b *testing.B) {
+	const n, size = 8, 256
+	rng := rand.New(rand.NewSource(10))
+	frames := randomFrames(rng, n, size, size)
+	bytes := int64(n) * size * size * 8
+	ctx := context.Background()
+
+	open := func(b *testing.B, path string) *query.Engine {
+		man, err := LoadManifest(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := store.Open(filepath.Join(filepath.Dir(path), man.Shards[0].Path))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { r.Close() })
+		return query.New(r, query.Options{})
+	}
+
+	uniform := open(b, buildDataset(b, b.TempDir(), goblazSpec, frames, 1))
+	mixed := open(b, buildDatasetAssigned(b, b.TempDir(), frames, 1))
+
+	for name, eng := range map[string]*query.Engine{"uniform": uniform, "mixed": mixed} {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(ctx, benchRequest); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -73,6 +73,20 @@ func Open(path string, opts query.Options) (*Dataset, error) {
 		if r.Spec() != man.Spec {
 			return nil, fmt.Errorf("shard: %s has codec spec %q, manifest says %q", sh.Path, r.Spec(), man.Spec)
 		}
+		if len(sh.Specs) > 0 {
+			got := r.Specs()
+			match := len(got) == len(sh.Specs)
+			for k := 0; match && k < len(got); k++ {
+				match = got[k] == sh.Specs[k]
+			}
+			if !match {
+				return nil, fmt.Errorf("shard: %s uses codec specs %v, manifest says %v (stale or swapped shard file?)",
+					sh.Path, got, sh.Specs)
+			}
+		} else if r.MixedCodec() {
+			return nil, fmt.Errorf("shard: %s is mixed-codec (%v) but the manifest lists no specs for it",
+				sh.Path, r.Specs())
+		}
 		if r.Len() != sh.Frames {
 			return nil, fmt.Errorf("shard: %s holds %d frames, manifest says %d", sh.Path, r.Len(), sh.Frames)
 		}
@@ -162,10 +176,53 @@ func (d *Dataset) FrameKey(i int) (source uint64, frame int) {
 	return d.readers[ref.shard].FrameKey(ref.local)
 }
 
-// Coder returns the codec that wrote the shards (their specs are
-// verified equal at Open).
+// Coder returns the codec of the dataset's default spec (every shard's
+// header spec is verified equal at Open).
 func (d *Dataset) Coder() (codec.Coder, error) {
 	return d.readers[0].Coder()
+}
+
+// Specs returns every codec spec the dataset uses: the shared default
+// first, then each shard's interned extras in shard order, deduplicated
+// (query.FrameSpeccer). A codec-uniform dataset returns a one-element
+// slice.
+func (d *Dataset) Specs() []string {
+	specs := []string{d.man.Spec}
+	seen := map[string]bool{d.man.Spec: true}
+	for _, r := range d.readers {
+		for _, s := range r.Specs() {
+			if !seen[s] {
+				seen[s] = true
+				specs = append(specs, s)
+			}
+		}
+	}
+	return specs
+}
+
+// MixedCodec reports whether any shard holds frames outside the
+// dataset's default codec spec.
+func (d *Dataset) MixedCodec() bool {
+	for _, r := range d.readers {
+		if r.MixedCodec() {
+			return true
+		}
+	}
+	return false
+}
+
+// FrameSpec returns the codec spec of global frame i
+// (query.FrameSpeccer).
+func (d *Dataset) FrameSpec(i int) string {
+	ref := d.refs[i]
+	return d.readers[ref.shard].FrameSpec(ref.local)
+}
+
+// FrameCoder returns the codec that wrote global frame i
+// (query.FrameSpeccer).
+func (d *Dataset) FrameCoder(i int) (codec.Coder, error) {
+	ref := d.refs[i]
+	return d.readers[ref.shard].FrameCoder(ref.local)
 }
 
 // Mapped reports whether every shard reader is memory-mapped; the

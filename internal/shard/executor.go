@@ -94,6 +94,9 @@ func (d *Dataset) subRequest(req *query.Request, p part) *query.Request {
 // fold through query.Moments into the plan's normalized kind list.
 func (d *Dataset) gather(reduce []string, parts []part, results []*query.Result) (*query.Result, error) {
 	out := &query.Result{Spec: d.Spec(), ExecutedInCompressedSpace: true}
+	if specs := d.Specs(); len(specs) > 1 {
+		out.Specs = specs
+	}
 	total := query.EmptyMoments()
 	for j, r := range results {
 		base := d.bases[parts[j].shard]

@@ -25,8 +25,15 @@ import (
 	"path/filepath"
 )
 
-// ManifestVersion is the current manifest format version.
-const ManifestVersion = 1
+// The manifest format versions. Version 1 describes codec-uniform
+// datasets; version 2 adds per-shard codec spec lists for mixed-codec
+// shards (store format v2 with per-frame specs). Loaders accept both;
+// writers emit 1 unless a shard is mixed, so uniform datasets stay
+// readable by older tooling.
+const (
+	ManifestVersion  = 1
+	ManifestVersion2 = 2
+)
 
 // ShardInfo describes one shard of a dataset.
 type ShardInfo struct {
@@ -43,6 +50,12 @@ type ShardInfo struct {
 	// old and new shard files (an interrupted repack) cannot silently
 	// serve wrong frames.
 	CRC32 string `json:"crc32,omitempty"`
+	// Specs lists every codec spec the shard's store uses — the dataset
+	// default first, then the store's interned extras in id order.
+	// Present only for mixed-codec shards (manifest version 2); Open
+	// verifies it against the store's own spec table. Which frame uses
+	// which spec lives in the store footer, not here.
+	Specs []string `json:"specs,omitempty"`
 }
 
 // Manifest is the on-disk description of a sharded dataset: the codec
@@ -57,8 +70,9 @@ type Manifest struct {
 // per-shard frame counts matching label lists, and globally unique
 // labels.
 func (m *Manifest) Validate() error {
-	if m.Version != ManifestVersion {
-		return fmt.Errorf("shard: unsupported manifest version %d (have %d)", m.Version, ManifestVersion)
+	if m.Version != ManifestVersion && m.Version != ManifestVersion2 {
+		return fmt.Errorf("shard: unsupported manifest version %d (have %d and %d)",
+			m.Version, ManifestVersion, ManifestVersion2)
 	}
 	if m.Spec == "" {
 		return fmt.Errorf("shard: manifest has no codec spec")
@@ -80,6 +94,16 @@ func (m *Manifest) Validate() error {
 				return fmt.Errorf("shard: label %d appears in shards %d and %d", label, prev, s)
 			}
 			seen[label] = s
+		}
+		if len(sh.Specs) > 0 {
+			if m.Version < ManifestVersion2 {
+				return fmt.Errorf("shard: shard %d (%s) lists codec specs but manifest version is %d (need %d)",
+					s, sh.Path, m.Version, ManifestVersion2)
+			}
+			if sh.Specs[0] != m.Spec {
+				return fmt.Errorf("shard: shard %d (%s) lists default spec %q, manifest says %q",
+					s, sh.Path, sh.Specs[0], m.Spec)
+			}
 		}
 	}
 	return nil

@@ -265,6 +265,15 @@ func compareResults(t *testing.T, want, got *query.Result) {
 	if got.Spec != want.Spec {
 		t.Errorf("spec %q != %q", got.Spec, want.Spec)
 	}
+	if len(got.Specs) != len(want.Specs) {
+		t.Errorf("specs %v != %v", got.Specs, want.Specs)
+	} else {
+		for i := range want.Specs {
+			if got.Specs[i] != want.Specs[i] {
+				t.Errorf("specs[%d] %q != %q", i, got.Specs[i], want.Specs[i])
+			}
+		}
+	}
 	if got.ExecutedInCompressedSpace != want.ExecutedInCompressedSpace {
 		t.Errorf("compressed-space flag %v != %v", got.ExecutedInCompressedSpace, want.ExecutedInCompressedSpace)
 	}
@@ -406,6 +415,87 @@ func TestShardedQueryMatchesSingleStore(t *testing.T) {
 			single.Close()
 			ds.Close()
 		}
+	}
+}
+
+// alternatingAssign compresses even labels under the default goblaz
+// spec and odd labels under zfp — every multi-frame shard comes out
+// mixed-codec (store format v2).
+func alternatingAssign(t testing.TB) AssignFunc {
+	g, z := mustCoder(t, goblazSpec), mustCoder(t, zfpSpec)
+	return func(label int, _ *tensor.Tensor) (codec.Coder, error) {
+		if label%2 == 0 {
+			return g, nil
+		}
+		return z, nil
+	}
+}
+
+// buildDatasetAssigned writes frames with the alternating goblaz/zfp
+// assignment and returns the manifest path.
+func buildDatasetAssigned(t testing.TB, dir string, frames []*tensor.Tensor, nShards int) string {
+	t.Helper()
+	labels := make([]int, len(frames))
+	for i := range labels {
+		labels[i] = i
+	}
+	path := filepath.Join(dir, "ds.json")
+	_, err := WriteDatasetAssigned(path, mustCoder(t, goblazSpec), alternatingAssign(t),
+		labels, nShards, 0, func(i int) (*tensor.Tensor, error) { return frames[i], nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestShardedMixedCodecMatchesSingleStore(t *testing.T) {
+	// The differential property again, for mixed-codec datasets: the same
+	// alternating goblaz/zfp frames in one v2 store and split across every
+	// shard count 1..8 answer the whole request battery identically
+	// (within 1e-9) — including the pairwise and vs-reference metrics
+	// that cross codec boundaries and must agree on the decode fallback.
+	rng := rand.New(rand.NewSource(43))
+	for shards := 1; shards <= 8; shards++ {
+		dir := t.TempDir()
+		n := 8 + rng.Intn(5)
+		frames := randomFrames(rng, n, 16, 16)
+
+		singlePath := buildDatasetAssigned(t, dir, frames, 1)
+		man, err := LoadManifest(singlePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := store.Open(filepath.Join(dir, man.Shards[0].Path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !single.MixedCodec() {
+			t.Fatal("fixture store is not mixed-codec")
+		}
+		eng := query.New(single, query.Options{})
+		shardDir := t.TempDir()
+		ds, err := Open(buildDatasetAssigned(t, shardDir, frames, shards), query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if specs := ds.Specs(); len(specs) != 2 || specs[0] != single.Spec() {
+			t.Fatalf("dataset specs %v, want default-first pair", specs)
+		}
+
+		for ri, req := range propertyRequests(n) {
+			want, err := eng.Run(context.Background(), req)
+			if err != nil {
+				t.Fatalf("shards=%d req=%d single: %v", shards, ri, err)
+			}
+			reqCopy := *req
+			got, err := ds.Query(context.Background(), &reqCopy)
+			if err != nil {
+				t.Fatalf("shards=%d req=%d sharded: %v", shards, ri, err)
+			}
+			t.Run("", func(t *testing.T) { compareResults(t, want, got) })
+		}
+		single.Close()
+		ds.Close()
 	}
 }
 

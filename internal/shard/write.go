@@ -30,6 +30,28 @@ type FrameFunc func(i int) (*tensor.Tensor, error)
 // "data-000.gbz", "data-001.gbz", ...; the manifest records the names
 // relative to its own directory.
 func WriteDataset(path string, coder codec.Coder, labels []int, nShards, workers int, frame FrameFunc) (*Manifest, error) {
+	return writeDataset(path, coder, nil, labels, nShards, workers, frame)
+}
+
+// AssignFunc picks the codec a frame should compress under. Pipeline
+// workers call it concurrently; implementations must be safe for
+// concurrent use (e.g. a fixed label → coder table from a tune report).
+type AssignFunc func(label int, frame *tensor.Tensor) (codec.Coder, error)
+
+// WriteDatasetAssigned is WriteDataset with per-frame codec assignment:
+// each frame compresses under the codec assign picks for it, and shard
+// stores record each frame's spec (store format v2). coder remains the
+// dataset's default spec — frames assigned exactly that codec intern no
+// extra spec. Shards holding any off-default frame list their spec
+// tables in the manifest, which is then written at version 2.
+func WriteDatasetAssigned(path string, coder codec.Coder, assign AssignFunc, labels []int, nShards, workers int, frame FrameFunc) (*Manifest, error) {
+	if assign == nil {
+		return nil, fmt.Errorf("shard: nil assign func")
+	}
+	return writeDataset(path, coder, assign, labels, nShards, workers, frame)
+}
+
+func writeDataset(path string, coder codec.Coder, assign AssignFunc, labels []int, nShards, workers int, frame FrameFunc) (*Manifest, error) {
 	total := len(labels)
 	if total == 0 {
 		return nil, fmt.Errorf("shard: dataset needs at least one frame")
@@ -67,18 +89,25 @@ func WriteDataset(path string, coder codec.Coder, labels []int, nShards, workers
 		// Contiguous split: shard s covers [s·T/N, (s+1)·T/N).
 		end := (s + 1) * total / nShards
 		name := fmt.Sprintf("%s-%03d.gbz", base, s)
-		tmp, crc, err := writeShard(dir, coder, labels[next:end], next, workers, frame)
+		tmp, crc, specs, err := writeShard(dir, coder, assign, labels[next:end], next, workers, frame)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d (%s): %w", s, name, err)
 		}
 		tmps = append(tmps, tmp)
 		finals = append(finals, filepath.Join(dir, name))
-		man.Shards = append(man.Shards, ShardInfo{
+		info := ShardInfo{
 			Path:   name,
 			Frames: end - next,
 			Labels: append([]int(nil), labels[next:end]...),
 			CRC32:  fmt.Sprintf("%08x", crc),
-		})
+		}
+		if len(specs) > 1 {
+			// Mixed-codec shard: record its spec table and bump the
+			// manifest format.
+			info.Specs = specs
+			man.Version = ManifestVersion2
+		}
+		man.Shards = append(man.Shards, info)
 		next = end
 	}
 
@@ -98,26 +127,33 @@ func WriteDataset(path string, coder codec.Coder, labels []int, nShards, workers
 }
 
 // writeShard packs one shard into a temp file in dir and returns the
-// temp path plus the store's footer CRC (recorded in the manifest);
-// the caller renames it into place once every shard succeeds. The
-// finished file is re-opened to read the CRC, which doubles as a check
-// that what was written parses.
-func writeShard(dir string, coder codec.Coder, labels []int, first, workers int, frame FrameFunc) (string, uint32, error) {
+// temp path, the store's footer CRC, and its spec list (all recorded in
+// the manifest); the caller renames it into place once every shard
+// succeeds. A nil assign compresses every frame with coder; otherwise
+// each frame compresses under its assigned codec. The finished file is
+// re-opened to read the CRC and specs, which doubles as a check that
+// what was written parses.
+func writeShard(dir string, coder codec.Coder, assign AssignFunc, labels []int, first, workers int, frame FrameFunc) (string, uint32, []string, error) {
 	f, err := os.CreateTemp(dir, ".goblaz-shard-*")
 	if err != nil {
-		return "", 0, err
+		return "", 0, nil, err
 	}
 	tmp := f.Name()
-	fail := func(err error) (string, uint32, error) {
+	fail := func(err error) (string, uint32, []string, error) {
 		f.Close()
 		os.Remove(tmp)
-		return "", 0, err
+		return "", 0, nil, err
 	}
 	w, err := store.NewWriter(f, coder.Spec())
 	if err != nil {
 		return fail(err)
 	}
-	p := series.NewCodecPipeline(coder, w.Sink(coder), workers)
+	var p *series.Pipeline
+	if assign == nil {
+		p = series.NewCodecPipeline(coder, w.Sink(coder), workers)
+	} else {
+		p = series.NewAssignedPipeline(assign, w.SinkAssigned(), workers)
+	}
 	for i, label := range labels {
 		t, err := frame(first + i)
 		if err != nil {
@@ -133,14 +169,15 @@ func writeShard(dir string, coder codec.Coder, labels []int, first, workers int,
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return "", 0, err
+		return "", 0, nil, err
 	}
 	r, err := store.Open(tmp)
 	if err != nil {
 		os.Remove(tmp)
-		return "", 0, fmt.Errorf("written shard does not parse: %w", err)
+		return "", 0, nil, fmt.Errorf("written shard does not parse: %w", err)
 	}
 	crc := r.FooterCRC()
+	specs := r.Specs()
 	r.Close()
-	return tmp, crc, nil
+	return tmp, crc, specs, nil
 }

@@ -17,8 +17,11 @@ import (
 // Reader provides random access to the frames of a store. Opening parses
 // only the header and footer index; frame payloads are read and decoded
 // lazily, one ReadAt per access, so a multi-gigabyte store costs index
-// memory only. The codec named by the header spec is constructed on
-// first decode.
+// memory only. Codecs are constructed on first decode, one per distinct
+// spec: a version-2 store may mix codecs frame by frame (the footer
+// interns each spec once), and a version-1 store — the original
+// single-spec format — reads identically with every frame on the
+// default spec.
 //
 // A Reader is safe for concurrent use: ReadAt is positioned I/O (no
 // shared file cursor), the index is immutable after open, and registry
@@ -30,7 +33,8 @@ type Reader struct {
 	mem       []byte    // mmap-backed image when built by OpenReaderMmap
 	closed    atomic.Bool
 	id        uint64 // process-unique reader identity (see FrameKey)
-	spec      string
+	version   int
+	specs     []string // specs[0] = default (header), 1.. = footer table
 	footerCRC uint32
 	frames    []FrameInfo
 	index     map[int]int // label → frame position
@@ -40,9 +44,16 @@ type Reader struct {
 	// pass once per frame instead of once per request.
 	verified []atomic.Uint32
 
-	coderOnce sync.Once
-	coder     codec.Coder
-	coderErr  error
+	// coders constructs each spec's codec lazily, once — one cell per
+	// entry of specs.
+	coders []coderCell
+}
+
+// coderCell is one spec's lazily constructed codec.
+type coderCell struct {
+	once  sync.Once
+	coder codec.Coder
+	err   error
 }
 
 // ErrClosed reports an access through a Reader whose Close already ran;
@@ -94,9 +105,10 @@ func (r *Reader) Mapped() bool { return r.mem != nil }
 
 // NewReader parses a store from any positioned reader of the given total
 // size — an *os.File, a *bytes.Reader over a memory-mapped or in-memory
-// image, etc.
+// image, etc. Version 1 and version 2 stores both parse; see the
+// package comment for the layouts.
 func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
-	// Header: magic, version, spec.
+	// Header: magic, version, default spec.
 	minHeader := headerSize("") + 1 // at least one spec byte
 	if size < minHeader+trailerSize {
 		return nil, truncErr("store")
@@ -108,7 +120,8 @@ func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
 	if string(hdr[:len(headerMagic)]) != headerMagic {
 		return nil, fmt.Errorf("store: not a store file (bad magic)")
 	}
-	if v := hdr[len(headerMagic)]; v != version {
+	v := int(hdr[len(headerMagic)])
+	if v != version1 && v != version2 {
 		return nil, fmt.Errorf("store: unsupported version %d", v)
 	}
 	specLen := int64(binary.BigEndian.Uint16(hdr[len(headerMagic)+1:]))
@@ -135,14 +148,27 @@ func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
 	footerOff := int64(binary.BigEndian.Uint64(trailer))
 	count := binary.BigEndian.Uint64(trailer[8:])
 	footerCRC := binary.BigEndian.Uint32(trailer[16:])
-	if count > uint64((size-headerEnd-trailerSize)/entrySize) {
+	entSize := int64(entrySize)
+	if v == version1 {
+		entSize = entrySizeV1
+	}
+	if count > uint64((size-headerEnd-trailerSize)/entSize) {
 		return nil, truncErr("footer")
 	}
-	if footerOff != size-trailerSize-int64(count)*entrySize || footerOff < headerEnd {
+	entriesOff := size - trailerSize - int64(count)*entSize
+	if v == version1 {
+		// v1 has no spec table: the footer is exactly the entries.
+		if footerOff != entriesOff || footerOff < headerEnd {
+			return nil, fmt.Errorf("store: footer offset %d inconsistent with file size %d and %d frames",
+				footerOff, size, count)
+		}
+	} else if footerOff < headerEnd || footerOff+2 > entriesOff {
+		// v2: the spec table (at least its uint16 count) sits between
+		// footerOff and the entries.
 		return nil, fmt.Errorf("store: footer offset %d inconsistent with file size %d and %d frames",
 			footerOff, size, count)
 	}
-	footer := make([]byte, int64(count)*entrySize)
+	footer := make([]byte, size-trailerSize-footerOff)
 	if _, err := r.ReadAt(footer, footerOff); err != nil {
 		return nil, truncErr("footer")
 	}
@@ -150,16 +176,44 @@ func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
 		return nil, fmt.Errorf("%w: footer has %08x, trailer says %08x", ErrCRCMismatch, got, footerCRC)
 	}
 
+	// Spec table (v2): interned extra specs, ids 1..n.
+	specs := []string{string(spec)}
+	entries := footer
+	if v == version2 {
+		n := int(binary.BigEndian.Uint16(footer))
+		rest := footer[2 : len(footer)-int(count)*int(entSize)]
+		for k := 0; k < n; k++ {
+			if len(rest) < 2 {
+				return nil, truncErr("spec table")
+			}
+			sl := int(binary.BigEndian.Uint16(rest))
+			rest = rest[2:]
+			if sl == 0 || len(rest) < sl {
+				return nil, fmt.Errorf("store: spec table entry %d malformed", k+1)
+			}
+			specs = append(specs, string(rest[:sl]))
+			rest = rest[sl:]
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("store: %d stray bytes between spec table and frame index", len(rest))
+		}
+		entries = footer[len(footer)-int(count)*int(entSize):]
+	}
+
 	frames := make([]FrameInfo, count)
 	index := make(map[int]int, count)
 	for i := range frames {
-		e := parseEntry(footer[i*entrySize:])
+		e := parseEntry(entries[int64(i)*entSize:], int(entSize))
 		// Compare by subtraction, not e.Offset+e.Length: a crafted length
 		// near 2^63 would wrap the sum negative and slip past the check,
 		// then panic allocating the payload buffer.
 		if e.Length < 0 || e.Offset < headerEnd || e.Offset > footerOff || e.Length > footerOff-e.Offset {
 			return nil, fmt.Errorf("store: frame %d spans [%d, %d), outside the data region [%d, %d)",
 				i, e.Offset, e.Offset+e.Length, headerEnd, footerOff)
+		}
+		if e.SpecID >= len(specs) {
+			return nil, fmt.Errorf("store: frame %d names spec id %d, spec table has %d entries",
+				i, e.SpecID, len(specs)-1)
 		}
 		if _, dup := index[e.Label]; dup {
 			return nil, fmt.Errorf("store: duplicate frame label %d", e.Label)
@@ -168,16 +222,17 @@ func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
 		index[e.Label] = i
 	}
 	return &Reader{
-		r: r, id: readerID.Add(1), spec: string(spec), footerCRC: footerCRC,
+		r: r, id: readerID.Add(1), version: v, specs: specs, footerCRC: footerCRC,
 		frames: frames, index: index,
 		verified: make([]atomic.Uint32, (count+31)/32),
+		coders:   make([]coderCell, len(specs)),
 	}, nil
 }
 
-// FooterCRC returns the CRC32 of the footer index — a fingerprint of
-// the store's whole frame inventory (labels, offsets, payload CRCs).
-// Dataset manifests record it per shard to detect swapped or stale
-// shard files at open.
+// FooterCRC returns the CRC32 of the footer — a fingerprint of the
+// store's whole frame inventory (labels, offsets, payload CRCs, and in
+// v2 the spec table). Dataset manifests record it per shard to detect
+// swapped or stale shard files at open.
 func (r *Reader) FooterCRC() uint32 { return r.footerCRC }
 
 // FrameKey returns a stable, process-unique identity for frame i: this
@@ -212,8 +267,28 @@ func (r *Reader) access(i int) (FrameInfo, error) {
 	return r.frames[i], nil
 }
 
-// Spec returns the codec spec string embedded in the header.
-func (r *Reader) Spec() string { return r.spec }
+// Version returns the store's on-disk format version (1 or 2).
+func (r *Reader) Version() int { return r.version }
+
+// Spec returns the default codec spec string embedded in the header.
+func (r *Reader) Spec() string { return r.specs[0] }
+
+// Specs returns every codec spec the store uses: the default first,
+// then the footer table in id order. A codec-uniform store returns a
+// one-element slice.
+func (r *Reader) Specs() []string {
+	return append([]string(nil), r.specs...)
+}
+
+// MixedCodec reports whether the store interned more than one spec —
+// i.e. frames do not all share the default codec.
+func (r *Reader) MixedCodec() bool { return len(r.specs) > 1 }
+
+// FrameSpec returns the codec spec of frame i. For every frame of a
+// version-1 (or uniform version-2) store this is Spec().
+func (r *Reader) FrameSpec(i int) string {
+	return r.specs[r.frames[i].SpecID]
+}
 
 // Len returns the number of frames.
 func (r *Reader) Len() int { return len(r.frames) }
@@ -232,23 +307,40 @@ func (r *Reader) IndexOf(label int) (int, bool) {
 	return i, ok
 }
 
-// Coder returns the codec that wrote this store, constructing it from
-// the header spec on first use.
+// Coder returns the store's default codec — the one named by the header
+// spec — constructing it on first use.
 func (r *Reader) Coder() (codec.Coder, error) {
-	r.coderOnce.Do(func() {
-		cd, err := codec.Lookup(r.spec)
+	return r.coderAt(0)
+}
+
+// FrameCoder returns the codec that wrote frame i, constructing it on
+// first use. Construction happens once per distinct spec, not per
+// frame, so a million-frame mixed store still builds at most one codec
+// per table entry.
+func (r *Reader) FrameCoder(i int) (codec.Coder, error) {
+	if i < 0 || i >= len(r.frames) {
+		return nil, fmt.Errorf("store: frame %d out of range [0, %d)", i, len(r.frames))
+	}
+	return r.coderAt(r.frames[i].SpecID)
+}
+
+// coderAt lazily constructs the codec for spec id.
+func (r *Reader) coderAt(id int) (codec.Coder, error) {
+	cell := &r.coders[id]
+	cell.once.Do(func() {
+		cd, err := codec.Lookup(r.specs[id])
 		if err != nil {
-			r.coderErr = err
+			cell.err = err
 			return
 		}
 		coder, ok := cd.(codec.Coder)
 		if !ok {
-			r.coderErr = fmt.Errorf("store: codec %q does not support byte serialization", cd.Name())
+			cell.err = fmt.Errorf("store: codec %q does not support byte serialization", cd.Name())
 			return
 		}
-		r.coder = coder
+		cell.coder = coder
 	})
-	return r.coder, r.coderErr
+	return cell.coder, cell.err
 }
 
 // Payload reads the raw encoded bytes of frame i and verifies their
@@ -357,13 +449,13 @@ func (r *Reader) PayloadReader(i int) (*io.SectionReader, error) {
 	return io.NewSectionReader(r.r, e.Offset, e.Length), nil
 }
 
-// Frame reads and decodes frame i into the codec's compressed
+// Frame reads and decodes frame i into its codec's compressed
 // representation, on which compressed-space operations (codec.Ops) can
 // run without full decompression. On an mmap-backed reader the decode
 // runs straight over the mapping — no payload copy, no allocation
 // (registry codecs are documented not to retain their input).
 func (r *Reader) Frame(i int) (codec.Compressed, error) {
-	coder, err := r.Coder()
+	coder, err := r.FrameCoder(i)
 	if err != nil {
 		return nil, err
 	}
@@ -384,9 +476,10 @@ func (r *Reader) Frame(i int) (codec.Compressed, error) {
 	return coder.Decode(payload)
 }
 
-// Decompress reads, decodes, and fully decompresses frame i.
+// Decompress reads, decodes, and fully decompresses frame i with the
+// codec that wrote it.
 func (r *Reader) Decompress(i int) (*tensor.Tensor, error) {
-	coder, err := r.Coder()
+	coder, err := r.FrameCoder(i)
 	if err != nil {
 		return nil, err
 	}

@@ -359,11 +359,12 @@ func TestFooterEntryLengthOverflowRejected(t *testing.T) {
 	// patch — the CRC is integrity, not authentication.
 	blob := buildStore(t, "zfp:rate=16", 1)
 	size := int64(len(blob))
-	footerOff := size - trailerSize - entrySize
+	entriesOff := size - trailerSize - entrySize
 	crafted := append([]byte(nil), blob...)
-	e := parseEntry(crafted[footerOff:])
+	e := parseEntry(crafted[entriesOff:], entrySize)
 	e.Length = math.MaxInt64 - 10
-	copy(crafted[footerOff:], appendEntry(nil, e))
+	copy(crafted[entriesOff:], appendEntry(nil, e))
+	footerOff := int64(binary.BigEndian.Uint64(crafted[size-trailerSize:]))
 	footerCRC := crc32.ChecksumIEEE(crafted[footerOff : size-trailerSize])
 	binary.BigEndian.PutUint32(crafted[size-8:], footerCRC)
 

@@ -10,33 +10,45 @@ import (
 )
 
 // Writer appends frames to a store stream in a single forward pass: the
-// header goes out at construction, each Append streams one payload, and
-// Close emits the footer index and trailer. The underlying writer never
-// needs to seek, so a Writer can target a file, a pipe, or a socket.
+// header goes out at construction, each Append/WriteFrameWithSpec
+// streams one payload, and Close emits the footer (spec table + index)
+// and trailer. The underlying writer never needs to seek, so a Writer
+// can target a file, a pipe, or a socket.
 //
 // Writer is not safe for concurrent use; when fed from a
-// series.Pipeline (see Sink), the pipeline's single committer goroutine
-// provides the required serialization — frames then compress in parallel
-// but land in submission order.
+// series.Pipeline (see Sink / SinkAssigned), the pipeline's single
+// committer goroutine provides the required serialization — frames then
+// compress in parallel but land in submission order.
 type Writer struct {
 	w       io.Writer
 	off     int64
-	spec    string
+	spec    string         // default spec (header)
+	specs   []string       // interned extra specs, ids 1..len(specs)
+	specIDs map[string]int // canonical spec → id (0 = default)
 	entries []FrameInfo
 	labels  map[int]struct{}
 	err     error // sticky: first write failure poisons the Writer
 	closed  bool
 }
 
-// NewWriter writes the store header for the given codec spec and returns
-// a Writer appending to w. The spec should come from codec.Coder.Spec()
-// so a Reader can reconstruct the codec.
+// syncer is the subset of *os.File Close uses to make frame bytes
+// durable before the footer commits them.
+type syncer interface{ Sync() error }
+
+// NewWriter writes the store header for the given default codec spec
+// and returns a Writer appending to w. The spec should come from
+// codec.Coder.Spec() so a Reader can reconstruct the codec. Frames
+// whose spec differs from the default go through WriteFrameWithSpec.
 func NewWriter(w io.Writer, spec string) (*Writer, error) {
 	if spec == "" {
 		return nil, fmt.Errorf("store: empty codec spec")
 	}
-	if len(spec) > 0xFFFF {
-		return nil, fmt.Errorf("store: codec spec %d bytes long, max %d", len(spec), 0xFFFF)
+	if len(spec) > maxSpecLen {
+		return nil, fmt.Errorf("store: codec spec %d bytes long, max %d", len(spec), maxSpecLen)
+	}
+	canon, err := codec.Canonical(spec)
+	if err != nil {
+		return nil, fmt.Errorf("store: default spec: %w", err)
 	}
 	hdr := make([]byte, 0, headerSize(spec))
 	hdr = append(hdr, headerMagic...)
@@ -47,25 +59,56 @@ func NewWriter(w io.Writer, spec string) (*Writer, error) {
 		return nil, fmt.Errorf("store: writing header: %w", err)
 	}
 	return &Writer{
-		w:      w,
-		off:    int64(len(hdr)),
-		spec:   spec,
-		labels: map[int]struct{}{},
+		w:       w,
+		off:     int64(len(hdr)),
+		spec:    spec,
+		specIDs: map[string]int{canon: 0},
+		labels:  map[int]struct{}{},
 	}, nil
 }
 
-// Append streams one encoded frame payload and records its index entry.
-// Labels must be unique within a store: the index is also a by-label
-// lookup table.
+// Append streams one encoded frame payload under the store's default
+// spec and records its index entry. Labels must be unique within a
+// store: the index is also a by-label lookup table.
 func (w *Writer) Append(label int, payload []byte) error {
+	return w.WriteFrameWithSpec(label, payload, "")
+}
+
+// WriteFrameWithSpec streams one encoded frame payload written by the
+// codec the given spec reconstructs. An empty spec means the store's
+// default. Distinct specs are interned: the footer stores one string
+// per spec however many frames share it, and specs that differ only in
+// parameter order deduplicate (codec.Canonical). This is the
+// mixed-codec entry point — the adaptive assigner commits each frame
+// under the codec that won its trial pass.
+func (w *Writer) WriteFrameWithSpec(label int, payload []byte, spec string) error {
 	if w.err != nil {
 		return w.err
 	}
 	if w.closed {
-		return fmt.Errorf("store: Append after Close")
+		return fmt.Errorf("store: append after Close")
 	}
 	if _, dup := w.labels[label]; dup {
 		return fmt.Errorf("store: duplicate frame label %d", label)
+	}
+	id := 0
+	if spec != "" {
+		canon, err := codec.Canonical(spec)
+		if err != nil {
+			return fmt.Errorf("store: frame %d (label %d) spec: %w", len(w.entries), label, err)
+		}
+		var ok bool
+		if id, ok = w.specIDs[canon]; !ok {
+			if len(spec) > maxSpecLen {
+				return fmt.Errorf("store: codec spec %d bytes long, max %d", len(spec), maxSpecLen)
+			}
+			if len(w.specs) >= maxSpecs {
+				return fmt.Errorf("store: too many distinct codec specs (max %d)", maxSpecs)
+			}
+			w.specs = append(w.specs, spec)
+			id = len(w.specs) // table ids are 1-based; 0 is the default
+			w.specIDs[canon] = id
+		}
 	}
 	if _, err := w.w.Write(payload); err != nil {
 		w.err = fmt.Errorf("store: writing frame %d (label %d): %w", len(w.entries), label, err)
@@ -77,6 +120,7 @@ func (w *Writer) Append(label int, payload []byte) error {
 		Offset: w.off,
 		Length: int64(len(payload)),
 		CRC32:  crc32.ChecksumIEEE(payload),
+		SpecID: id,
 	})
 	w.off += int64(len(payload))
 	return nil
@@ -85,9 +129,15 @@ func (w *Writer) Append(label int, payload []byte) error {
 // Count returns the number of frames appended so far.
 func (w *Writer) Count() int { return len(w.entries) }
 
-// Close writes the footer index and trailer. It does not close the
-// underlying writer. A store closed with zero frames is valid and opens
-// as an empty Reader.
+// Close writes the footer (spec table + frame index) and trailer. It
+// does not close the underlying writer. A store closed with zero frames
+// is valid and opens as an empty Reader.
+//
+// When the underlying writer is a file, Close fsyncs it before emitting
+// the footer: the trailer is the store's commit record, and committing
+// it over unsynced frame bytes would let a crash present a valid
+// trailer whose payloads never reached the disk. A second fsync after
+// the trailer makes the commit itself durable.
 func (w *Writer) Close() error {
 	if w.err != nil {
 		return w.err
@@ -96,7 +146,18 @@ func (w *Writer) Close() error {
 		return nil
 	}
 	w.closed = true
-	buf := make([]byte, 0, len(w.entries)*entrySize+trailerSize)
+	if s, ok := w.w.(syncer); ok {
+		if err := s.Sync(); err != nil {
+			w.err = fmt.Errorf("store: syncing frames before footer commit: %w", err)
+			return w.err
+		}
+	}
+	buf := make([]byte, 0, 2+len(w.entries)*entrySize+trailerSize)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(w.specs)))
+	for _, spec := range w.specs {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(spec)))
+		buf = append(buf, spec...)
+	}
 	for _, e := range w.entries {
 		buf = appendEntry(buf, e)
 	}
@@ -109,12 +170,19 @@ func (w *Writer) Close() error {
 		w.err = fmt.Errorf("store: writing footer: %w", err)
 		return w.err
 	}
+	if s, ok := w.w.(syncer); ok {
+		if err := s.Sync(); err != nil {
+			w.err = fmt.Errorf("store: syncing footer: %w", err)
+			return w.err
+		}
+	}
 	return nil
 }
 
 // Sink adapts the Writer into a series pipeline sink: each committed
-// frame is serialized with coder and appended. The store's spec must
-// match the coder's so the file decodes with the codec that wrote it.
+// frame is serialized with coder and appended under the store's default
+// spec. The store's spec must match the coder's so the file decodes
+// with the codec that wrote it.
 //
 //	w, _ := store.NewWriter(f, coder.Spec())
 //	p := series.NewCodecPipeline(coder, w.Sink(coder), workers)
@@ -125,5 +193,22 @@ func (w *Writer) Sink(coder codec.Coder) func(label int, c codec.Compressed) err
 			return err
 		}
 		return w.Append(label, payload)
+	}
+}
+
+// SinkAssigned adapts the Writer into an assigned-pipeline sink
+// (series.NewAssignedPipeline): each committed frame is serialized with
+// the coder the assigner chose for it and recorded under that coder's
+// spec, so one store commits frames from many codecs.
+//
+//	w, _ := store.NewWriter(f, defaultCoder.Spec())
+//	p := series.NewAssignedPipeline(assign, w.SinkAssigned(), workers)
+func (w *Writer) SinkAssigned() func(label int, coder codec.Coder, c codec.Compressed) error {
+	return func(label int, coder codec.Coder, c codec.Compressed) error {
+		payload, err := coder.Encode(c)
+		if err != nil {
+			return err
+		}
+		return w.WriteFrameWithSpec(label, payload, coder.Spec())
 	}
 }

@@ -1,0 +1,26 @@
+package tune
+
+// BenchmarkTune prices the trial pass itself: a full candidate sweep
+// over a small series, the cost `goblaz pack -auto` adds before any
+// packing starts. The per-frame work is one Compress+Encode+Decompress
+// per candidate, so wall time should scale linearly in
+// frames × candidates (and drop with SampleEvery).
+
+import (
+	"context"
+	"testing"
+)
+
+func BenchmarkTune(b *testing.B) {
+	labels := make([]int, 8)
+	for i := range labels {
+		labels[i] = i
+	}
+	opts := Options{Candidates: []string{tuneGoblaz, tuneZfp}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), labels, mixedFrame, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
