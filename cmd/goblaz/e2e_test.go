@@ -8,12 +8,20 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"io"
 	"net"
 	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/api"
 	"repro/internal/api/httpapi"
+	"repro/internal/obs"
+	"repro/internal/query"
 )
 
 // startServe mounts the store arguments the way runServe does, serves
@@ -139,5 +147,146 @@ func TestE2EQueryBadURL(t *testing.T) {
 	err := runQuery([]string{"-aggs", "mean", "-timeout", "100ms", "http://127.0.0.1:1"})
 	if err == nil {
 		t.Fatal("querying a dead server should fail")
+	}
+}
+
+// startServeMetrics is startServe with admission control and /metrics
+// enabled on the main listener — the full production middleware stack.
+func startServeMetrics(t *testing.T, storeArgs ...string) string {
+	t.Helper()
+	var url string
+	if _, err := captureStdout(t, func() error {
+		def, stores, datasets, closeAll, err := openMounts(storeArgs, 1<<20)
+		if err != nil {
+			return err
+		}
+		t.Cleanup(closeAll)
+		def = limitMounts(def, stores, datasets, api.LimitOptions{MaxConcurrent: 4, MaxQueue: 4})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: httpapi.New(def, stores, httpapi.Options{
+			Datasets:      datasets,
+			ExposeMetrics: true,
+		})}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+		url = "http://" + ln.Addr().String()
+		return nil
+	}); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	return url
+}
+
+// TestE2EMetricsScrape drives traffic through every instrumented layer
+// — HTTP, admission control, query engine, shard scatter, codec, store
+// reads — then scrapes GET /metrics and checks both that the exposition
+// is well-formed and that each layer's families moved.
+func TestE2EMetricsScrape(t *testing.T) {
+	path := packQueryStore(t)
+	manifest, _ := packShardedDataset(t, 5, 3)
+	url := startServeMetrics(t, path, "runs="+manifest)
+
+	ctx := context.Background()
+	for _, target := range []string{url, url + "/v1/datasets/runs"} {
+		client, err := api.NewClient(target, api.ClientOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Query(ctx, &query.Request{Aggregates: []string{query.AggMean, query.AggMax}}); err != nil {
+			t.Fatalf("query %s: %v", target, err)
+		}
+		if _, err := client.Frame(ctx, 0); err != nil {
+			t.Fatalf("frame %s: %v", target, err)
+		}
+	}
+
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != httpapi.PromContentType {
+		t.Errorf("content type %q, want %q", ct, httpapi.PromContentType)
+	}
+
+	// Exposition validity: every sample line parses, belongs to a family
+	// announced by a preceding # TYPE line, and carries a finite value.
+	// The label block is matched greedily: label values may themselves
+	// contain braces (route="/v1/frames/{label}").
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (-?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|[+-]Inf|NaN)$`)
+	typed := map[string]bool{}
+	values := map[string]float64{} // family name (suffixes stripped) → summed value
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			typed[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("malformed exposition line: %q", line)
+			continue
+		}
+		name := m[1]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && typed[base] {
+				name = base
+				break
+			}
+		}
+		if !typed[name] {
+			t.Errorf("sample %q has no preceding # TYPE", m[1])
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Errorf("bad value in %q: %v", line, err)
+		}
+		if !strings.HasSuffix(m[1], "_bucket") { // buckets repeat cumulative counts
+			values[name] += v
+		}
+	}
+
+	// One family per instrumented layer must have moved.
+	for _, fam := range []string{
+		"goblaz_http_requests_total",       // httpapi middleware
+		"goblaz_limit_admitted_total",      // admission control
+		"goblaz_query_requests_total",      // query engine
+		"goblaz_shard_queries_total",       // scatter-gather
+		"goblaz_codec_op_total",            // codec ops
+		"goblaz_store_payload_reads_total", // store read path
+		"goblaz_trace_span_seconds",        // span recording
+	} {
+		if values[fam] <= 0 {
+			t.Errorf("family %s is zero or absent after traffic; exposition:\n%s", fam, body)
+		}
+	}
+
+	// The JSON snapshot endpoint serves the same registry.
+	jresp, err := http.Get(url + "/v1/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(jresp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decoding /v1/debug/metrics: %v", err)
+	}
+	if len(snap.Metrics) == 0 {
+		t.Error("JSON snapshot holds no metrics")
+	}
+	if flat := snap.Flatten(); flat["goblaz_http_requests_total{class=2xx,route=/v1/query}"] <= 0 {
+		t.Errorf("flattened snapshot missing query requests; keys: %v", flat)
 	}
 }

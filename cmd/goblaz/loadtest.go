@@ -71,7 +71,49 @@ type loadReport struct {
 		P99 float64 `json:"p99"`
 		Max float64 `json:"max"`
 	} `json:"latency_ms"`
-	Mix map[string]int `json:"mix"`
+	Mix    map[string]int `json:"mix"`
+	Server *serverDelta   `json:"server,omitempty"`
+}
+
+// serverDelta is the server-side view of a run: the change in the
+// scraped /v1/debug/metrics snapshot between the start and the end of
+// the load window. It attributes what the client-side numbers cannot —
+// whether latency came from decode work or cache hits, and how much
+// load the admission controller turned away.
+type serverDelta struct {
+	MetricsURL    string  `json:"metrics_url"`
+	HTTPRequests  float64 `json:"http_requests"`
+	CacheHits     float64 `json:"cache_hits"`
+	CacheMisses   float64 `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	Coalesced     float64 `json:"coalesced"`
+	Shed          float64 `json:"shed"`
+	FramesDecoded float64 `json:"frames_decoded"`
+}
+
+// deltaOf diffs two flattened snapshots into the report section.
+// Counters monotonically increase, so after-before is the run's share.
+func deltaOf(url string, before, after map[string]float64) *serverDelta {
+	d := &serverDelta{MetricsURL: url}
+	sum := func(prefix string) float64 {
+		var total float64
+		for key, v := range after {
+			if strings.HasPrefix(key, prefix) {
+				total += v - before[key]
+			}
+		}
+		return total
+	}
+	d.HTTPRequests = sum("goblaz_http_requests_total")
+	d.CacheHits = sum("goblaz_query_cache_hits_total")
+	d.CacheMisses = sum("goblaz_query_cache_misses_total")
+	if lookups := d.CacheHits + d.CacheMisses; lookups > 0 {
+		d.CacheHitRatio = d.CacheHits / lookups
+	}
+	d.Coalesced = sum("goblaz_query_cache_coalesced_total")
+	d.Shed = sum("goblaz_limit_shed_total")
+	d.FramesDecoded = sum("goblaz_query_frames_total{space=fallback}")
+	return d
 }
 
 // parseMix parses "query=1,frame=2,region=4" into per-op weights. Ops
@@ -183,6 +225,7 @@ func runLoadtest(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the client side here")
 	memprofile := fs.String("memprofile", "", "write a heap profile here after the run")
+	metricsURL := fs.String("metrics-url", "", "scrape this server's /v1/debug/metrics before and after, embedding the delta in the report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -232,6 +275,17 @@ func runLoadtest(args []string) error {
 			return err
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	// The before-scrape comes after priming, so the warm-up decode does
+	// not pollute the run's server-side delta.
+	var before map[string]float64
+	if *metricsURL != "" {
+		snap, err := scrapeSnapshot(*metricsURL, *timeout)
+		if err != nil {
+			return fmt.Errorf("before-run metrics scrape: %w", err)
+		}
+		before = snap.Flatten()
 	}
 
 	table := pickTable(weights)
@@ -307,6 +361,13 @@ func runLoadtest(args []string) error {
 	}
 
 	report := summarize(results, fs.Arg(0), elapsed, *workers, *rps)
+	if before != nil {
+		snap, err := scrapeSnapshot(*metricsURL, *timeout)
+		if err != nil {
+			return fmt.Errorf("after-run metrics scrape: %w", err)
+		}
+		report.Server = deltaOf(*metricsURL, before, snap.Flatten())
+	}
 	if *out != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -320,6 +381,11 @@ func runLoadtest(args []string) error {
 		fs.Arg(0), report.Requests, report.DurationS, report.Throughput, report.Errors, report.Overloaded)
 	fmt.Printf("latency ms: p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
 		report.LatencyMS.P50, report.LatencyMS.P95, report.LatencyMS.P99, report.LatencyMS.Max)
+	if report.Server != nil {
+		fmt.Printf("server: %g http requests, cache hit ratio %.2f (%g hits / %g misses, %g coalesced), %g shed\n",
+			report.Server.HTTPRequests, report.Server.CacheHitRatio,
+			report.Server.CacheHits, report.Server.CacheMisses, report.Server.Coalesced, report.Server.Shed)
+	}
 	if report.Requests == 0 {
 		return fmt.Errorf("no requests completed inside %v", *duration)
 	}

@@ -60,6 +60,8 @@ func main() {
 		err = runQuery(args)
 	case "loadtest":
 		err = runLoadtest(args)
+	case "metrics":
+		err = runMetrics(args)
 	default:
 		usage()
 	}
@@ -83,9 +85,12 @@ func usage() {
   goblaz unpack     [-frame LABEL] IN OUTPREFIX
   goblaz inspect    IN|MANIFEST|URL
   goblaz serve      [-addr HOST:PORT] [-cache-bytes N] [-timeout D] [-debug-addr HOST:PORT]
-                    [-max-concurrent N] [-max-queue N] [-queue-wait D] [NAME=]IN|MANIFEST ...
+                    [-max-concurrent N] [-max-queue N] [-queue-wait D]
+                    [-metrics] [-log-json] [-slow-query D] [NAME=]IN|MANIFEST ...
   goblaz loadtest   [-duration D] [-rps N] [-workers N] [-mix query=W,frame=W,region=W]
-                    [-out BENCH.json] [-error-budget F] [-cpuprofile F] [-memprofile F] IN|MANIFEST|URL
+                    [-out BENCH.json] [-error-budget F] [-metrics-url URL]
+                    [-cpuprofile F] [-memprofile F] IN|MANIFEST|URL
+  goblaz metrics    [-json] [-timeout D] URL
   goblaz query      [-labels GLOB] [-from I] [-to I] [-aggs LIST] [-reduce LIST]
                     [-metric KIND [-against LABEL] [-peak P]] [-region OFF:SHAPE] [-point IDX]
                     [-req JSON|@FILE|-] [-cache-bytes N] [-timeout D] IN|MANIFEST|URL`)

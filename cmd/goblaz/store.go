@@ -37,6 +37,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/api/httpapi"
 	"repro/internal/codec"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/series"
 	"repro/internal/shard"
@@ -403,10 +404,11 @@ func limitMounts(def api.Backend, stores, datasets map[string]api.Backend, opts 
 	return lim(def)
 }
 
-// debugServer exposes net/http/pprof on its own mux and address, so
-// profiling never rides the public listener: the data (and the
-// DefaultServeMux side effects of importing net/http/pprof) stay on an
-// operator-chosen, typically loopback, port.
+// debugServer exposes net/http/pprof — plus the metrics endpoints, so
+// an operator can scrape without opening them on the public listener —
+// on its own mux and address. Profiling data (and the DefaultServeMux
+// side effects of importing net/http/pprof) stay on an operator-chosen,
+// typically loopback, port.
 func debugServer(addr string, logf func(string, ...any)) *http.Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", netpprof.Index)
@@ -414,6 +416,8 @@ func debugServer(addr string, logf func(string, ...any)) *http.Server {
 	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	mux.Handle("/metrics", httpapi.MetricsProm(obs.Default))
+	mux.Handle("/v1/debug/metrics", httpapi.MetricsJSON(obs.Default))
 	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -432,6 +436,9 @@ func runServe(args []string) error {
 	maxConcurrent := fs.Int("max-concurrent", 0, "per-mount concurrent decode/query limit (0 disables admission control)")
 	maxQueue := fs.Int("max-queue", 0, "requests allowed to wait for a slot once -max-concurrent are busy")
 	queueWait := fs.Duration("queue-wait", api.DefaultQueueWait, "how long a queued request waits before being shed with 429")
+	metrics := fs.Bool("metrics", false, "expose Prometheus text exposition at GET /metrics on the main listener (always on -debug-addr)")
+	logJSON := fs.Bool("log-json", false, "emit the access log as JSON lines instead of key=value")
+	slowQuery := fs.Duration("slow-query", 0, "log spans (queries, decodes, scatters) slower than this threshold (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -449,15 +456,18 @@ func runServe(args []string) error {
 	})
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	obs.DefaultTracer.Configure(*slowQuery, logger.Printf)
 	if *debugAddr != "" {
 		dbg := debugServer(*debugAddr, logger.Printf)
 		defer dbg.Close()
-		fmt.Printf("pprof debug server on %s\n", *debugAddr)
+		fmt.Printf("pprof+metrics debug server on %s\n", *debugAddr)
 	}
 	handler := httpapi.New(def, stores, httpapi.Options{
 		RequestTimeout: *timeout,
 		Logf:           logger.Printf,
 		Datasets:       datasets,
+		ExposeMetrics:  *metrics,
+		LogJSON:        *logJSON,
 	})
 	// Server-level timeouts keep a slow or stalled client from pinning a
 	// connection (and its decompression work) forever; WriteTimeout

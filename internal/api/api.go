@@ -62,6 +62,13 @@ type Error struct {
 	Message string `json:"message"`
 	Detail  string `json:"detail,omitempty"`
 
+	// RetryAfterSeconds, when > 0 on a CodeOverloaded error, is the
+	// limiter's advice for the Retry-After header — derived from the
+	// observed queue-wait p50, so clients back off in proportion to the
+	// actual backlog instead of a fixed constant. Not serialized: it
+	// travels in the header, and Client re-derives behavior from there.
+	RetryAfterSeconds int `json:"-"`
+
 	err error // local cause; supports errors.Is/As through Unwrap
 }
 

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -182,6 +183,16 @@ func (c *Client) attempt(ctx context.Context, method, u string, body []byte) (*h
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the caller's trace across the wire (minting one when the
+	// context has none), so a query shows up server-side under the trace
+	// ID the caller logs. Each attempt is its own child span identity.
+	sc, ok := obs.SpanContextFrom(ctx)
+	if ok {
+		sc = sc.Child()
+	} else {
+		sc = obs.NewSpanContext()
+	}
+	req.Header.Set("traceparent", sc.Traceparent())
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		cancel()

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -56,6 +57,19 @@ type Options struct {
 	// Logf receives one access-log line per request (and panic
 	// reports); nil disables logging.
 	Logf func(format string, args ...any)
+	// LogJSON switches the access log from key=value lines to one JSON
+	// object per line.
+	LogJSON bool
+	// ExposeMetrics additionally mounts Prometheus text exposition at
+	// GET /metrics on this handler. The JSON snapshot at
+	// /v1/debug/metrics is always mounted; this opt-in is for
+	// deployments that scrape the main listener instead of running a
+	// debug listener.
+	ExposeMetrics bool
+	// Registry is the metrics registry the exposition routes serve;
+	// nil means obs.Default, which is where every instrumented layer
+	// records.
+	Registry *obs.Registry
 	// Datasets names sharded-dataset mounts, served under
 	// /v1/datasets/{name}/ with the full resource set. A dataset
 	// backend (api.Sharded) may also be passed as def or among the
@@ -82,10 +96,17 @@ func New(def api.Backend, stores map[string]api.Backend, opts Options) http.Hand
 	if opts.MaxRequestBytes <= 0 {
 		opts.MaxRequestBytes = 1 << 20
 	}
+	if opts.Registry == nil {
+		opts.Registry = obs.Default
+	}
 	h := &Handler{def: def, stores: stores, datasets: opts.Datasets, opts: opts, mux: http.NewServeMux()}
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	h.mux.Handle("GET /v1/debug/metrics", MetricsJSON(opts.Registry))
+	if opts.ExposeMetrics {
+		h.mux.Handle("GET /metrics", MetricsProm(opts.Registry))
+	}
 	h.mux.HandleFunc("GET /v1/stores", h.handleStoreList)
 	h.mux.HandleFunc("GET /v1/datasets", h.handleDatasetList)
 
@@ -396,11 +417,6 @@ func writeJSON(w http.ResponseWriter, v any) {
 	w.Write(append(buf, '\n'))
 }
 
-// retryAfterSeconds is the delta-seconds Retry-After value served with
-// every 429: one second matches the admission controller's default
-// queue wait, so a shed burst retries roughly when capacity returns.
-const retryAfterSeconds = "1"
-
 // writeError renders err as the v1 JSON envelope at its mapped status.
 // Internal causes were already stripped by api.FromError — only the
 // stable code and a safe message cross the wire.
@@ -415,8 +431,10 @@ func writeError(w http.ResponseWriter, err error) {
 	}
 	if apiErr.Code == api.CodeOverloaded {
 		// Shed requests were refused before executing: tell well-behaved
-		// clients when to come back instead of letting them hammer.
-		w.Header().Set("Retry-After", retryAfterSeconds)
+		// clients when to come back instead of letting them hammer. The
+		// limiter stamps its queue-wait-p50 advice on the error; absent
+		// that (an overload minted elsewhere), one second.
+		w.Header().Set("Retry-After", retryAfterValue(apiErr.RetryAfterSeconds))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(apiErr.HTTPStatus())

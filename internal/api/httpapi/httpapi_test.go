@@ -290,7 +290,7 @@ func TestPanicRecovery(t *testing.T) {
 	var sawPanic, sawAccess bool
 	for _, l := range lines {
 		sawPanic = sawPanic || strings.Contains(l, "boom")
-		sawAccess = sawAccess || strings.Contains(l, "GET /v1/store 500")
+		sawAccess = sawAccess || (strings.Contains(l, "path=/v1/store") && strings.Contains(l, "status=500"))
 	}
 	if !sawPanic || !sawAccess {
 		t.Errorf("log lines missing panic/access records: %q", lines)
@@ -438,8 +438,61 @@ func TestAccessLogFields(t *testing.T) {
 	resp.Body.Close()
 	mu.Lock()
 	defer mu.Unlock()
-	if len(lines) != 1 || !strings.Contains(lines[0], "GET /v1/frames 200") {
-		t.Errorf("access log = %q", lines)
+	if len(lines) != 1 {
+		t.Fatalf("access log = %q", lines)
+	}
+	for _, want := range []string{"method=GET", "path=/v1/frames", "status=200", "bytes=", "dur=", "trace="} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("access log line missing %q: %q", want, lines[0])
+		}
+	}
+	// The logged trace ID matches the response header, so a log line
+	// can be joined back to the client that saw it.
+	trace := resp.Header.Get(TraceIDHeader)
+	if trace == "" || !strings.Contains(lines[0], "trace="+trace) {
+		t.Errorf("trace header %q not in log line %q", trace, lines[0])
+	}
+}
+
+func TestAccessLogJSON(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	srv := httptest.NewServer(New(buildLocal(t, 1, 8, 8), nil, Options{
+		LogJSON: true,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+		},
+	}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/frames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 {
+		t.Fatalf("access log = %q", lines)
+	}
+	var rec struct {
+		Method string `json:"method"`
+		Path   string `json:"path"`
+		Status int    `json:"status"`
+		Bytes  int64  `json:"bytes"`
+		Dur    string `json:"dur"`
+		Trace  string `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("access log line is not JSON: %v in %q", err, lines[0])
+	}
+	if rec.Method != "GET" || rec.Path != "/v1/frames" || rec.Status != 200 || rec.Bytes == 0 || rec.Dur == "" {
+		t.Errorf("unexpected record %+v", rec)
+	}
+	if rec.Trace != resp.Header.Get(TraceIDHeader) {
+		t.Errorf("trace = %q, header = %q", rec.Trace, resp.Header.Get(TraceIDHeader))
 	}
 }
 

@@ -10,18 +10,16 @@ import (
 )
 
 // withMiddleware stacks the transport concerns around the mux, from the
-// outside in: access log (sees the final status, including the 500 a
-// panic turned into), panic recovery, request deadline, body limit.
+// outside in: instrumentation (trace identity, route metrics, and the
+// access log — it sees the final status, including the 500 a panic
+// turned into), panic recovery, request deadline, body limit.
 func withMiddleware(next http.Handler, opts Options) http.Handler {
 	h := limitBody(next, opts.MaxRequestBytes)
 	if opts.RequestTimeout > 0 {
 		h = withDeadline(h, opts.RequestTimeout)
 	}
 	h = recoverPanics(h, opts.Logf)
-	if opts.Logf != nil {
-		h = accessLog(h, opts.Logf)
-	}
-	return h
+	return instrument(h, opts)
 }
 
 // statusWriter records the status and body size for the access log and
@@ -47,21 +45,6 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err
-}
-
-// accessLog emits one line per request: method, path, status, response
-// bytes, wall time.
-func accessLog(next http.Handler, logf func(string, ...any)) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		sw := &statusWriter{ResponseWriter: w}
-		start := time.Now()
-		next.ServeHTTP(sw, req)
-		status := sw.status
-		if status == 0 {
-			status = http.StatusOK
-		}
-		logf("%s %s %d %dB %s", req.Method, req.URL.Path, status, sw.bytes, time.Since(start).Round(time.Microsecond))
-	})
 }
 
 // recoverPanics converts a handler panic into a 500 envelope (when the

@@ -1,0 +1,109 @@
+package httpapi
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// TestTraceparentClientToServer drives a query through the full path —
+// api.Client injects traceparent, the middleware adopts it, the engine
+// opens child spans — and asserts every server-side span carries the
+// client-originated trace ID.
+func TestTraceparentClientToServer(t *testing.T) {
+	var mu sync.Mutex
+	var recs []obs.SpanRecord
+	obs.DefaultTracer.OnSpan(func(r obs.SpanRecord) {
+		mu.Lock()
+		recs = append(recs, r)
+		mu.Unlock()
+	})
+	defer obs.DefaultTracer.OnSpan(nil)
+
+	srv := httptest.NewServer(New(buildLocal(t, 2, 8, 8), nil, Options{}))
+	defer srv.Close()
+	client, err := api.NewClient(srv.URL, api.ClientOptions{HTTPClient: srv.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := obs.NewSpanContext()
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	if _, err := client.Query(ctx, &query.Request{Aggregates: []string{query.AggMean}}); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	spans := map[string]obs.SpanRecord{}
+	for _, r := range recs {
+		if r.Context.TraceID == root.TraceID {
+			spans[r.Name] = r
+		}
+	}
+	req, ok := spans["http.request"]
+	if !ok {
+		t.Fatalf("no http.request span with the client's trace ID; got %+v", recs)
+	}
+	if req.Context.SpanID == root.SpanID {
+		t.Error("server reused the client's span ID instead of opening its own span")
+	}
+	if !strings.Contains(req.Detail, "/query") {
+		t.Errorf("http.request detail = %q, want the query path", req.Detail)
+	}
+	if _, ok := spans["query.execute"]; !ok {
+		t.Errorf("query.execute span did not inherit the trace; spans = %v", spans)
+	}
+}
+
+// TestTraceMintedWhenAbsent: a request without traceparent still gets a
+// trace ID, echoed in the response header.
+func TestTraceMintedWhenAbsent(t *testing.T) {
+	srv := httptest.NewServer(New(buildLocal(t, 1, 8, 8), nil, Options{}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	trace := resp.Header.Get(TraceIDHeader)
+	if len(trace) != 32 || trace == strings.Repeat("0", 32) {
+		t.Fatalf("trace header = %q, want 32 hex chars", trace)
+	}
+}
+
+func TestRouteLabel(t *testing.T) {
+	cases := map[string]string{
+		"/":                              "/",
+		"/healthz":                       "/healthz",
+		"/metrics":                       "/metrics",
+		"/v1/debug/metrics":              "/v1/debug/metrics",
+		"/v1/store":                      "/v1/store",
+		"/v1/frames":                     "/v1/frames",
+		"/v1/frames/17":                  "/v1/frames/{label}",
+		"/v1/frames/17/payload":          "/v1/frames/{label}/payload",
+		"/v1/frames/17/stats":            "/v1/frames/{label}/stats",
+		"/v1/frames/17/region":           "/v1/frames/{label}/region",
+		"/v1/query":                      "/v1/query",
+		"/v1/stores":                     "/v1/stores",
+		"/v1/stores/run":                 "/v1/stores/{store}",
+		"/v1/stores/run/frames/3":        "/v1/stores/{store}/frames/{label}",
+		"/v1/stores/run/query":           "/v1/stores/{store}/query",
+		"/v1/datasets/ds/frames":         "/v1/datasets/{store}/frames",
+		"/v1/datasets/ds/frames/1/stats": "/v1/datasets/{store}/frames/{label}/stats",
+		"/v1/bogus/deep/path":            "other",
+		"/favicon.ico":                   "other",
+		"/v1/frames/17/nope":             "other",
+	}
+	for path, want := range cases {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -48,6 +50,12 @@ type Limited struct {
 	slots chan struct{}
 	queue chan struct{}
 	wait  time.Duration
+
+	// waits holds this limiter's own queue-wait observations, feeding
+	// the Retry-After estimate. Private rather than the registry family:
+	// the advice must reflect this backend's backlog, not every
+	// limiter's in the process.
+	waits *obs.Histogram
 }
 
 // Limit wraps b with admission control. With opts.MaxConcurrent ≤ 0 it
@@ -69,6 +77,7 @@ func Limit(b Backend, opts LimitOptions) Backend {
 		slots: make(chan struct{}, opts.MaxConcurrent),
 		queue: make(chan struct{}, queue),
 		wait:  wait,
+		waits: obs.NewHistogramWith(nil),
 	}
 }
 
@@ -79,12 +88,42 @@ func overloadedf(format string, args ...any) *Error {
 	return &Error{Code: CodeOverloaded, Message: fmt.Sprintf(format, args...), err: ErrOverloaded}
 }
 
+// RetryAfterSeconds is the limiter's current backoff advice: the
+// observed queue-wait p50, rounded up to whole seconds and clamped to
+// [1, 60]. Before any queue wait has been observed it is 1 — the
+// historical constant — so cold-start advice stays aggressive and the
+// estimate only stretches once real backlog data exists.
+func (l *Limited) RetryAfterSeconds() int {
+	if l.waits.Count() == 0 {
+		return 1
+	}
+	s := int(math.Ceil(l.waits.Quantile(0.5)))
+	if s < 1 {
+		s = 1
+	}
+	if s > 60 {
+		s = 60
+	}
+	return s
+}
+
+// shed stamps an overloaded error with the current backoff advice.
+func (l *Limited) shed(e *Error) *Error {
+	e.RetryAfterSeconds = l.RetryAfterSeconds()
+	return e
+}
+
 // acquire admits the request or sheds it. On success the returned
 // release must be called exactly once when the request finishes.
 func (l *Limited) acquire(ctx context.Context) (release func(), err error) {
-	free := func() { <-l.slots }
+	free := func() {
+		<-l.slots
+		limitInflight.Dec()
+	}
 	select {
 	case l.slots <- struct{}{}:
+		limitAdmitted.Inc()
+		limitInflight.Inc()
 		return free, nil
 	default:
 	}
@@ -92,17 +131,35 @@ func (l *Limited) acquire(ctx context.Context) (release func(), err error) {
 	select {
 	case l.queue <- struct{}{}:
 	default:
-		return nil, overloadedf("server is at capacity (%d executing, %d queued)", cap(l.slots), cap(l.queue))
+		limitShedQueueFull.Inc()
+		return nil, l.shed(overloadedf("server is at capacity (%d executing, %d queued)", cap(l.slots), cap(l.queue)))
 	}
-	defer func() { <-l.queue }()
+	limitQueueDepth.Inc()
+	queued := time.Now()
+	observeWait := func() {
+		d := time.Since(queued)
+		l.waits.ObserveDuration(d)
+		limitQueueWait.ObserveDuration(d)
+	}
+	defer func() {
+		<-l.queue
+		limitQueueDepth.Dec()
+	}()
 	timer := time.NewTimer(l.wait)
 	defer timer.Stop()
 	select {
 	case l.slots <- struct{}{}:
+		observeWait()
+		limitAdmitted.Inc()
+		limitInflight.Inc()
 		return free, nil
 	case <-timer.C:
-		return nil, overloadedf("no capacity after queuing %v", l.wait)
+		observeWait()
+		limitShedTimeout.Inc()
+		return nil, l.shed(overloadedf("no capacity after queuing %v", l.wait))
 	case <-ctx.Done():
+		observeWait()
+		limitShedCanceled.Inc()
 		return nil, FromError(ctx.Err())
 	}
 }

@@ -182,3 +182,65 @@ func TestRetryAfterOf(t *testing.T) {
 		}
 	}
 }
+
+func TestRetryAfterFromQueueWaitP50(t *testing.T) {
+	local, _ := buildLocal(t, goblazSpec, 2, 8, 8)
+	lb := Limit(local, LimitOptions{MaxConcurrent: 1}).(*Limited)
+
+	// Cold start: no observations, historical 1s advice.
+	if got := lb.RetryAfterSeconds(); got != 1 {
+		t.Fatalf("cold RetryAfterSeconds = %d, want 1", got)
+	}
+
+	// Seed the private histogram as if queued requests waited ~3.5s:
+	// advice is ceil(p50) of the observed waits.
+	for i := 0; i < 10; i++ {
+		lb.waits.Observe(3.5)
+	}
+	if got := lb.RetryAfterSeconds(); got < 3 || got > 5 {
+		t.Fatalf("RetryAfterSeconds = %d, want ~4 (ceil of p50≈3.5)", got)
+	}
+
+	// Pathological waits land in the overflow bucket, which floors at the
+	// histogram's last finite bound (10s) — advice stays bounded.
+	for i := 0; i < 100; i++ {
+		lb.waits.Observe(500)
+	}
+	if got := lb.RetryAfterSeconds(); got != 10 {
+		t.Fatalf("overflow RetryAfterSeconds = %d, want 10", got)
+	}
+}
+
+func TestShedErrorCarriesRetryAfter(t *testing.T) {
+	local, _ := buildLocal(t, goblazSpec, 2, 8, 8)
+	gated := &gatedBackend{Local: local, gate: make(chan struct{})}
+	lb := Limit(gated, LimitOptions{MaxConcurrent: 1, MaxQueue: 0, QueueWait: time.Second}).(*Limited)
+
+	// Occupy the only slot, then shed a second request.
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctx := context.Background()
+		release, err := lb.acquire(ctx)
+		if err != nil {
+			t.Errorf("first acquire: %v", err)
+			close(started)
+			return
+		}
+		close(started)
+		<-gated.gate
+		release()
+	}()
+	<-started
+	_, err := lb.Query(context.Background(), &query.Request{Aggregates: []string{query.AggMean}})
+	close(gated.gate)
+	<-done
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeOverloaded {
+		t.Fatalf("expected overloaded error, got %v", err)
+	}
+	if apiErr.RetryAfterSeconds < 1 {
+		t.Fatalf("shed error RetryAfterSeconds = %d, want ≥ 1", apiErr.RetryAfterSeconds)
+	}
+}

@@ -1,0 +1,25 @@
+package api
+
+import "repro/internal/obs"
+
+// Registry families for admission control. The gauges track live
+// occupancy; the queue-wait histogram is the global aggregate, while
+// each Limited also keeps a private histogram to derive its own
+// Retry-After (two limiters with different queue policies must not
+// pollute each other's estimate).
+var (
+	limitInflight = obs.NewGauge("goblaz_limit_inflight",
+		"Requests currently holding an execution slot.")
+	limitQueueDepth = obs.NewGauge("goblaz_limit_queue_depth",
+		"Requests currently waiting for a slot.")
+	limitAdmitted = obs.NewCounter("goblaz_limit_admitted_total",
+		"Requests admitted past the limiter.")
+	limitShedVec = obs.NewCounterVec("goblaz_limit_shed_total",
+		"Requests shed by the limiter, by reason.", "reason")
+	limitQueueWait = obs.NewHistogram("goblaz_limit_queue_wait_seconds",
+		"Time queued requests waited before admission or shedding.", nil)
+
+	limitShedQueueFull = limitShedVec.With("queue_full")
+	limitShedTimeout   = limitShedVec.With("timeout")
+	limitShedCanceled  = limitShedVec.With("canceled")
+)

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets is the default latency bucket layout, in seconds: log-ish
+// spacing from 1µs to 10s, matched to the spread between an mmap
+// payload copy (~µs) and a cold sharded scan under load (~s).
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// SizeBuckets is a bucket layout for byte sizes: powers of four from
+// 256B to 1GiB.
+var SizeBuckets = []float64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+	1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
+}
+
+// Histogram counts observations into fixed buckets and keeps a running
+// sum, all under atomics — Observe is lock-free and collection reads a
+// consistent-enough view without stopping writers. Quantiles are
+// estimated by linear interpolation inside the covering bucket, which
+// is the usual fixed-bucket tradeoff: accuracy is bounded by bucket
+// width, cost is O(buckets) per query and zero per observation.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; implicit +Inf last
+	counts []atomic.Uint64 // len(bounds)+1; counts[i] = observations ≤ bounds[i]... per-bucket, not cumulative
+	sum    atomic.Uint64   // float64 bits, CAS-updated
+	total  atomic.Uint64
+}
+
+// NewHistogramWith builds an unregistered histogram with the given
+// bucket upper bounds (nil for DefBuckets). Use for private in-process
+// estimates — e.g. the limiter's Retry-After source — where exposition
+// happens through a registered family instead.
+func NewHistogramWith(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return newHistogram(bounds)
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram buckets must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// bucketFor returns the index of the first bucket whose upper bound
+// admits v; len(bounds) means the +Inf overflow bucket. Linear scan:
+// bucket lists are ~20 entries and the branch predictor does well on
+// skewed latency distributions, so this beats binary search in
+// practice and keeps the code obvious.
+func (h *Histogram) bucketFor(v float64) int {
+	for i, b := range h.bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.bounds)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.counts[h.bucketFor(v)].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds — the unit every
+// registered *_seconds family uses.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) by locating the
+// covering bucket and interpolating linearly within it. Returns 0 with
+// no observations. Values landing in the overflow bucket report the
+// last finite bound — a floor, but a usable one.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i == len(h.bounds) {
+				// Overflow bucket: no finite upper edge to
+				// interpolate toward.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshot returns per-bucket counts aligned with bounds (+Inf last),
+// plus count and sum, for exposition.
+func (h *Histogram) snapshot() (counts []uint64, count uint64, sum float64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.total.Load(), h.Sum()
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "help")
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "other help ignored")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	v1 := r.CounterVec("v_total", "h", "op")
+	v2 := r.CounterVec("v_total", "h", "op")
+	v1.With("a").Inc()
+	if got := v2.With("a").Value(); got != 1 {
+		t.Fatalf("vec children not shared across re-registration: got %d", got)
+	}
+}
+
+func TestRegisterMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("m", "h")
+}
+
+func TestVecLabelArity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("v_total", "h", "a", "b")
+	v.With("x", "y").Inc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong label count")
+		}
+	}()
+	v.With("x")
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogramWith([]float64{1, 2, 4})
+	// Boundary values land in the bucket whose upper bound equals
+	// them (le is inclusive), one past lands in the next.
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0.5, 0}, {1, 0}, {1.0001, 1}, {2, 1}, {3, 2}, {4, 2}, {4.0001, 3}, {1e9, 3},
+	}
+	for _, c := range cases {
+		if got := h.bucketFor(c.v); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	counts, count, sum := h.snapshot()
+	if count != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", count, len(cases))
+	}
+	wantCounts := []uint64{2, 2, 2, 2}
+	for i, w := range wantCounts {
+		if counts[i] != w {
+			t.Errorf("bucket %d count = %d, want %d", i, counts[i], w)
+		}
+	}
+	var wantSum float64
+	for _, c := range cases {
+		wantSum += c.v
+	}
+	if math.Abs(sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", sum, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogramWith([]float64{10, 20, 30, 40})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	// 100 observations uniform over (0, 40]: 25 per bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.4)
+	}
+	// With uniform data, linear interpolation should land near the
+	// true quantile; allow one-bucket-width slack.
+	for _, c := range []struct{ q, want float64 }{
+		{0.25, 10}, {0.50, 20}, {0.75, 30}, {0.95, 38},
+	} {
+		got := h.Quantile(c.q)
+		if math.Abs(got-c.want) > 2 {
+			t.Errorf("Quantile(%v) = %v, want ~%v", c.q, got, c.want)
+		}
+	}
+	if got := h.Quantile(1); got != 40 {
+		t.Errorf("Quantile(1) = %v, want 40", got)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogramWith([]float64{1, 2})
+	h.Observe(100)
+	h.Observe(200)
+	// Everything is in +Inf: quantiles floor at the last finite bound.
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %v, want 2", got)
+	}
+	if h.Count() != 2 || h.Sum() != 300 {
+		t.Fatalf("count/sum = %d/%v, want 2/300", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramNaNIgnored(t *testing.T) {
+	h := NewHistogramWith([]float64{1})
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Fatalf("NaN was counted")
+	}
+}
+
+func TestAscendingBucketsEnforced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-ascending buckets")
+		}
+	}()
+	NewHistogramWith([]float64{1, 1})
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_reqs_total", "Requests.").Add(3)
+	r.GaugeVec("app_depth", "Depth.", "q").With(`we"ird\q`).Set(-2)
+	h := r.HistogramVec("app_lat_seconds", "Latency.", []float64{0.1, 1}, "route")
+	h.With("/v1/query").Observe(0.05)
+	h.With("/v1/query").Observe(0.5)
+	h.With("/v1/query").Observe(5)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE app_reqs_total counter\napp_reqs_total 3\n",
+		"# TYPE app_depth gauge\n",
+		`app_depth{q="we\"ird\\q"} -2`,
+		`app_lat_seconds_bucket{route="/v1/query",le="0.1"} 1`,
+		`app_lat_seconds_bucket{route="/v1/query",le="1"} 2`,
+		`app_lat_seconds_bucket{route="/v1/query",le="+Inf"} 3`,
+		`app_lat_seconds_sum{route="/v1/query"} 5.55`,
+		`app_lat_seconds_count{route="/v1/query"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families are sorted by name.
+	if strings.Index(out, "app_depth") > strings.Index(out, "app_lat_seconds") {
+		t.Error("families not sorted")
+	}
+}
+
+func TestSnapshotAndFlatten(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("hits_total", "h", "kind").With("cache").Add(7)
+	h := r.Histogram("wait_seconds", "h", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+
+	flat := r.Snapshot().Flatten()
+	if got := flat["hits_total{kind=cache}"]; got != 7 {
+		t.Errorf("flat counter = %v, want 7", got)
+	}
+	if got := flat["wait_seconds_count"]; got != 2 {
+		t.Errorf("flat histogram count = %v, want 2", got)
+	}
+	if got := flat["wait_seconds_sum"]; got != 2 {
+		t.Errorf("flat histogram sum = %v, want 2", got)
+	}
+}
+
+// TestRegistryHammer exercises parallel increments, observations,
+// label-child creation, and concurrent collection under -race. Values
+// are verified exactly: atomics must not drop updates.
+func TestRegistryHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "h")
+	vec := r.CounterVec("hammer_vec_total", "h", "worker")
+	g := r.Gauge("hammer_gauge", "h")
+	h := r.Histogram("hammer_seconds", "h", nil)
+
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := string(rune('a' + w))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				vec.With(label).Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%100) * 1e-4)
+			}
+		}(w)
+	}
+	// Collectors run concurrently with writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WriteProm(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		if got := vec.With(string(rune('a' + w))).Value(); got != perWorker {
+			t.Fatalf("vec[%d] = %d, want %d", w, got, perWorker)
+		}
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}

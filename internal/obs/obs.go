@@ -1,0 +1,276 @@
+// Package obs is the observability substrate of the serving stack: a
+// zero-dependency, allocation-light metrics registry plus lightweight
+// request tracing. Every layer on the serve path — store payload reads,
+// codec encode/decode, the query engine and its cache, shard
+// scatter-gather, admission control, and the HTTP surface — registers
+// counter/gauge/histogram families here, and the registry exposes them
+// three ways: Prometheus text exposition (WriteProm, behind GET
+// /metrics), a JSON snapshot (Snapshot, behind GET /v1/debug/metrics),
+// and direct reads for in-process consumers (the limiter derives
+// Retry-After from its own queue-wait histogram).
+//
+// Hot-path cost is a few uncontended atomic adds per observation:
+// metrics are plain atomics, label children are resolved once and
+// cached by the instrumented package, and collection never blocks
+// writers. Tracing follows the same budget — a request without a trace
+// context in its context.Context pays one context lookup and no
+// allocation.
+//
+// Registration is idempotent: asking for an existing family with the
+// same kind and label names returns it, so packages can register at
+// init without coordinating; a name reused with a different shape
+// panics, because silently aliasing two meanings of one metric would
+// corrupt both.
+package obs
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates the metric families a registry holds.
+type Kind string
+
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Counter is a monotonically increasing value. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// family is one registered metric: a name, a kind, and either a single
+// unlabeled child or a lazily grown set of labeled children.
+type family struct {
+	name       string
+	help       string
+	kind       Kind
+	labelNames []string
+	buckets    []float64 // histograms only
+
+	mu       sync.RWMutex
+	children map[string]any      // label-value key → *Counter | *Gauge | *Histogram
+	labels   map[string][]string // label-value key → the values, for exposition
+	single   any                 // when labelNames is empty
+}
+
+// labelKey joins label values into a map key. \x1f (unit separator)
+// cannot collide with reasonable label values.
+func labelKey(values []string) string {
+	return strings.Join(values, "\x1f")
+}
+
+// newChild builds one metric instance of the family's kind.
+func (f *family) newChild() any {
+	switch f.kind {
+	case KindCounter:
+		return &Counter{}
+	case KindGauge:
+		return &Gauge{}
+	default:
+		return newHistogram(f.buckets)
+	}
+}
+
+// child returns (creating if needed) the metric for the given label
+// values. The read path is one RLock and a map hit; instrumented
+// packages cache the returned child, so the write path runs once per
+// distinct label combination.
+func (f *family) child(values []string) any {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %s takes %d label(s), got %d", f.name, len(f.labelNames), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c = f.newChild()
+	f.children[key] = c
+	f.labels[key] = slices.Clone(values)
+	return c
+}
+
+// sortedKeys returns the children's label keys in stable order.
+func (f *family) sortedKeys() []string {
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on
+// first use. Cache the result on hot paths.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).(*Counter) }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).(*Gauge) }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).(*Histogram) }
+
+// Registry holds metric families and renders them for exposition. The
+// zero value is not usable; build with NewRegistry. Most code uses the
+// process-wide Default registry through the package-level constructors.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry — tests and embedders that must
+// not share the process-wide Default use their own.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// Default is the process-wide registry every instrumented package
+// registers on and every exposition endpoint serves.
+var Default = NewRegistry()
+
+// register returns the family, creating it when absent. Re-registering
+// with the same shape is a no-op returning the existing family; a kind
+// or label mismatch panics.
+func (r *Registry) register(name, help string, kind Kind, labelNames []string, buckets []float64) *family {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || !slices.Equal(f.labelNames, labelNames) {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s%v, was %s%v",
+				name, kind, labelNames, f.kind, f.labelNames))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labelNames: slices.Clone(labelNames),
+		buckets:    buckets,
+		children:   map[string]any{},
+		labels:     map[string][]string{},
+	}
+	if len(labelNames) == 0 {
+		f.single = f.newChild()
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Counter registers (or returns) the unlabeled counter name.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, KindCounter, nil, nil).single.(*Counter)
+}
+
+// CounterVec registers (or returns) the counter family name with the
+// given label names.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, KindCounter, labelNames, nil)}
+}
+
+// Gauge registers (or returns) the unlabeled gauge name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, KindGauge, nil, nil).single.(*Gauge)
+}
+
+// GaugeVec registers (or returns) the gauge family name.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, KindGauge, labelNames, nil)}
+}
+
+// Histogram registers (or returns) the unlabeled histogram name. nil
+// buckets means DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return r.register(name, help, KindHistogram, nil, buckets).single.(*Histogram)
+}
+
+// HistogramVec registers (or returns) the histogram family name. nil
+// buckets means DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{r.register(name, help, KindHistogram, labelNames, buckets)}
+}
+
+// The package-level constructors register on Default — the one-liner
+// shape instrumented packages use for their package-level families.
+
+func NewCounter(name, help string) *Counter { return Default.Counter(name, help) }
+
+func NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	return Default.CounterVec(name, help, labelNames...)
+}
+
+func NewGauge(name, help string) *Gauge { return Default.Gauge(name, help) }
+
+func NewGaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return Default.GaugeVec(name, help, labelNames...)
+}
+
+func NewHistogram(name, help string, buckets []float64) *Histogram {
+	return Default.Histogram(name, help, buckets)
+}
+
+func NewHistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return Default.HistogramVec(name, help, buckets, labelNames...)
+}

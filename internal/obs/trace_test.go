@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := NewSpanContext()
+	hdr := sc.Traceparent()
+	if !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") {
+		t.Fatalf("malformed traceparent %q", hdr)
+	}
+	got, ok := ParseTraceparent(hdr)
+	if !ok {
+		t.Fatalf("ParseTraceparent rejected own output %q", hdr)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v, want %+v", got, sc)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // version ff invalid
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01", // non-hex
+		"004bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", s)
+		}
+	}
+	// Future versions parse fine.
+	if _, ok := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"); !ok {
+		t.Error("future version rejected")
+	}
+	// Trailing fields tolerated.
+	if _, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); !ok {
+		t.Error("extra fields rejected")
+	}
+}
+
+func TestChildKeepsTrace(t *testing.T) {
+	sc := NewSpanContext()
+	child := sc.Child()
+	if child.TraceID != sc.TraceID {
+		t.Fatal("child changed trace ID")
+	}
+	if child.SpanID == sc.SpanID {
+		t.Fatal("child kept parent span ID")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	if _, ok := SpanContextFrom(context.Background()); ok {
+		t.Fatal("empty context reported a span")
+	}
+	sc := NewSpanContext()
+	ctx := ContextWithSpan(context.Background(), sc)
+	got, ok := SpanContextFrom(ctx)
+	if !ok || got != sc {
+		t.Fatalf("got %+v ok=%v, want %+v", got, ok, sc)
+	}
+}
+
+func TestTracerNilSpanOnUntracedContext(t *testing.T) {
+	tr := NewTracer(NewRegistry())
+	ctx, span := tr.Start(context.Background(), "op")
+	if span != nil {
+		t.Fatal("untraced context produced a live span")
+	}
+	if _, ok := SpanContextFrom(ctx); ok {
+		t.Fatal("untraced Start attached a span context")
+	}
+	span.End()          // must not panic
+	span.SetDetail("x") // must not panic
+	if span.Context() != (SpanContext{}) {
+		t.Fatal("nil span context not zero")
+	}
+}
+
+func TestTracerSpanRecording(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg)
+	var recs []SpanRecord
+	tr.OnSpan(func(r SpanRecord) { recs = append(recs, r) })
+
+	root := NewSpanContext()
+	ctx, parent := tr.StartRoot(context.Background(), "http.request", root)
+	childCtx, child := tr.Start(ctx, "query.execute")
+	child.SetDetail("frames=%d", 3)
+	if child.Context().TraceID != root.TraceID {
+		t.Fatal("child span left the trace")
+	}
+	if got, _ := SpanContextFrom(childCtx); got.SpanID != child.Context().SpanID {
+		t.Fatal("derived context does not carry the child span")
+	}
+	child.End()
+	parent.End()
+
+	if len(recs) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(recs))
+	}
+	if recs[0].Name != "query.execute" || recs[0].Detail != "frames=3" {
+		t.Fatalf("child record = %+v", recs[0])
+	}
+	if recs[1].Name != "http.request" || recs[1].Context != root {
+		t.Fatalf("root record = %+v", recs[1])
+	}
+	if recs[0].Context.TraceID != root.TraceID {
+		t.Fatal("child record trace ID mismatch")
+	}
+	flat := reg.Snapshot().Flatten()
+	if flat["goblaz_trace_span_seconds{span=query.execute}_count"] != 1 {
+		t.Fatalf("span histogram not recorded: %v", flat)
+	}
+}
+
+func TestSlowSpanLog(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg)
+	var lines []string
+	tr.Configure(time.Nanosecond, func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	})
+	_, span := tr.StartRoot(context.Background(), "http.request", NewSpanContext())
+	span.SetDetail("GET /v1/query")
+	time.Sleep(time.Millisecond)
+	span.End()
+	if len(lines) != 1 {
+		t.Fatalf("slow log lines = %d, want 1", len(lines))
+	}
+	if !strings.Contains(lines[0], "span=http.request") || !strings.Contains(lines[0], "GET /v1/query") {
+		t.Fatalf("slow log line = %q", lines[0])
+	}
+	if flat := reg.Snapshot().Flatten(); flat["goblaz_trace_slow_spans_total{span=http.request}"] != 1 {
+		t.Fatal("slow counter not incremented")
+	}
+
+	// Threshold zero disables the log.
+	tr.Configure(0, func(format string, args ...any) { t.Error("logged with zero threshold") })
+	_, span = tr.StartRoot(context.Background(), "http.request", NewSpanContext())
+	span.End()
+}

@@ -85,9 +85,11 @@ func (c *Cache) Get(ns uint64, key int) (*tensor.Tensor, bool) {
 	el, ok := c.entries[cacheKey{ns, key}]
 	if !ok {
 		c.misses++
+		cacheMisses.Inc()
 		return nil, false
 	}
 	c.hits++
+	cacheHits.Inc()
 	c.lru.MoveToFront(el)
 	return el.Value.(*cacheEntry).t, true
 }
@@ -124,9 +126,13 @@ func (c *Cache) Put(ns uint64, key int, t *tensor.Tensor) {
 		c.lru.Remove(cold)
 		delete(c.entries, e.key)
 		c.used -= e.bytes
+		cacheEvictions.Inc()
+		cacheEvictedBytes.Add(uint64(e.bytes))
+		cacheUsedBytes.Add(-e.bytes)
 	}
 	c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, t: t, bytes: bytes})
 	c.used += bytes
+	cacheUsedBytes.Add(bytes)
 }
 
 // Decode returns frame key of namespace ns decoded, serving it from
@@ -152,6 +158,7 @@ func (c *Cache) Decode(ns uint64, key int, decode func() (*tensor.Tensor, error)
 	if f, ok := c.flights[k]; ok {
 		c.fmu.Unlock()
 		c.coalesced.Add(1)
+		cacheCoalesced.Inc()
 		<-f.done
 		if f.err != nil {
 			return nil, f.err

@@ -7,8 +7,10 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/codec"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -154,7 +156,11 @@ func (e *Engine) loadFrame(i int) (codec.Compressed, error) {
 		return nil, err
 	}
 	*bp = data // keep the grown capacity for the next lease
+	start := time.Now()
 	c, err := coder.Decode(data)
+	if err == nil {
+		codec.ObserveOp(caps.spec, "decode", len(data), time.Since(start))
+	}
 	putPayloadBuf(bp)
 	return c, err
 }
@@ -174,6 +180,10 @@ func (e *Engine) Run(ctx context.Context, req *Request) (*Result, error) {
 // work, so a dropped connection or an expired CLI deadline abandons the
 // remaining frames instead of decompressing them for nobody.
 func (e *Engine) Execute(ctx context.Context, p *Plan) (*Result, error) {
+	ctx, span := obs.DefaultTracer.Start(ctx, "query.execute")
+	span.SetDetail("frames=%d", len(p.frames))
+	defer span.End()
+
 	// Resolving frame 0's caps up front surfaces an unusable default
 	// codec as one error instead of one per frame.
 	if len(p.frames) > 0 {
@@ -204,7 +214,7 @@ func (e *Engine) Execute(ctx context.Context, p *Plan) (*Result, error) {
 		var t *tensor.Tensor
 		var terr error
 		ref.decoded = func() (*tensor.Tensor, error) {
-			once.Do(func() { t, terr = e.decoded(p.refIndex) })
+			once.Do(func() { t, terr = e.decoded(ctx, p.refIndex) })
 			return t, terr
 		}
 	}
@@ -254,7 +264,7 @@ func (e *Engine) Execute(ctx context.Context, p *Plan) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		pair, err := e.runPair(p)
+		pair, err := e.runPair(ctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -266,6 +276,18 @@ func (e *Engine) Execute(ctx context.Context, p *Plan) (*Result, error) {
 			frames[1].ExecutedInCompressedSpace = false
 		}
 		res.ExecutedInCompressedSpace = res.ExecutedInCompressedSpace && pair.ExecutedInCompressedSpace
+	}
+	for i := range frames {
+		if frames[i].ExecutedInCompressedSpace {
+			framesCompressed.Inc()
+		} else {
+			framesFallback.Inc()
+		}
+	}
+	if res.ExecutedInCompressedSpace {
+		requestsCompressed.Inc()
+	} else {
+		requestsFallback.Inc()
 	}
 	return res, nil
 }
@@ -313,7 +335,7 @@ func (e *Engine) runFrame(ctx context.Context, p *Plan, i int, ref *refFrame, mo
 	decode := func() (*tensor.Tensor, error) {
 		if ft == nil {
 			var err error
-			if ft, err = e.decodedFrom(i, fc); err != nil {
+			if ft, err = e.decodedFrom(ctx, i, fc); err != nil {
 				return nil, err
 			}
 			out.ExecutedInCompressedSpace = false
@@ -570,7 +592,7 @@ func (e *Engine) framePoint(p *Plan, rr codec.RegionReader,
 // region work decodes those two payloads twice, a bounded duplication
 // (pair mode is always exactly two frames) taken for the simpler
 // frame-task lifecycle.
-func (e *Engine) runPair(p *Plan) (*PairResult, error) {
+func (e *Engine) runPair(ctx context.Context, p *Plan) (*PairResult, error) {
 	ia, ib := p.frames[0], p.frames[1]
 	pr := &PairResult{
 		A: e.src.Info(ia).Label, B: e.src.Info(ib).Label,
@@ -603,11 +625,11 @@ func (e *Engine) runPair(p *Plan) (*PairResult, error) {
 			return nil, err
 		}
 	}
-	ta, err := e.decodedFrom(ia, ca)
+	ta, err := e.decodedFrom(ctx, ia, ca)
 	if err != nil {
 		return nil, err
 	}
-	tb, err := e.decodedFrom(ib, cb)
+	tb, err := e.decodedFrom(ctx, ib, cb)
 	if err != nil {
 		return nil, err
 	}
@@ -622,8 +644,8 @@ func (e *Engine) runPair(p *Plan) (*PairResult, error) {
 
 // decoded returns frame i fully decompressed, through the LRU cache.
 // Cached tensors are shared across queries and must not be mutated.
-func (e *Engine) decoded(i int) (*tensor.Tensor, error) {
-	return e.decodedFrom(i, nil)
+func (e *Engine) decoded(ctx context.Context, i int) (*tensor.Tensor, error) {
+	return e.decodedFrom(ctx, i, nil)
 }
 
 // decodedFrom is decoded for callers that may already hold frame i's
@@ -634,9 +656,12 @@ func (e *Engine) decoded(i int) (*tensor.Tensor, error) {
 // queries on one cold frame decompresses it once per generation —
 // whichever caller wins the flight decodes (from its held compressed
 // form if it has one), and the rest share that result.
-func (e *Engine) decodedFrom(i int, fc codec.Compressed) (*tensor.Tensor, error) {
+func (e *Engine) decodedFrom(ctx context.Context, i int, fc codec.Compressed) (*tensor.Tensor, error) {
 	ns, key := e.cacheKeyOf(i)
 	return e.cache.Decode(ns, key, func() (*tensor.Tensor, error) {
+		_, span := obs.DefaultTracer.Start(ctx, "frame.decode")
+		span.SetDetail("frame=%d", i)
+		defer span.End()
 		caps, err := e.capsFor(i)
 		if err != nil {
 			return nil, err
@@ -647,7 +672,12 @@ func (e *Engine) decodedFrom(i int, fc codec.Compressed) (*tensor.Tensor, error)
 				return nil, err
 			}
 		}
-		return caps.coder.Decompress(c)
+		start := time.Now()
+		t, err := caps.coder.Decompress(c)
+		if err == nil {
+			codec.ObserveOp(caps.spec, "decompress", t.Len()*8, time.Since(start))
+		}
+		return t, err
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -71,7 +72,11 @@ func NewPipeline(s *Series, workers int) *Pipeline {
 func NewCodecPipeline(cd codec.Codec, sink func(label int, c codec.Compressed) error, workers int) *Pipeline {
 	return newPipeline(
 		func(label int, frame *tensor.Tensor) result {
+			start := time.Now()
 			c, err := cd.Compress(frame)
+			if err == nil {
+				codec.ObserveOp(cd.Spec(), "compress", frame.Len()*8, time.Since(start))
+			}
 			return result{label: label, c: c, err: err}
 		},
 		func(r result) error { return sink(r.label, r.c) },
@@ -95,7 +100,11 @@ func NewAssignedPipeline(assign func(label int, frame *tensor.Tensor) (codec.Cod
 			if err != nil {
 				return result{label: label, err: fmt.Errorf("assigning codec: %w", err)}
 			}
+			start := time.Now()
 			c, err := coder.Compress(frame)
+			if err == nil {
+				codec.ObserveOp(coder.Spec(), "compress", frame.Len()*8, time.Since(start))
+			}
 			return result{label: label, coder: coder, c: c, err: err}
 		},
 		func(r result) error { return sink(r.label, r.coder, r.c) },

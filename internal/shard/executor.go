@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/tensor"
 )
@@ -65,11 +67,19 @@ func (d *Dataset) Query(ctx context.Context, req *query.Request) (*query.Result,
 		return nil, err
 	}
 	parts := d.partsOf(p.Frames())
+	shardQueries.Inc()
+	shardParts.Add(uint64(len(parts)))
+	shardSkipped.Add(uint64(d.Shards() - len(parts)))
+	ctx, span := obs.DefaultTracer.Start(ctx, "shard.scatter")
+	span.SetDetail("parts=%d/%d", len(parts), d.Shards())
+	defer span.End()
 
 	results := make([]*query.Result, len(parts))
 	errs := make([]error, len(parts))
 	if err := tensor.ParallelForCoarseCtx(ctx, len(parts), func(j int) {
+		start := time.Now()
 		results[j], errs[j] = d.engines[parts[j].shard].Run(ctx, d.subRequest(req, parts[j]))
+		shardScatterSeconds.ObserveDuration(time.Since(start))
 	}); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,15 @@
+package shard
+
+import "repro/internal/obs"
+
+// Registry families for scatter-gather execution.
+var (
+	shardQueries = obs.NewCounter("goblaz_shard_queries_total",
+		"Dataset queries answered by scatter-gather (metric requests run unified and are not counted).")
+	shardParts = obs.NewCounter("goblaz_shard_parts_total",
+		"Shard-local sub-queries dispatched by the scatter phase.")
+	shardSkipped = obs.NewCounter("goblaz_shard_shards_skipped_total",
+		"Shards the router excluded from a scatter because the selection cannot touch them.")
+	shardScatterSeconds = obs.NewHistogram("goblaz_shard_scatter_seconds",
+		"Per-shard sub-query latency inside a scatter.", nil)
+)

@@ -1,0 +1,22 @@
+package store
+
+import "repro/internal/obs"
+
+// Registry families for the read path. Children are resolved once here
+// — payload serving is the hottest path in the process, so each
+// observation must stay a bare atomic add.
+var (
+	payloadReadsVec = obs.NewCounterVec("goblaz_store_payload_reads_total",
+		"Frame payload reads served, by source (mmap view vs positioned file read).", "source")
+	payloadBytesVec = obs.NewCounterVec("goblaz_store_payload_bytes_total",
+		"Frame payload bytes served, by source.", "source")
+	crcVerifiesVec = obs.NewCounterVec("goblaz_store_crc_verifies_total",
+		"Payload CRC checks, by outcome: performed (hashed now) vs skipped (verified-bitmap hit).", "outcome")
+
+	payloadReadsMmap = payloadReadsVec.With("mmap")
+	payloadReadsFile = payloadReadsVec.With("file")
+	payloadBytesMmap = payloadBytesVec.With("mmap")
+	payloadBytesFile = payloadBytesVec.With("file")
+	crcPerformed     = crcVerifiesVec.With("performed")
+	crcSkipped       = crcVerifiesVec.With("skipped")
+)

@@ -9,6 +9,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/tensor"
@@ -362,6 +363,8 @@ func (r *Reader) PayloadAppend(dst []byte, i int) ([]byte, error) {
 		if err := r.verifyOnce(i, e, view); err != nil {
 			return nil, err
 		}
+		payloadReadsMmap.Inc()
+		payloadBytesMmap.Add(uint64(len(view)))
 		return append(dst, view...), nil
 	}
 	n := len(dst)
@@ -376,10 +379,13 @@ func (r *Reader) PayloadAppend(dst []byte, i int) ([]byte, error) {
 	if _, err := r.r.ReadAt(buf, e.Offset); err != nil {
 		return nil, fmt.Errorf("store: reading frame %d: %w", i, err)
 	}
+	crcPerformed.Inc()
 	if got := crc32.ChecksumIEEE(buf); got != e.CRC32 {
 		return nil, fmt.Errorf("%w: frame %d (label %d) has %08x, index says %08x",
 			ErrCRCMismatch, i, e.Label, got, e.CRC32)
 	}
+	payloadReadsFile.Inc()
+	payloadBytesFile.Add(uint64(e.Length))
 	return dst, nil
 }
 
@@ -401,8 +407,10 @@ func (r *Reader) payloadView(e FrameInfo) ([]byte, bool) {
 func (r *Reader) verifyOnce(i int, e FrameInfo, data []byte) error {
 	word, bit := i/32, uint32(1)<<(i%32)
 	if r.verified[word].Load()&bit != 0 {
+		crcSkipped.Inc()
 		return nil
 	}
+	crcPerformed.Inc()
 	if got := crc32.ChecksumIEEE(data); got != e.CRC32 {
 		return fmt.Errorf("%w: frame %d (label %d) has %08x, index says %08x",
 			ErrCRCMismatch, i, e.Label, got, e.CRC32)
@@ -430,6 +438,8 @@ func (r *Reader) PayloadReader(i int) (*io.SectionReader, error) {
 		if err := r.verifyOnce(i, e, view); err != nil {
 			return nil, err
 		}
+		payloadReadsMmap.Inc()
+		payloadBytesMmap.Add(uint64(e.Length))
 	} else {
 		word, bit := i/32, uint32(1)<<(i%32)
 		if r.verified[word].Load()&bit == 0 {
@@ -444,7 +454,11 @@ func (r *Reader) PayloadReader(i int) (*io.SectionReader, error) {
 					break
 				}
 			}
+		} else {
+			crcSkipped.Inc()
 		}
+		payloadReadsFile.Inc()
+		payloadBytesFile.Add(uint64(e.Length))
 	}
 	return io.NewSectionReader(r.r, e.Offset, e.Length), nil
 }
@@ -467,13 +481,21 @@ func (r *Reader) Frame(i int) (codec.Compressed, error) {
 		if err := r.verifyOnce(i, e, view); err != nil {
 			return nil, err
 		}
-		return coder.Decode(view)
+		payloadReadsMmap.Inc()
+		payloadBytesMmap.Add(uint64(len(view)))
+		start := time.Now()
+		c, err := coder.Decode(view)
+		codec.ObserveOp(r.FrameSpec(i), "decode", len(view), time.Since(start))
+		return c, err
 	}
 	payload, err := r.Payload(i)
 	if err != nil {
 		return nil, err
 	}
-	return coder.Decode(payload)
+	start := time.Now()
+	c, err := coder.Decode(payload)
+	codec.ObserveOp(r.FrameSpec(i), "decode", len(payload), time.Since(start))
+	return c, err
 }
 
 // Decompress reads, decodes, and fully decompresses frame i with the
@@ -487,7 +509,12 @@ func (r *Reader) Decompress(i int) (*tensor.Tensor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return coder.Decompress(c)
+	start := time.Now()
+	t, err := coder.Decompress(c)
+	if err == nil {
+		codec.ObserveOp(r.FrameSpec(i), "decompress", t.Len()*8, time.Since(start))
+	}
+	return t, err
 }
 
 // DecompressLabel is Decompress keyed by frame label.

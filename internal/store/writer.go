@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"time"
 
 	"repro/internal/codec"
 )
@@ -188,10 +189,12 @@ func (w *Writer) Close() error {
 //	p := series.NewCodecPipeline(coder, w.Sink(coder), workers)
 func (w *Writer) Sink(coder codec.Coder) func(label int, c codec.Compressed) error {
 	return func(label int, c codec.Compressed) error {
+		start := time.Now()
 		payload, err := coder.Encode(c)
 		if err != nil {
 			return err
 		}
+		codec.ObserveOp(coder.Spec(), "encode", len(payload), time.Since(start))
 		return w.Append(label, payload)
 	}
 }
@@ -205,10 +208,12 @@ func (w *Writer) Sink(coder codec.Coder) func(label int, c codec.Compressed) err
 //	p := series.NewAssignedPipeline(assign, w.SinkAssigned(), workers)
 func (w *Writer) SinkAssigned() func(label int, coder codec.Coder, c codec.Compressed) error {
 	return func(label int, coder codec.Coder, c codec.Compressed) error {
+		start := time.Now()
 		payload, err := coder.Encode(c)
 		if err != nil {
 			return err
 		}
+		codec.ObserveOp(coder.Spec(), "encode", len(payload), time.Since(start))
 		return w.WriteFrameWithSpec(label, payload, coder.Spec())
 	}
 }
