@@ -1,17 +1,19 @@
 package main
 
 // The CLI's bridge to the v1 service layer: a store argument is a
-// local store file, a sharded-dataset manifest, or an http(s):// URL,
-// resolved to the matching api.Backend — Local over an opened store
-// file, Sharded over a dataset manifest, the HTTP Client SDK otherwise.
-// Subcommands written against api.Backend (query, inspect) work
-// identically on all three.
+// local store file, a sharded-dataset manifest, a cluster topology, or
+// an http(s):// URL, resolved to the matching api.Backend — Local over
+// an opened store file, Sharded over a dataset manifest, a cluster
+// Coordinator over a topology file, the HTTP Client SDK otherwise.
+// Subcommands written against api.Backend (query, inspect, loadtest)
+// work identically on all four.
 
 import (
 	"strings"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/cluster"
 	"repro/internal/query"
 	"repro/internal/shard"
 )
@@ -32,6 +34,13 @@ func openBackend(arg string, opts query.Options, timeout time.Duration) (b api.B
 			return nil, nil, err
 		}
 		return c, func() error { return nil }, nil
+	}
+	if cluster.IsTopology(arg) {
+		co, err := cluster.Open(arg, cluster.Options{ClientTimeout: timeout})
+		if err != nil {
+			return nil, nil, err
+		}
+		return co, co.Close, nil
 	}
 	if shard.IsManifest(arg) {
 		s, err := api.OpenSharded(arg, opts)

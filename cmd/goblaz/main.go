@@ -83,17 +83,18 @@ func usage() {
   goblaz tune       -shape N,M[,K] [-candidates "SPEC;..."] [-max-err F] [-sample K]
                     [-w-ratio F] [-w-err F] [-w-lat F] [-report JSON] FRAME...
   goblaz unpack     [-frame LABEL] IN OUTPREFIX
-  goblaz inspect    IN|MANIFEST|URL
+  goblaz inspect    IN|MANIFEST|TOPOLOGY|URL
   goblaz serve      [-addr HOST:PORT] [-cache-bytes N] [-timeout D] [-debug-addr HOST:PORT]
                     [-max-concurrent N] [-max-queue N] [-queue-wait D]
-                    [-metrics] [-log-json] [-slow-query D] [NAME=]IN|MANIFEST ...
+                    [-metrics] [-log-json] [-slow-query D] [-topology CLUSTER.json]
+                    [NAME=]IN|MANIFEST|TOPOLOGY ...
   goblaz loadtest   [-duration D] [-rps N] [-workers N] [-mix query=W,frame=W,region=W]
                     [-out BENCH.json] [-error-budget F] [-metrics-url URL]
-                    [-cpuprofile F] [-memprofile F] IN|MANIFEST|URL
+                    [-cpuprofile F] [-memprofile F] IN|MANIFEST|TOPOLOGY|URL
   goblaz metrics    [-json] [-timeout D] URL
   goblaz query      [-labels GLOB] [-from I] [-to I] [-aggs LIST] [-reduce LIST]
                     [-metric KIND [-against LABEL] [-peak P]] [-region OFF:SHAPE] [-point IDX]
-                    [-req JSON|@FILE|-] [-cache-bytes N] [-timeout D] IN|MANIFEST|URL`)
+                    [-req JSON|@FILE|-] [-cache-bytes N] [-timeout D] IN|MANIFEST|TOPOLOGY|URL`)
 	os.Exit(2)
 }
 

@@ -8,14 +8,18 @@ package main
 //	goblaz pack    -shape 64,64 -codec zfp:rate=16 [-workers 4] out.gbz f0.f64 f1.f64 ...
 //	goblaz pack    -shape 64,64 -shards 4 out.json f0.f64 f1.f64 ...
 //	goblaz unpack  [-frame LABEL] out.gbz prefix        → prefix<label>.f64
-//	goblaz inspect out.gbz              (or a manifest, or an http:// URL)
+//	goblaz inspect out.gbz              (or a manifest, a topology, or an http:// URL)
 //	goblaz serve   -addr :8080 out.gbz [name=other.gbz ...] [runs=out.json ...]
+//	goblaz serve   -addr :8080 -topology cluster.json
 //
-// inspect accepts a store path, a dataset manifest, or a serving URL
-// interchangeably — all resolve to an api.Backend (see backend.go).
-// serve mounts its first argument on the default /v1 routes and every
-// argument (named by `name=path`, or the file's base name) under
-// /v1/stores/{name}/ or — for manifests — /v1/datasets/{name}/.
+// inspect accepts a store path, a dataset manifest, a cluster
+// topology, or a serving URL interchangeably — all resolve to an
+// api.Backend (see backend.go). serve mounts its first argument on the
+// default /v1 routes and every argument (named by `name=path`, or the
+// file's base name) under /v1/stores/{name}/ or — for manifests and
+// topologies — /v1/datasets/{name}/; -topology adds a cluster
+// coordinator mount, turning this process into the query tier in front
+// of remote shard servers.
 
 import (
 	"context"
@@ -24,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	netpprof "net/http/pprof"
 	"os"
@@ -31,11 +36,13 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/api"
 	"repro/internal/api/httpapi"
+	"repro/internal/cluster"
 	"repro/internal/codec"
 	"repro/internal/obs"
 	"repro/internal/query"
@@ -308,19 +315,20 @@ func runInspect(args []string) error {
 
 // mountName derives a store's mount name under /v1/stores/ from its
 // argument: an explicit NAME=PATH, or the file's base name without
-// extension.
-func mountName(arg string) (name, path string) {
+// extension. explicit reports whether the name was caller-chosen.
+func mountName(arg string) (name, path string, explicit bool) {
 	if name, path, ok := strings.Cut(arg, "="); ok && !isServiceURL(arg) && name != "" {
-		return name, path
+		return name, path, true
 	}
 	base := filepath.Base(arg)
-	return strings.TrimSuffix(base, filepath.Ext(base)), arg
+	return strings.TrimSuffix(base, filepath.Ext(base)), arg, false
 }
 
 // openMounts opens every [name=]path argument — a store file as a
-// Local backend, a dataset manifest as a Sharded one — and names its
-// mount. The first argument doubles as the default (unprefixed) /v1
-// mount, preserving the single-store API.
+// Local backend, a dataset manifest as a Sharded one, a cluster
+// topology as a remote Coordinator — and names its mount. The first
+// argument doubles as the default (unprefixed) /v1 mount, preserving
+// the single-store API.
 func openMounts(args []string, cacheBytes int64) (def api.Backend, stores, datasets map[string]api.Backend, closeAll func(), err error) {
 	stores = map[string]api.Backend{}
 	datasets = map[string]api.Backend{}
@@ -331,7 +339,15 @@ func openMounts(args []string, cacheBytes int64) (def api.Backend, stores, datas
 		}
 	}
 	for _, arg := range args {
-		name, path := mountName(arg)
+		name, path, explicit := mountName(arg)
+		// A topology mount prefers the dataset name the file declares —
+		// "serve -topology cluster.json" mounts /v1/datasets/{dataset} —
+		// unless the argument named it explicitly.
+		if !explicit && cluster.IsTopology(path) {
+			if t, err := cluster.LoadTopology(path); err == nil && t.Dataset != "" {
+				name = t.Dataset
+			}
+		}
 		if _, dup := stores[name]; dup {
 			closeAll()
 			return nil, nil, nil, nil, fmt.Errorf("duplicate store mount %q (disambiguate with name=path)", name)
@@ -342,7 +358,16 @@ func openMounts(args []string, cacheBytes int64) (def api.Backend, stores, datas
 		}
 		var b api.Backend
 		mount := "/v1/stores/"
-		if shard.IsManifest(path) {
+		if cluster.IsTopology(path) {
+			co, err := cluster.Open(path, cluster.Options{})
+			if err != nil {
+				closeAll()
+				return nil, nil, nil, nil, fmt.Errorf("topology %s: %w", path, err)
+			}
+			opened = append(opened, co)
+			datasets[name] = co
+			b, mount = co, "/v1/datasets/"
+		} else if shard.IsManifest(path) {
 			s, err := api.OpenSharded(path, query.Options{CacheBytes: cacheBytes})
 			if err != nil {
 				closeAll()
@@ -439,14 +464,19 @@ func runServe(args []string) error {
 	metrics := fs.Bool("metrics", false, "expose Prometheus text exposition at GET /metrics on the main listener (always on -debug-addr)")
 	logJSON := fs.Bool("log-json", false, "emit the access log as JSON lines instead of key=value")
 	slowQuery := fs.Duration("slow-query", 0, "log spans (queries, decodes, scatters) slower than this threshold (0 disables)")
+	topology := fs.String("topology", "", "mount a cluster topology's coordinator beside any store arguments (see internal/cluster)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() < 1 {
-		return fmt.Errorf("serve needs at least one store path ([name=]path ...)")
+	mounts := fs.Args()
+	if *topology != "" {
+		mounts = append(mounts, *topology)
+	}
+	if len(mounts) < 1 {
+		return fmt.Errorf("serve needs at least one store path ([name=]path ...) or -topology")
 	}
 
-	def, stores, datasets, closeAll, err := openMounts(fs.Args(), *cacheBytes)
+	def, stores, datasets, closeAll, err := openMounts(mounts, *cacheBytes)
 	if err != nil {
 		return err
 	}
@@ -462,12 +492,18 @@ func runServe(args []string) error {
 		defer dbg.Close()
 		fmt.Printf("pprof+metrics debug server on %s\n", *debugAddr)
 	}
+	// Readiness flips on once the mounts are open and the listener is
+	// up, and off again the moment shutdown begins — so cluster health
+	// probes (GET /readyz) never route traffic to a warming or draining
+	// process. Liveness (/healthz) stays unconditional.
+	var ready atomic.Bool
 	handler := httpapi.New(def, stores, httpapi.Options{
 		RequestTimeout: *timeout,
 		Logf:           logger.Printf,
 		Datasets:       datasets,
 		ExposeMetrics:  *metrics,
 		LogJSON:        *logJSON,
+		Ready:          ready.Load,
 	})
 	// Server-level timeouts keep a slow or stalled client from pinning a
 	// connection (and its decompression work) forever; WriteTimeout
@@ -483,7 +519,6 @@ func runServe(args []string) error {
 		writeTimeout = *timeout + 5*time.Second
 	}
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
@@ -492,21 +527,30 @@ func runServe(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Listen explicitly (rather than ListenAndServe) so ":0" works for
+	// multi-process tests and scripts: the bound address is printed,
+	// not the requested one.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("serving %d store(s) and %d dataset(s) on %s\n", len(stores), len(datasets), *addr)
+	go func() { errCh <- srv.Serve(ln) }()
+	ready.Store(true)
+	fmt.Printf("serving %d store(s) and %d dataset(s) on %s\n", len(stores), len(datasets), ln.Addr())
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
 		stop() // a second signal kills immediately
+		ready.Store(false)
 		fmt.Println("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			return err
 		}
-		<-errCh // ListenAndServe has returned ErrServerClosed
+		<-errCh // Serve has returned ErrServerClosed
 		return nil
 	}
 }

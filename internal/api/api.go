@@ -48,6 +48,11 @@ const (
 	// executed; retrying after a backoff is safe and expected (HTTP
 	// responses carry Retry-After).
 	CodeOverloaded Code = "overloaded"
+	// CodeUnavailable marks requests a server cannot take yet or a
+	// cluster cannot place: a serving process still warming its mounts
+	// (GET /readyz), or a coordinator whose shard has no reachable
+	// replica left. The request was not executed; retrying is safe.
+	CodeUnavailable Code = "unavailable"
 	// CodeInternal marks everything else. Over HTTP the message is a
 	// constant — internal details are logged server-side, not shipped
 	// to clients.
@@ -111,6 +116,8 @@ func HTTPStatus(code Code) int {
 		return StatusClientClosedRequest
 	case CodeOverloaded:
 		return http.StatusTooManyRequests
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }
@@ -127,6 +134,8 @@ func codeOfStatus(status int) Code {
 		return CodeCanceled
 	case status == http.StatusTooManyRequests:
 		return CodeOverloaded
+	case status == http.StatusServiceUnavailable:
+		return CodeUnavailable
 	case status >= 400 && status < 500:
 		return CodeBadRequest
 	}
@@ -140,6 +149,11 @@ var ErrNotFound = errors.New("api: not found")
 // ErrOverloaded marks requests shed by admission control; FromError
 // classifies anything wrapping it as CodeOverloaded.
 var ErrOverloaded = errors.New("api: overloaded")
+
+// ErrUnavailable marks requests a not-yet-ready server or a
+// replica-exhausted cluster shard could not take; FromError classifies
+// anything wrapping it as CodeUnavailable.
+var ErrUnavailable = errors.New("api: unavailable")
 
 // FromError classifies err into the v1 error model. Known sentinel
 // errors pick their code — query validation failures are the caller's,
@@ -168,6 +182,8 @@ func FromError(err error) *Error {
 		return classify(CodeNotSupported)
 	case errors.Is(err, ErrOverloaded):
 		return classify(CodeOverloaded)
+	case errors.Is(err, ErrUnavailable):
+		return classify(CodeUnavailable)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return classify(CodeCanceled)
 	}
@@ -188,6 +204,8 @@ func sentinelOf(code Code) error {
 		return context.Canceled
 	case CodeOverloaded:
 		return ErrOverloaded
+	case CodeUnavailable:
+		return ErrUnavailable
 	}
 	return nil
 }

@@ -40,6 +40,28 @@ type ClientOptions struct {
 	Backoff time.Duration
 }
 
+// defaultHTTPClient backs every Client constructed without an explicit
+// HTTPClient. It is shared deliberately: connection pooling only helps
+// if clients pool together, and a cluster coordinator builds one Client
+// per replica endpoint, all usually pointing at a handful of hosts.
+// http.DefaultTransport's 2 idle conns per host would serialize a
+// scatter the moment per-shard concurrency passes 2, so the pool is
+// raised to cover a wide fan-out and idle conns are reaped on an
+// explicit clock instead of the transport default.
+var defaultHTTPClient = &http.Client{Transport: newDefaultTransport()}
+
+func newDefaultTransport() *http.Transport {
+	base, ok := http.DefaultTransport.(*http.Transport)
+	if !ok {
+		base = &http.Transport{}
+	}
+	tr := base.Clone()
+	tr.MaxIdleConns = 256
+	tr.MaxIdleConnsPerHost = 64
+	tr.IdleConnTimeout = 90 * time.Second
+	return tr
+}
+
 // Client is the Go SDK for the v1 HTTP API — the transport-backed
 // Backend. It is safe for concurrent use.
 type Client struct {
@@ -72,7 +94,7 @@ func NewClient(baseURL string, opts ClientOptions) (*Client, error) {
 		backoff: opts.Backoff,
 	}
 	if c.hc == nil {
-		c.hc = &http.Client{}
+		c.hc = defaultHTTPClient
 	}
 	if c.retries == 0 {
 		c.retries = 2

@@ -10,6 +10,7 @@
 // and per named sharded dataset under /v1/datasets/{dataset}/...):
 //
 //	GET  /healthz                   liveness
+//	GET  /readyz                    readiness (503 until mounts are open)
 //	GET  /v1/stores                 named store list
 //	GET  /v1/datasets               named dataset list
 //	GET  /v1/store                  {"spec": ..., "frames": n}
@@ -76,6 +77,13 @@ type Options struct {
 	// stores — the contract is the same Backend either way; this mount
 	// family only keeps datasets addressable as what they are.
 	Datasets map[string]api.Backend
+	// Ready gates GET /readyz: the route answers 503 unavailable until
+	// Ready reports true, so cluster health probes (and load balancers)
+	// don't route traffic to a server still opening its mounts. Nil
+	// means always ready. /healthz stays unconditional — it answers
+	// "this process is alive", /readyz answers "this process can take
+	// traffic".
+	Ready func() bool
 }
 
 // Handler serves one default store plus any number of named stores and
@@ -102,6 +110,13 @@ func New(def api.Backend, stores map[string]api.Backend, opts Options) http.Hand
 	h := &Handler{def: def, stores: stores, datasets: opts.Datasets, opts: opts, mux: http.NewServeMux()}
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	h.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, req *http.Request) {
+		if opts.Ready == nil || opts.Ready() {
+			fmt.Fprintln(w, "ready")
+			return
+		}
+		writeError(w, api.Errorf(api.CodeUnavailable, "server is not ready"))
 	})
 	h.mux.Handle("GET /v1/debug/metrics", MetricsJSON(opts.Registry))
 	if opts.ExposeMetrics {

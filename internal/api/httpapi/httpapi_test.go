@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -578,5 +579,56 @@ func TestByteServingHeadersAndRange(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
 		t.Errorf("unsatisfiable range = %d, want 416", resp.StatusCode)
+	}
+}
+
+func TestReadyzGate(t *testing.T) {
+	// /readyz answers 503 until Ready reports true; /healthz never
+	// gates. This is the contract cluster health probes rely on.
+	var ready atomic.Bool
+	srv := httptest.NewServer(New(buildLocal(t, 2, 8, 8), nil, Options{Ready: ready.Load}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("not-ready /readyz = %d, want 503", resp.StatusCode)
+	}
+	if e := decodeEnvelope(t, resp); e.Code != api.CodeUnavailable {
+		t.Errorf("not-ready /readyz code = %q, want %q", e.Code, api.CodeUnavailable)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz while not ready = %d, want 200", resp.StatusCode)
+	}
+
+	ready.Store(true)
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ready\n" {
+		t.Errorf("ready /readyz = %d %q", resp.StatusCode, body)
+	}
+
+	// Nil Ready means always ready — the single-store serve default.
+	always := httptest.NewServer(New(buildLocal(t, 1, 8, 8), nil, Options{}))
+	defer always.Close()
+	resp, err = http.Get(always.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("nil-Ready /readyz = %d, want 200", resp.StatusCode)
 	}
 }

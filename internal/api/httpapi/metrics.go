@@ -32,7 +32,7 @@ func routeLabel(path string) string {
 	}
 	parts := strings.Split(p, "/")
 	switch parts[0] {
-	case "healthz", "metrics":
+	case "healthz", "readyz", "metrics":
 		if len(parts) == 1 {
 			return "/" + parts[0]
 		}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/shard"
+)
+
+func validTopology() *Topology {
+	return &Topology{
+		Version: TopologyVersion,
+		Dataset: "runs",
+		Shards: []ShardSpec{
+			{Name: "a", Replicas: []string{"http://localhost:8081"}},
+			{Name: "b", Replicas: []string{"http://localhost:8082", "http://localhost:8083"}},
+		},
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	if err := validTopology().Validate(); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+	bad := []func(*Topology){
+		func(tp *Topology) { tp.Version = 9 },
+		func(tp *Topology) { tp.Shards = nil },
+		func(tp *Topology) { tp.Placement = "striped" },
+		func(tp *Topology) { tp.Shards[0].Name = "" },
+		func(tp *Topology) { tp.Shards[1].Name = "a" },
+		func(tp *Topology) { tp.Shards[0].Replicas = nil },
+		func(tp *Topology) { tp.Shards[0].Replicas = []string{"localhost:8081"} },
+		func(tp *Topology) { tp.Shards[0].Replicas = []string{"ftp://x"} },
+		func(tp *Topology) { tp.Shards[1].Replicas[1] = tp.Shards[1].Replicas[0] },
+	}
+	for i, mutate := range bad {
+		tp := validTopology()
+		mutate(tp)
+		if err := tp.Validate(); err == nil {
+			t.Errorf("mutation %d should not validate", i)
+		}
+	}
+}
+
+func TestTopologyRoundTrip(t *testing.T) {
+	tp := validTopology()
+	tp.HashSeed = 42
+	tp.Placement = PlacementContiguous
+	tp.Probe = ProbeConfig{Interval: Duration(time.Second), Cooldown: Duration(250 * time.Millisecond), DownAfter: 2}
+	tp.Client = ClientConfig{Timeout: Duration(3 * time.Second), Retries: -1}
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := tp.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dataset != tp.Dataset || got.HashSeed != tp.HashSeed || len(got.Shards) != len(tp.Shards) {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if got.Probe.interval() != time.Second || got.Probe.cooldown() != 250*time.Millisecond || got.Probe.downAfter() != 2 {
+		t.Errorf("probe config %+v did not survive", got.Probe)
+	}
+	if time.Duration(got.Client.Timeout) != 3*time.Second || got.Client.Retries != -1 {
+		t.Errorf("client config %+v did not survive", got.Client)
+	}
+}
+
+func TestDurationForms(t *testing.T) {
+	var p ProbeConfig
+	// Human-readable string form and raw nanoseconds both parse.
+	if err := json.Unmarshal([]byte(`{"interval":"150ms","cooldown":2000000000}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.interval() != 150*time.Millisecond || p.cooldown() != 2*time.Second {
+		t.Fatalf("parsed %+v", p)
+	}
+	if err := json.Unmarshal([]byte(`{"interval":"fast"}`), &p); err == nil {
+		t.Error("bad duration string should fail")
+	}
+	// Zero values fall back to the documented defaults.
+	var zero ProbeConfig
+	if zero.interval() != 2*time.Second || zero.cooldown() != 5*time.Second || zero.downAfter() != 3 {
+		t.Errorf("defaults %v %v %d", zero.interval(), zero.cooldown(), zero.downAfter())
+	}
+}
+
+func TestLoadTopologyRejectsUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	blob := `{"version":1,"shards":[{"name":"a","replicas":["http://x"]}],"coordinator":"nope"}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTopology(path); err == nil {
+		t.Error("unknown field should fail to load")
+	}
+}
+
+func TestIsTopologyDiscriminatesManifest(t *testing.T) {
+	dir := t.TempDir()
+	topoPath := filepath.Join(dir, "cluster.json")
+	if err := validTopology().Write(topoPath); err != nil {
+		t.Fatal(err)
+	}
+	manifest := &shard.Manifest{
+		Version: shard.ManifestVersion,
+		Spec:    "goblaz:block=4x4",
+		Shards:  []shard.ShardInfo{{Path: "s0.gbz", Frames: 1, Labels: []int{0}}},
+	}
+	manPath := filepath.Join(dir, "ds.json")
+	if err := manifest.Write(manPath); err != nil {
+		t.Fatal(err)
+	}
+	// Each sniffer accepts its own format and rejects the other's —
+	// that discrimination is what lets openBackend and serve mounts
+	// take either file without a flag.
+	if !IsTopology(topoPath) {
+		t.Error("topology not recognized")
+	}
+	if IsTopology(manPath) {
+		t.Error("shard manifest misrecognized as topology")
+	}
+	if shard.IsManifest(topoPath) {
+		t.Error("topology misrecognized as shard manifest")
+	}
+	if !shard.IsManifest(manPath) {
+		t.Error("shard manifest not recognized")
+	}
+	if IsTopology(filepath.Join(dir, "missing")) {
+		t.Error("missing file misrecognized as topology")
+	}
+}
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	labels := make([]int, 1000)
+	for i := range labels {
+		labels[i] = i
+	}
+	r1 := NewRing(7, 4)
+	r2 := NewRing(7, 4)
+	if r1.Nodes() != 4 {
+		t.Fatalf("nodes %d", r1.Nodes())
+	}
+	assigned := 0
+	for _, l := range labels {
+		n := r1.Shard(l)
+		if n < 0 || n >= 4 {
+			t.Fatalf("label %d assigned to shard %d", l, n)
+		}
+		if n != r2.Shard(l) {
+			t.Fatalf("same seed disagrees on label %d", l)
+		}
+		assigned++
+	}
+	if assigned != len(labels) {
+		t.Fatalf("assigned %d labels", assigned)
+	}
+	// Assign covers every label exactly once, preserving order within
+	// each bucket.
+	buckets := r1.Assign(labels)
+	total := 0
+	for n, bucket := range buckets {
+		for i := 1; i < len(bucket); i++ {
+			if bucket[i-1] >= bucket[i] {
+				t.Fatalf("shard %d bucket out of input order", n)
+			}
+		}
+		total += len(bucket)
+	}
+	if total != len(labels) {
+		t.Fatalf("buckets cover %d of %d labels", total, len(labels))
+	}
+	// The spread stays usable: no shard is empty or holds a majority.
+	for n, bucket := range buckets {
+		if len(bucket) == 0 || len(bucket) > len(labels)/2 {
+			t.Errorf("shard %d holds %d of %d labels", n, len(bucket), len(labels))
+		}
+	}
+	// A different seed yields a different placement.
+	other := NewRing(8, 4)
+	moved := 0
+	for _, l := range labels {
+		if other.Shard(l) != r1.Shard(l) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("changing the seed moved no labels")
+	}
+}

@@ -753,6 +753,19 @@ func decodedAggs(t *tensor.Tensor, kinds []string) map[string]Float {
 	return vals
 }
 
+// DecodedMetric computes a pairwise metric on decompressed frames with
+// the engine's own decode-fallback definitions (population MSE, PSNR
+// +Inf on identical frames, peak ≤ 0 defaulting to 1). Exported for
+// executors that hold decoded frames from elsewhere — the cluster
+// coordinator evaluates cross-shard metrics with it, so a distributed
+// answer cannot drift from a local one.
+func DecodedMetric(a, b *tensor.Tensor, kind string, peak float64) (float64, error) {
+	if peak <= 0 {
+		peak = 1
+	}
+	return decodedMetric(a, b, kind, peak)
+}
+
 // decodedMetric computes a pairwise metric on decompressed frames.
 func decodedMetric(a, b *tensor.Tensor, kind string, peak float64) (float64, error) {
 	if !a.SameShape(b) {

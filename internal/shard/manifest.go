@@ -170,17 +170,25 @@ func (m *Manifest) Write(path string) error {
 }
 
 // IsManifest sniffs whether the file at path is a dataset manifest
-// (JSON) rather than a store file (which starts with the "GBZS" magic).
-// It reports false for unreadable or empty files, leaving the error to
-// whichever open path the caller picks.
+// rather than a store file (which starts with the "GBZS" magic) or
+// some other JSON document — a cluster topology also starts with '{',
+// so the probe checks the manifest's distinguishing shape: a codec
+// spec plus shard entries that point at store files. It reports false
+// for unreadable or empty files, leaving the error to whichever open
+// path the caller picks.
 func IsManifest(path string) bool {
-	f, err := os.Open(path)
+	blob, err := os.ReadFile(path)
 	if err != nil {
 		return false
 	}
-	defer f.Close()
-	head := make([]byte, 64)
-	n, _ := f.Read(head)
-	trimmed := bytes.TrimLeft(head[:n], " \t\r\n")
-	return len(trimmed) > 0 && trimmed[0] == '{'
+	var probe struct {
+		Spec   string `json:"spec"`
+		Shards []struct {
+			Path string `json:"path"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(blob, &probe); err != nil {
+		return false
+	}
+	return probe.Spec != "" && len(probe.Shards) > 0 && probe.Shards[0].Path != ""
 }
