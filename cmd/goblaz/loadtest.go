@@ -25,10 +25,15 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/cluster"
+	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/shard"
 )
 
 // opKind is one of the traffic classes in the mix.
@@ -38,10 +43,11 @@ const (
 	opQuery opKind = iota
 	opFrame
 	opRegion
+	opIngest
 	numOps
 )
 
-var opNames = [numOps]string{"query", "frame", "region"}
+var opNames = [numOps]string{"query", "frame", "region", "ingest"}
 
 // sample is one completed request: what it was, how long it took, and
 // how it ended.
@@ -72,7 +78,20 @@ type loadReport struct {
 		Max float64 `json:"max"`
 	} `json:"latency_ms"`
 	Mix    map[string]int `json:"mix"`
+	Ingest *ingestReport  `json:"ingest,omitempty"`
 	Server *serverDelta   `json:"server,omitempty"`
+}
+
+// ingestReport is the write-path section of the artifact, present when
+// the mix includes ingest. Frame throughput comes from the client-side
+// samples; the WAL fsync tail comes from the metrics registry — the
+// in-process one for local appendable stores, the scraped server
+// snapshot when -metrics-url points at the serving instance.
+type ingestReport struct {
+	Frames        int     `json:"frames"`
+	ThroughputFPS float64 `json:"throughput_fps"`
+	WALFsyncCount uint64  `json:"wal_fsync_count,omitempty"`
+	WALFsyncP99MS float64 `json:"wal_fsync_p99_ms,omitempty"`
 }
 
 // serverDelta is the server-side view of a run: the change in the
@@ -117,9 +136,10 @@ func deltaOf(url string, before, after map[string]float64) *serverDelta {
 }
 
 // parseMix parses "query=1,frame=2,region=4" into per-op weights. Ops
-// left out get weight 0; an empty spec means the uniform default.
+// left out get weight 0; an empty spec means uniform reads (ingest is
+// opt-in — it mutates the target, so it never rides in by default).
 func parseMix(spec string) ([numOps]int, error) {
-	weights := [numOps]int{1, 1, 1}
+	weights := [numOps]int{1, 1, 1, 0}
 	if spec == "" {
 		return weights, nil
 	}
@@ -141,7 +161,7 @@ func parseMix(spec string) ([numOps]int, error) {
 			}
 		}
 		if !found {
-			return weights, fmt.Errorf("unknown op %q in mix (have query, frame, region)", name)
+			return weights, fmt.Errorf("unknown op %q in mix (have query, frame, region, ingest)", name)
 		}
 	}
 	total := 0
@@ -167,16 +187,40 @@ func pickTable(weights [numOps]int) []opKind {
 }
 
 // loadTarget is everything a worker needs to build requests: the frame
-// labels it can hit and the frame shape for region reads.
+// labels it can hit, the frame shape for region reads, and — when the
+// mix writes — the ingest sink plus a label counter parked above every
+// existing label so concurrent workers never collide.
 type loadTarget struct {
 	b      api.Backend
+	ing    api.Ingestor
 	labels []int
 	shape  []int
+	next   atomic.Int64
+}
+
+// newFrame builds one random frame of the target's shape for ingest,
+// claiming a fresh label from the shared counter.
+func (lt *loadTarget) newFrame(rng *rand.Rand) api.IngestFrame {
+	n := 1
+	for _, d := range lt.shape {
+		n *= d
+	}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	return api.IngestFrame{Label: int(lt.next.Add(1) - 1), Shape: lt.shape, Data: data}
 }
 
 // fire issues one request of the given kind and classifies the result.
 func (lt *loadTarget) fire(ctx context.Context, rng *rand.Rand, op opKind) sample {
 	label := lt.labels[rng.Intn(len(lt.labels))]
+	// Frame generation happens off the clock: the measured latency is
+	// the ingest call, not the client-side random fill.
+	var frames []api.IngestFrame
+	if op == opIngest {
+		frames = []api.IngestFrame{lt.newFrame(rng)}
+	}
 	start := time.Now()
 	var err error
 	switch op {
@@ -190,6 +234,8 @@ func (lt *loadTarget) fire(ctx context.Context, rng *rand.Rand, op opKind) sampl
 	case opRegion:
 		offset, shape := randomRegion(rng, lt.shape)
 		_, err = lt.b.Region(ctx, label, offset, shape)
+	case opIngest:
+		_, err = lt.ing.Ingest(ctx, frames)
 	}
 	s := sample{op: op, latency: time.Since(start), err: err}
 	if api.CodeOf(err) == api.CodeOverloaded {
@@ -240,9 +286,34 @@ func runLoadtest(args []string) error {
 		return err
 	}
 
-	b, closeB, err := openBackend(fs.Arg(0), query.Options{CacheBytes: *cacheBytes}, *timeout)
-	if err != nil {
-		return err
+	target := fs.Arg(0)
+	var (
+		b      api.Backend
+		closeB func() error
+		ing    api.Ingestor
+	)
+	if weights[opIngest] > 0 && !isServiceURL(target) && !cluster.IsTopology(target) && !shard.IsManifest(target) {
+		// A plain store path with ingest in the mix opens appendable, so
+		// writes land in the WAL beside the file instead of being refused
+		// by the read-only backend.
+		s, err := ingest.Open(target, ingest.Options{CommitFrames: 64, CacheBytes: *cacheBytes})
+		if err != nil {
+			return err
+		}
+		b, closeB, ing = s, s.Close, s
+	} else {
+		var err error
+		b, closeB, err = openBackend(target, query.Options{CacheBytes: *cacheBytes}, *timeout)
+		if err != nil {
+			return err
+		}
+		if weights[opIngest] > 0 {
+			var ok bool
+			if ing, ok = b.(api.Ingestor); !ok {
+				closeB()
+				return fmt.Errorf("mix includes ingest but %s does not accept it", target)
+			}
+		}
 	}
 	defer closeB()
 	ctx := context.Background()
@@ -263,7 +334,14 @@ func runLoadtest(args []string) error {
 	if err != nil {
 		return fmt.Errorf("priming frame %d: %w", labels[0], err)
 	}
-	lt := &loadTarget{b: b, labels: labels, shape: first.Shape}
+	lt := &loadTarget{b: b, ing: ing, labels: labels, shape: first.Shape}
+	maxLabel := labels[0]
+	for _, l := range labels {
+		if l > maxLabel {
+			maxLabel = l
+		}
+	}
+	lt.next.Store(int64(maxLabel + 1))
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -361,12 +439,24 @@ func runLoadtest(args []string) error {
 	}
 
 	report := summarize(results, fs.Arg(0), elapsed, *workers, *rps)
+	var serverSnap *obs.Snapshot
 	if before != nil {
 		snap, err := scrapeSnapshot(*metricsURL, *timeout)
 		if err != nil {
 			return fmt.Errorf("after-run metrics scrape: %w", err)
 		}
 		report.Server = deltaOf(*metricsURL, before, snap.Flatten())
+		serverSnap = &snap
+	}
+	if weights[opIngest] > 0 {
+		// WAL fsync latency lives wherever the store does: the local
+		// registry for in-process appendable stores, the scraped server
+		// snapshot for remote ones.
+		snap := obs.Default.Snapshot()
+		if serverSnap != nil {
+			snap = *serverSnap
+		}
+		report.Ingest = ingestSection(results, elapsed, snap)
 	}
 	if *out != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
@@ -381,6 +471,11 @@ func runLoadtest(args []string) error {
 		fs.Arg(0), report.Requests, report.DurationS, report.Throughput, report.Errors, report.Overloaded)
 	fmt.Printf("latency ms: p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
 		report.LatencyMS.P50, report.LatencyMS.P95, report.LatencyMS.P99, report.LatencyMS.Max)
+	if report.Ingest != nil {
+		fmt.Printf("ingest: %d frames (%.1f frames/s), wal fsync p99=%.3fms over %d syncs\n",
+			report.Ingest.Frames, report.Ingest.ThroughputFPS,
+			report.Ingest.WALFsyncP99MS, report.Ingest.WALFsyncCount)
+	}
 	if report.Server != nil {
 		fmt.Printf("server: %g http requests, cache hit ratio %.2f (%g hits / %g misses, %g coalesced), %g shed\n",
 			report.Server.HTTPRequests, report.Server.CacheHitRatio,
@@ -394,6 +489,35 @@ func runLoadtest(args []string) error {
 			report.ErrorRate, *budget, report.Errors, report.Requests)
 	}
 	return nil
+}
+
+// ingestSection builds the write-path report: successful frame count
+// and throughput from the samples, WAL fsync tail from the registry
+// snapshot's goblaz_ingest_wal_fsync_seconds family.
+func ingestSection(results [][]sample, elapsed time.Duration, snap obs.Snapshot) *ingestReport {
+	ir := &ingestReport{}
+	for _, ws := range results {
+		for _, s := range ws {
+			if s.op == opIngest && s.err == nil && !s.overloaded {
+				ir.Frames++
+			}
+		}
+	}
+	if elapsed > 0 {
+		ir.ThroughputFPS = float64(ir.Frames) / elapsed.Seconds()
+	}
+	for _, m := range snap.Metrics {
+		if m.Name != "goblaz_ingest_wal_fsync_seconds" {
+			continue
+		}
+		for _, smp := range m.Samples {
+			ir.WALFsyncCount += smp.Count
+			if ms := smp.P99 * 1000; ms > ir.WALFsyncP99MS {
+				ir.WALFsyncP99MS = ms
+			}
+		}
+	}
+	return ir
 }
 
 // summarize merges per-worker samples into the benchmark artifact.

@@ -56,6 +56,8 @@ func main() {
 		err = runInspect(args)
 	case "serve":
 		err = runServe(args)
+	case "ingest":
+		err = runIngest(args)
 	case "query":
 		err = runQuery(args)
 	case "loadtest":
@@ -87,7 +89,11 @@ func usage() {
   goblaz serve      [-addr HOST:PORT] [-cache-bytes N] [-timeout D] [-debug-addr HOST:PORT]
                     [-max-concurrent N] [-max-queue N] [-queue-wait D]
                     [-metrics] [-log-json] [-slow-query D] [-topology CLUSTER.json]
+                    [-ingest [NAME=]STORE [-ingest-spec SPEC] [-commit-every N]
+                     [-commit-bytes B] [-commit-interval D] [-compact-bytes B]]
                     [NAME=]IN|MANIFEST|TOPOLOGY ...
+  goblaz ingest     -shape N,M[,K] [-spec SPEC] [-label-start N] [-batch N]
+                    [-commit-every N] [-commit-bytes B] [-timeout D] STORE|URL FRAME...
   goblaz loadtest   [-duration D] [-rps N] [-workers N] [-mix query=W,frame=W,region=W]
                     [-out BENCH.json] [-error-budget F] [-metrics-url URL]
                     [-cpuprofile F] [-memprofile F] IN|MANIFEST|TOPOLOGY|URL

@@ -44,6 +44,7 @@ import (
 	"repro/internal/api/httpapi"
 	"repro/internal/cluster"
 	"repro/internal/codec"
+	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/series"
@@ -465,6 +466,12 @@ func runServe(args []string) error {
 	logJSON := fs.Bool("log-json", false, "emit the access log as JSON lines instead of key=value")
 	slowQuery := fs.Duration("slow-query", 0, "log spans (queries, decodes, scatters) slower than this threshold (0 disables)")
 	topology := fs.String("topology", "", "mount a cluster topology's coordinator beside any store arguments (see internal/cluster)")
+	ingestMount := fs.String("ingest", "", "mount an appendable store ([name=]path) accepting POST .../frames; created if missing (needs -ingest-spec)")
+	ingestSpec := fs.String("ingest-spec", "", "codec spec for a newly created -ingest store")
+	commitEvery := fs.Int("commit-every", 64, "-ingest: commit after this many pending frames (0 disables the count trigger)")
+	commitBytes := fs.Int64("commit-bytes", 0, "-ingest: commit after this many pending payload bytes (0 disables)")
+	commitInterval := fs.Duration("commit-interval", 5*time.Second, "-ingest: commit pending frames at least this often (0 disables)")
+	compactBytes := fs.Int64("compact-bytes", 4<<20, "-ingest: rewrite the store once superseded footers exceed this many dead bytes (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -472,8 +479,8 @@ func runServe(args []string) error {
 	if *topology != "" {
 		mounts = append(mounts, *topology)
 	}
-	if len(mounts) < 1 {
-		return fmt.Errorf("serve needs at least one store path ([name=]path ...) or -topology")
+	if len(mounts) < 1 && *ingestMount == "" {
+		return fmt.Errorf("serve needs at least one store path ([name=]path ...), -topology, or -ingest")
 	}
 
 	def, stores, datasets, closeAll, err := openMounts(mounts, *cacheBytes)
@@ -481,6 +488,35 @@ func runServe(args []string) error {
 		return err
 	}
 	defer closeAll()
+	if *ingestMount != "" {
+		name, path, _ := mountName(*ingestMount)
+		if _, dup := datasets[name]; dup {
+			return fmt.Errorf("duplicate dataset mount %q (disambiguate with name=path)", name)
+		}
+		iopts := ingest.Options{
+			Spec: *ingestSpec, CommitFrames: *commitEvery, CommitBytes: *commitBytes,
+			CommitInterval: *commitInterval, CompactBytes: *compactBytes, CacheBytes: *cacheBytes,
+		}
+		var is *ingest.Store
+		if _, serr := os.Stat(path); errors.Is(serr, os.ErrNotExist) {
+			if *ingestSpec == "" {
+				return fmt.Errorf("-ingest: creating %s needs -ingest-spec", path)
+			}
+			is, err = ingest.Create(path, iopts)
+		} else {
+			is, err = ingest.Open(path, iopts)
+		}
+		if err != nil {
+			return fmt.Errorf("ingest store %s: %w", path, err)
+		}
+		defer is.Close()
+		datasets[name] = is
+		if def == nil {
+			def = is
+		}
+		info, _ := is.Spec(context.Background())
+		fmt.Printf("mounted %s at /v1/datasets/%s (ingest, %d frames, codec %s)\n", path, name, info.Frames, info.Spec)
+	}
 	def = limitMounts(def, stores, datasets, api.LimitOptions{
 		MaxConcurrent: *maxConcurrent, MaxQueue: *maxQueue, QueueWait: *queueWait,
 	})

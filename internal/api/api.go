@@ -309,6 +309,38 @@ type FrameResolver interface {
 	FrameInfo(ctx context.Context, label int) (FrameInfo, error)
 }
 
+// IngestFrame is one frame submitted to a streaming-ingest backend:
+// a label, the decompressed tensor (shape + row-major data), and an
+// optional codec spec overriding the store's per-frame assignment.
+type IngestFrame struct {
+	Label int       `json:"label"`
+	Shape []int     `json:"shape"`
+	Data  []float64 `json:"data"`
+	Spec  string    `json:"spec,omitempty"`
+}
+
+// IngestResult reports the outcome of one ingest batch. Accepted
+// frames are durable (fsynced to the write-ahead log) the moment the
+// call returns; they become visible to queries at the next commit.
+// Committed reports whether this batch itself triggered a commit,
+// Pending how many accepted-but-uncommitted frames remain after it,
+// and Frames the store's total committed frame count.
+type IngestResult struct {
+	Accepted  int  `json:"accepted"`
+	Pending   int  `json:"pending"`
+	Committed bool `json:"committed"`
+	Frames    int  `json:"frames"`
+}
+
+// Ingestor is an optional Backend capability: streaming frame ingest
+// (POST /v1/datasets/{name}/frames). Backends without it answer the
+// route with a CodeNotSupported error. Implementations guarantee the
+// durability contract IngestResult documents: a successful return
+// means every frame of the batch survives a crash.
+type Ingestor interface {
+	Ingest(ctx context.Context, frames []IngestFrame) (*IngestResult, error)
+}
+
 // AllAggregates is the default aggregate set of the stats resource.
 var AllAggregates = []string{
 	query.AggMean, query.AggVariance, query.AggStdDev,

@@ -1,0 +1,91 @@
+package api
+
+// White-box tests for the retry helpers: the backoff schedule must
+// never overflow into a negative (i.e. zero-length) pause, and
+// Retry-After must parse both forms RFC 9110 allows.
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayCapsWithoutOverflow(t *testing.T) {
+	base := 100 * time.Millisecond
+	// Sanity: the uncapped schedule for small attempts.
+	for attempt, want := range []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+	} {
+		if got := backoffDelay(base, attempt); got != want {
+			t.Errorf("backoffDelay(%v, %d) = %v, want %v", base, attempt, got, want)
+		}
+	}
+	// Regression: base<<attempt overflows time.Duration around attempt
+	// 36 for a 100 ms base; the old code produced a negative delay there
+	// (a hot retry loop). Every attempt count, however absurd, must land
+	// exactly on the cap once past it.
+	for _, attempt := range []int{9, 35, 36, 37, 62, 63, 64, 100, 1 << 20} {
+		got := backoffDelay(base, attempt)
+		if got <= 0 {
+			t.Fatalf("backoffDelay(%v, %d) = %v: overflowed into a non-positive delay", base, attempt, got)
+		}
+		if got != maxBackoff {
+			t.Errorf("backoffDelay(%v, %d) = %v, want cap %v", base, attempt, got, maxBackoff)
+		}
+	}
+	// A wrap that lands positive-but-small must still hit the cap: for a
+	// 3 ns base, 3<<62 wraps negative and 3<<63 wraps to 0 — both would
+	// sneak past a naive "clamp if > max" check.
+	for _, attempt := range []int{62, 63} {
+		if got := backoffDelay(3, attempt); got != maxBackoff {
+			t.Errorf("backoffDelay(3ns, %d) = %v, want cap %v", attempt, got, maxBackoff)
+		}
+	}
+	if got := backoffDelay(0, 5); got != 0 {
+		t.Errorf("backoffDelay(0, 5) = %v, want 0", got)
+	}
+}
+
+func TestRetryAfterOfDeltaSeconds(t *testing.T) {
+	for header, want := range map[string]time.Duration{
+		"1":                             time.Second,
+		"120":                           2 * time.Minute,
+		" 7 ":                           7 * time.Second,
+		"0":                             0,
+		"-3":                            0, // negative delta: fall back to client backoff
+		"1.5":                           0, // RFC 9110 delta-seconds are integral
+		"":                              0,
+		"soon":                          0, // garbage
+		"Thu, 32 Jan 2026 00:00:00 GMT": 0, // garbage date
+	} {
+		resp := &http.Response{Header: http.Header{}}
+		if header != "" {
+			resp.Header.Set("Retry-After", header)
+		}
+		if got := retryAfterOf(resp); got != want {
+			t.Errorf("retryAfterOf(%q) = %v, want %v", header, got, want)
+		}
+	}
+}
+
+func TestRetryAfterOfHTTPDate(t *testing.T) {
+	resp := &http.Response{Header: http.Header{}}
+	resp.Header.Set("Retry-After", time.Now().Add(5*time.Second).UTC().Format(http.TimeFormat))
+	got := retryAfterOf(resp)
+	// http.TimeFormat has 1 s granularity, so the parsed delay is the
+	// requested 5 s minus sub-second truncation and test latency.
+	if got < 3*time.Second || got > 5*time.Second {
+		t.Errorf("retryAfterOf(future HTTP-date) = %v, want ~5s", got)
+	}
+	// The older RFC 850 and ANSI C asctime forms parse too.
+	future := time.Now().Add(10 * time.Second).UTC()
+	resp.Header.Set("Retry-After", future.Format(time.ANSIC))
+	if got := retryAfterOf(resp); got < 8*time.Second || got > 10*time.Second {
+		t.Errorf("retryAfterOf(asctime date) = %v, want ~10s", got)
+	}
+	// A date in the past must yield 0, never a negative pause.
+	resp.Header.Set("Retry-After", time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat))
+	if got := retryAfterOf(resp); got != 0 {
+		t.Errorf("retryAfterOf(past HTTP-date) = %v, want 0", got)
+	}
+}

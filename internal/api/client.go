@@ -122,25 +122,64 @@ func retryableStatus(status int) bool {
 	return false
 }
 
-// retryAfterOf parses a Retry-After header (delta-seconds form) into
-// the server-requested pause; 0 when absent or unparseable, so callers
-// fall back to their own backoff.
+// retryAfterOf parses a Retry-After header into the server-requested
+// pause; 0 when absent or unparseable, so callers fall back to their
+// own backoff. Both forms RFC 9110 allows are accepted: delta-seconds
+// ("120") and an HTTP-date ("Fri, 08 Aug 2026 14:00:00 GMT"), the
+// latter converted to a delay against the local clock — a date already
+// in the past (or a skewed clock) yields 0 rather than a negative
+// pause.
 func retryAfterOf(resp *http.Response) time.Duration {
-	h := resp.Header.Get("Retry-After")
+	h := strings.TrimSpace(resp.Header.Get("Retry-After"))
 	if h == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(strings.TrimSpace(h))
-	if err != nil || secs < 0 {
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// maxBackoff caps the exponential retry delay: past it, waiting longer
+// conveys no more politeness, and an uncapped shift would overflow
+// time.Duration after ~33 doublings of the default backoff — a
+// negative delay that time.After treats as zero, turning a client
+// retrying against a long outage into a hot loop hammering the server
+// it is supposed to be backing off from.
+const maxBackoff = 30 * time.Second
+
+// backoffDelay is the capped exponential schedule: base<<attempt,
+// clamped to maxBackoff. The overflow check compares against the cap
+// shifted the other way, so the wrap is detected without ever
+// computing a wrapped value.
+func backoffDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if attempt >= 63 || base > maxBackoff>>attempt {
+		return maxBackoff
+	}
+	return base << attempt
 }
 
 // do runs one API call with per-attempt timeout and retry. On success
 // the caller owns resp.Body; on failure the returned error is already
 // classified (*Error).
 func (c *Client) do(ctx context.Context, method, path string, q url.Values, body []byte) (*http.Response, error) {
+	return c.doWith(ctx, method, path, q, body, "application/json")
+}
+
+// doWith is do with an explicit request Content-Type (the ingest route
+// takes NDJSON).
+func (c *Client) doWith(ctx context.Context, method, path string, q url.Values, body []byte, contentType string) (*http.Response, error) {
 	u := c.base + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
@@ -148,7 +187,7 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, body
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		var retryAfter time.Duration
-		resp, err := c.attempt(ctx, method, u, body)
+		resp, err := c.attempt(ctx, method, u, body, contentType)
 		switch {
 		case err == nil && resp.StatusCode < 400:
 			return resp, nil
@@ -171,7 +210,7 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, body
 		}
 		// Honor a server-requested Retry-After when it asks for a longer
 		// pause than the client's own exponential backoff.
-		delay := c.backoff << attempt
+		delay := backoffDelay(c.backoff, attempt)
 		if retryAfter > delay {
 			delay = retryAfter
 		}
@@ -185,7 +224,7 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, body
 
 // attempt issues a single HTTP request under the per-attempt timeout,
 // when one is configured.
-func (c *Client) attempt(ctx context.Context, method, u string, body []byte) (*http.Response, error) {
+func (c *Client) attempt(ctx context.Context, method, u string, body []byte, contentType string) (*http.Response, error) {
 	var actx context.Context
 	var cancel context.CancelFunc
 	if c.timeout > 0 {
@@ -203,7 +242,7 @@ func (c *Client) attempt(ctx context.Context, method, u string, body []byte) (*h
 		return nil, err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	// Propagate the caller's trace across the wire (minting one when the
 	// context has none), so a query shows up server-side under the trace
@@ -379,6 +418,34 @@ func (c *Client) Query(ctx context.Context, req *query.Request) (*query.Result, 
 	var res query.Result
 	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
 		return nil, &Error{Code: CodeInternal, Message: fmt.Sprintf("decoding query response: %v", err), err: err}
+	}
+	return &res, nil
+}
+
+// Ingest streams a batch of frames to the server's ingest route as an
+// NDJSON body, so Client also satisfies the api.Ingestor capability —
+// a producer pointed at a URL ingests exactly like one holding the
+// store. A successful return carries the server's durability promise:
+// the batch is fsynced in the write-ahead log. Retries are safe for
+// shed requests (429/503: the server never executed them); a transport
+// error after the server accepted the batch may replay it, which the
+// server rejects per duplicate label.
+func (c *Client) Ingest(ctx context.Context, frames []IngestFrame) (*IngestResult, error) {
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, f := range frames {
+		if err := enc.Encode(f); err != nil {
+			return nil, &Error{Code: CodeBadRequest, Message: fmt.Sprintf("encoding ingest frame %d: %v", f.Label, err), err: err}
+		}
+	}
+	resp, err := c.doWith(ctx, http.MethodPost, "/frames", nil, body.Bytes(), "application/x-ndjson")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var res IngestResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, &Error{Code: CodeInternal, Message: fmt.Sprintf("decoding ingest response: %v", err), err: err}
 	}
 	return &res, nil
 }

@@ -21,6 +21,9 @@
 //	GET  /v1/frames/{label}/stats   aggregates (?aggs=mean,...); ETag
 //	GET  /v1/frames/{label}/region  sub-array (?offset=..&shape=..); ETag
 //	POST /v1/query                  compressed-domain query
+//	POST /v1/frames                 streaming ingest: one frame object
+//	                                or an NDJSON batch (backends with
+//	                                the api.Ingestor capability)
 //
 // Every error response is the JSON envelope {"error": {"code", ...}}
 // with a stable api.Code mapped to its HTTP status — no plain-text
@@ -139,6 +142,7 @@ func New(def api.Backend, stores map[string]api.Backend, opts Options) http.Hand
 		{"GET", "/frames/{label}/stats", (*Handler).handleStats},
 		{"GET", "/frames/{label}/region", (*Handler).handleRegion},
 		{"POST", "/query", (*Handler).handleQuery},
+		{"POST", "/frames", (*Handler).handleIngest},
 	} {
 		h.mux.HandleFunc(m.method+" /v1"+m.path, h.resolve(m.fn, h.defaultMount))
 		h.mux.HandleFunc(m.method+" /v1/stores/{store}"+m.path, h.resolve(m.fn, h.storeMount))
@@ -325,6 +329,11 @@ func (h *Handler) handlePayload(b api.Backend, w http.ResponseWriter, req *http.
 		}
 		content = bytes.NewReader(payload)
 	}
+	// A streamed payload may pin backend state (an ingest store pins the
+	// read generation the section reads from); release it once served.
+	if c, ok := content.(io.Closer); ok {
+		defer c.Close()
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	serveBytes(w, req, content)
 	return nil
@@ -400,6 +409,38 @@ func (h *Handler) handleQuery(b api.Backend, w http.ResponseWriter, req *http.Re
 		return api.Errorf(api.CodeBadRequest, "bad query JSON: %v", err)
 	}
 	res, err := b.Query(req.Context(), &qr)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, res)
+	return nil
+}
+
+// handleIngest accepts one frame object or an NDJSON batch (a stream
+// of frame objects; a bare newline separator is optional — any
+// concatenated-JSON stream parses) and hands the whole batch to the
+// backend's Ingestor capability, which acknowledges only after the
+// batch is durable.
+func (h *Handler) handleIngest(b api.Backend, w http.ResponseWriter, req *http.Request) error {
+	ing, ok := b.(api.Ingestor)
+	if !ok {
+		return api.Errorf(api.CodeNotSupported, "backend does not accept ingest")
+	}
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	var frames []api.IngestFrame
+	for dec.More() {
+		var f api.IngestFrame
+		if err := dec.Decode(&f); err != nil {
+			var maxBytes *http.MaxBytesError
+			if errors.As(err, &maxBytes) {
+				return err // writeError owns the body-limit classification
+			}
+			return api.Errorf(api.CodeBadRequest, "bad ingest frame JSON: %v", err)
+		}
+		frames = append(frames, f)
+	}
+	res, err := ing.Ingest(req.Context(), frames)
 	if err != nil {
 		return err
 	}

@@ -217,6 +217,24 @@ func (l *Limited) Query(ctx context.Context, req *query.Request) (*query.Result,
 	return l.b.Query(ctx, req)
 }
 
+// Ingest forwards the Ingestor capability under the limiter: an
+// ingest batch runs the compression pipeline, which is decode-class
+// CPU work, so batches compete for the same slots as queries and shed
+// with 429 + Retry-After under overload — exactly what a well-behaved
+// producer backs off on.
+func (l *Limited) Ingest(ctx context.Context, frames []IngestFrame) (*IngestResult, error) {
+	ing, ok := l.b.(Ingestor)
+	if !ok {
+		return nil, Errorf(CodeNotSupported, "backend does not accept ingest")
+	}
+	release, err := l.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return ing.Ingest(ctx, frames)
+}
+
 // Payload forwards the Payloads capability under the limiter.
 func (l *Limited) Payload(ctx context.Context, label int) ([]byte, error) {
 	p, ok := l.b.(Payloads)

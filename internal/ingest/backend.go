@@ -1,0 +1,126 @@
+package ingest
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/api"
+	"repro/internal/query"
+)
+
+// api.Backend plus the optional capabilities, by delegation to the
+// current read generation: each call pins the view it starts on, so a
+// commit mid-query swaps generations without yanking the mapping out
+// from under the executor. Compile-time checks keep the Store a
+// drop-in for the HTTP layer.
+var (
+	_ api.Backend         = (*Store)(nil)
+	_ api.Ingestor        = (*Store)(nil)
+	_ api.Payloads        = (*Store)(nil)
+	_ api.PayloadStreamer = (*Store)(nil)
+	_ api.FrameResolver   = (*Store)(nil)
+)
+
+func (s *Store) Spec(ctx context.Context) (api.StoreInfo, error) {
+	v, err := s.acquireView()
+	if err != nil {
+		return api.StoreInfo{}, err
+	}
+	defer v.release()
+	return v.local.Spec(ctx)
+}
+
+func (s *Store) Frames(ctx context.Context) ([]api.FrameInfo, error) {
+	v, err := s.acquireView()
+	if err != nil {
+		return nil, err
+	}
+	defer v.release()
+	return v.local.Frames(ctx)
+}
+
+func (s *Store) Frame(ctx context.Context, label int) (*api.Frame, error) {
+	v, err := s.acquireView()
+	if err != nil {
+		return nil, err
+	}
+	defer v.release()
+	return v.local.Frame(ctx, label)
+}
+
+func (s *Store) FrameInfo(ctx context.Context, label int) (api.FrameInfo, error) {
+	v, err := s.acquireView()
+	if err != nil {
+		return api.FrameInfo{}, err
+	}
+	defer v.release()
+	return v.local.FrameInfo(ctx, label)
+}
+
+func (s *Store) Payload(ctx context.Context, label int) ([]byte, error) {
+	v, err := s.acquireView()
+	if err != nil {
+		return nil, err
+	}
+	defer v.release()
+	return v.local.Payload(ctx, label)
+}
+
+// PayloadReader pins the view for the returned reader's whole
+// lifetime: http.ServeContent reads after this call returns, and the
+// mapping must outlive those reads. The view releases on Close.
+func (s *Store) PayloadReader(ctx context.Context, label int) (io.ReadSeeker, error) {
+	v, err := s.acquireView()
+	if err != nil {
+		return nil, err
+	}
+	rs, err := v.local.PayloadReader(ctx, label)
+	if err != nil {
+		v.release()
+		return nil, err
+	}
+	return &pinnedReader{ReadSeeker: rs, v: v}, nil
+}
+
+// pinnedReader couples a payload section to its view reference.
+type pinnedReader struct {
+	io.ReadSeeker
+	v *view
+}
+
+// Close releases the pin; the HTTP layer closes payload readers that
+// implement io.Closer once the response is written.
+func (p *pinnedReader) Close() error {
+	if p.v != nil {
+		p.v.release()
+		p.v = nil
+	}
+	return nil
+}
+
+func (s *Store) Stats(ctx context.Context, label int, aggs []string) (*query.FrameResult, error) {
+	v, err := s.acquireView()
+	if err != nil {
+		return nil, err
+	}
+	defer v.release()
+	return v.local.Stats(ctx, label, aggs)
+}
+
+func (s *Store) Region(ctx context.Context, label int, offset, shape []int) (*query.FrameResult, error) {
+	v, err := s.acquireView()
+	if err != nil {
+		return nil, err
+	}
+	defer v.release()
+	return v.local.Region(ctx, label, offset, shape)
+}
+
+func (s *Store) Query(ctx context.Context, req *query.Request) (*query.Result, error) {
+	v, err := s.acquireView()
+	if err != nil {
+		return nil, err
+	}
+	defer v.release()
+	return v.local.Query(ctx, req)
+}

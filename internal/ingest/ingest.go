@@ -1,0 +1,846 @@
+// Package ingest turns the append-once store into a crash-safe
+// appendable one: frames stream in over an API, land durably in a
+// write-ahead log beside the store file, and fold into the store under
+// a fresh footer on a commit policy (every N frames, B bytes, or T
+// seconds), while queries keep running against atomically swapped
+// read views.
+//
+// # Durability model
+//
+// The store file's trailer is its commit record; everything a commit
+// writes — frame payloads, then a new footer and trailer — is appended
+// strictly after the previous trailer, so the bytes of the last commit
+// are never overwritten. A crash at any byte offset therefore leaves a
+// valid store prefix; reopening finds it by backward trailer scan
+// (store.RecoverCommittedSize) and truncates the torn tail.
+//
+// Frames accepted between commits live in the WAL ("<store>.wal"),
+// fsynced before the ingest call returns: a 200 means the batch
+// survives a crash. On reopen the WAL's intact record prefix replays
+// into the store (deduplicated by label, covering a crash between
+// footer fsync and WAL truncate) and torn trailing bytes are
+// discarded.
+//
+// Superseded footers remain as dead bytes inside the data region; a
+// background compactor rewrites the store (temp file + rename, the
+// pack idiom) once they pass a threshold.
+//
+// # Read views
+//
+// Queries never block on ingest. Each commit opens a fresh
+// memory-mapped reader over the grown store and swaps it in as the
+// current view; in-flight queries hold a reference to the view they
+// started on, and a view's reader closes only when the last reference
+// drops. All generations share one decoded-frame cache — readers have
+// distinct cache identities, so stale entries age out via LRU rather
+// than alias.
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/codec"
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/series"
+	"repro/internal/store"
+	"repro/internal/tensor"
+)
+
+// AssignFunc picks the codec a frame compresses under when the frame
+// itself names no spec — the live counterpart of shard.AssignFunc, so
+// a tune report's per-label table plugs in unchanged. Pipeline workers
+// call it concurrently.
+type AssignFunc func(label int, frame *tensor.Tensor) (codec.Coder, error)
+
+// Options configures an appendable store.
+type Options struct {
+	// Spec is the store's default codec spec. Create requires it; Open
+	// verifies it against the file header when set.
+	Spec string
+	// Assign, when non-nil, picks a codec per frame (frames naming
+	// their own spec bypass it). Nil means the default codec.
+	Assign AssignFunc
+	// CommitFrames commits once this many frames are pending; ≤ 0
+	// disables the frame-count trigger.
+	CommitFrames int
+	// CommitBytes commits once pending payloads reach this many bytes;
+	// ≤ 0 disables the byte trigger.
+	CommitBytes int64
+	// CommitInterval commits pending frames at least this often; ≤ 0
+	// disables the timer. With every trigger disabled, frames stay in
+	// the WAL until Commit or Close.
+	CommitInterval time.Duration
+	// CompactBytes rewrites the store once superseded footers exceed
+	// this many dead bytes; ≤ 0 disables auto-compaction (Compact
+	// still works).
+	CompactBytes int64
+	// Workers sizes each batch's compression pipeline; ≤ 0 means
+	// GOMAXPROCS.
+	Workers int
+	// CacheBytes budgets the decoded-frame cache shared across view
+	// generations; ≤ 0 disables caching.
+	CacheBytes int64
+}
+
+// view is one read generation: a memory-mapped reader over a committed
+// store image plus its query stack. Refcounted — the store holds one
+// reference while the view is current, each in-flight query one more —
+// so a commit can swap generations without closing a mapping a query
+// is still decoding from.
+type view struct {
+	refs  atomic.Int64
+	r     *store.Reader
+	local *api.Local
+}
+
+func (v *view) acquire() bool {
+	for {
+		n := v.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if v.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+func (v *view) release() {
+	if v.refs.Add(-1) == 0 {
+		v.r.Close()
+	}
+}
+
+// Store is a crash-safe appendable frame store. All methods are safe
+// for concurrent use; it implements api.Backend, api.Ingestor, and the
+// payload capabilities, so the HTTP layer serves it like any other
+// backend.
+type Store struct {
+	path    string
+	walPath string
+	opts    Options
+
+	defaultCoder codec.Coder
+	defaultCanon string
+	cache        *query.Cache
+
+	mu            sync.Mutex
+	f             *os.File // data file, positioned writes only
+	wal           *wal
+	committedSize int64             // bytes of the current commit's image
+	footerOff     int64             // where the current footer starts
+	headerEnd     int64             // first payload byte
+	entries       []store.FrameInfo // committed index, commit order
+	extraSpecs    []string          // interned non-default specs, ids 1..n
+	specIDs       map[string]int    // canonical spec → id (0 = default)
+	labels        map[int]struct{}  // committed + pending + reserved
+	pending       []walRecord       // accepted, not yet under a footer
+	pendingBytes  int64             // payload bytes in pending
+	deadBytes     int64             // superseded footer bytes in the data region
+	closed        bool
+
+	cur  atomic.Pointer[view]
+	stop chan struct{}
+	bg   sync.WaitGroup
+}
+
+// Create initializes an empty appendable store at path (failing if the
+// file exists) and opens it. opts.Spec names the default codec.
+func Create(path string, opts Options) (*Store, error) {
+	if opts.Spec == "" {
+		return nil, fmt.Errorf("ingest: Create needs a codec spec")
+	}
+	coder, err := lookupCoder(opts.Spec)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	// The header records the coder's own (fully parameterized) spec, not
+	// the user's shorthand, so live frames compressed by the default
+	// coder intern to spec id 0 instead of re-interning an expansion.
+	w, err := store.NewWriter(f, coder.Spec())
+	if err == nil {
+		err = w.Close()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = store.FsyncDir(filepath.Dir(path))
+	}
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	return Open(path, opts)
+}
+
+// Open opens the appendable store at path, recovering from a crash if
+// the file ends in a torn commit: the last valid footer is located by
+// backward scan, the tail truncated, and the WAL's intact records are
+// replayed (frames the footer already covers are dropped by label) and
+// committed before the first query runs.
+func Open(path string, opts Options) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	s, err := openLocked(f, path, opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func openLocked(f *os.File, path string, opts Options) (*Store, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	r, err := store.NewReader(f, size)
+	committed := size
+	if err != nil {
+		// Torn tail: find the last durable commit and cut back to it.
+		committed, r, err = store.RecoverCommittedSize(f, size)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %s has no recoverable commit: %w", path, err)
+		}
+		if err := f.Truncate(committed); err != nil {
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			return nil, err
+		}
+	}
+	specs := r.Specs()
+	if opts.Spec != "" {
+		// Compare through constructed coders so a shorthand spec matches
+		// its fully parameterized expansion.
+		wantCoder, err := lookupCoder(opts.Spec)
+		if err != nil {
+			return nil, err
+		}
+		haveCoder, err := lookupCoder(specs[0])
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %s header spec: %w", path, err)
+		}
+		want, err := codec.Canonical(wantCoder.Spec())
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %w", err)
+		}
+		have, err := codec.Canonical(haveCoder.Spec())
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %s header spec: %w", path, err)
+		}
+		if want != have {
+			return nil, fmt.Errorf("ingest: %s stores %q, requested %q", path, specs[0], opts.Spec)
+		}
+	}
+	coder, err := lookupCoder(specs[0])
+	if err != nil {
+		return nil, err
+	}
+	// Canonicalize from the constructed coder, not the header string:
+	// the coder's Spec() carries every parameter (defaults included), so
+	// it matches what assigned-pipeline sinks will hand back for frames
+	// compressed under the default codec.
+	canon, err := codec.Canonical(coder.Spec())
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Store{
+		path:          path,
+		walPath:       path + ".wal",
+		opts:          opts,
+		defaultCoder:  coder,
+		defaultCanon:  canon,
+		cache:         query.NewCache(opts.CacheBytes),
+		f:             f,
+		committedSize: committed,
+		headerEnd:     int64(4 + 1 + 2 + len(specs[0])), // magic+version+len+spec
+		entries:       r.Frames(),
+		specIDs:       map[string]int{canon: 0},
+		labels:        map[int]struct{}{},
+		stop:          make(chan struct{}),
+	}
+	for id, spec := range specs[1:] {
+		c, err := codec.Canonical(spec)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %s spec table entry %d: %w", path, id+1, err)
+		}
+		s.extraSpecs = append(s.extraSpecs, spec)
+		s.specIDs[c] = id + 1
+	}
+	var live int64
+	s.footerOff = s.headerEnd
+	for _, e := range s.entries {
+		s.labels[e.Label] = struct{}{}
+		live += e.Length
+		if end := e.Offset + e.Length; end > s.footerOff {
+			s.footerOff = end
+		}
+	}
+	// Dead bytes are the gaps between payloads — superseded footers
+	// from earlier commits.
+	s.deadBytes = s.footerOff - s.headerEnd - live
+
+	// Replay the WAL's intact prefix. Records whose label the store
+	// already holds were committed by a footer whose WAL truncate never
+	// landed; drop them. Torn trailing bytes are a crash mid-append of
+	// a batch that was never acknowledged; drop those too.
+	recs, validLen, tornBytes, err := replayWAL(s.walPath)
+	if err != nil {
+		return nil, err
+	}
+	if tornBytes > 0 {
+		discardedTotal.Inc()
+	}
+	s.wal, err = openWAL(s.walPath, validLen)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		if _, dup := s.labels[rec.label]; dup {
+			discardedTotal.Inc()
+			continue
+		}
+		s.labels[rec.label] = struct{}{}
+		s.pending = append(s.pending, rec)
+		s.pendingBytes += int64(len(rec.payload))
+		replayedTotal.Inc()
+	}
+	if len(s.pending) > 0 {
+		if err := s.commitLocked(context.Background()); err != nil {
+			s.wal.Close()
+			return nil, err
+		}
+	} else if err := s.swapViewLocked(); err != nil {
+		s.wal.Close()
+		return nil, err
+	}
+	pendingFrames.Set(int64(len(s.pending)))
+	pendingBytes.Set(s.pendingBytes)
+
+	s.bg.Add(1)
+	go s.background()
+	return s, nil
+}
+
+func lookupCoder(spec string) (codec.Coder, error) {
+	cd, err := codec.Lookup(spec)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	coder, ok := cd.(codec.Coder)
+	if !ok {
+		return nil, fmt.Errorf("ingest: codec %q does not support byte serialization", cd.Name())
+	}
+	return coder, nil
+}
+
+// background drives the commit timer and the compaction threshold.
+func (s *Store) background() {
+	defer s.bg.Done()
+	tick := s.opts.CommitInterval
+	if tick <= 0 {
+		if s.opts.CompactBytes <= 0 {
+			return
+		}
+		tick = time.Second // compaction checks only
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			var err error
+			if s.opts.CommitInterval > 0 && len(s.pending) > 0 {
+				err = s.commitLocked(context.Background())
+			}
+			if err == nil && s.opts.CompactBytes > 0 && s.deadBytes >= s.opts.CompactBytes {
+				err = s.compactLocked()
+			}
+			s.mu.Unlock()
+			_ = err // surfaced via metrics; the next trigger retries
+		}
+	}
+}
+
+// Ingest accepts a batch of frames: compresses them through the
+// parallel pipeline, appends them to the WAL with one fsync, and
+// commits if the batch crosses the commit policy. On return the batch
+// is durable; frames become queryable at the commit the result
+// reports or a later one. Implements api.Ingestor.
+func (s *Store) Ingest(ctx context.Context, frames []api.IngestFrame) (*api.IngestResult, error) {
+	ctx, span := obs.DefaultTracer.Start(ctx, "ingest.append")
+	defer span.End()
+	span.SetDetail("%d frames", len(frames))
+	if len(frames) == 0 {
+		return nil, api.Errorf(api.CodeBadRequest, "empty ingest batch")
+	}
+	specByLabel := make(map[int]string)
+	for i, f := range frames {
+		n := 1
+		for _, e := range f.Shape {
+			if e <= 0 {
+				return nil, api.Errorf(api.CodeBadRequest, "frame %d (label %d): bad shape %v", i, f.Label, f.Shape)
+			}
+			n *= e
+		}
+		if len(f.Shape) == 0 || len(f.Data) != n {
+			return nil, api.Errorf(api.CodeBadRequest, "frame %d (label %d): shape %v needs %d values, got %d",
+				i, f.Label, f.Shape, n, len(f.Data))
+		}
+		if f.Spec != "" {
+			if _, err := lookupCoder(f.Spec); err != nil {
+				return nil, api.Errorf(api.CodeBadRequest, "frame %d (label %d): %v", i, f.Label, err)
+			}
+			specByLabel[f.Label] = f.Spec
+		}
+	}
+
+	// Reserve the batch's labels so concurrent batches (and queries over
+	// labels) cannot race to the same label; release on failure.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, api.Errorf(api.CodeUnavailable, "ingest store is closed")
+	}
+	for i, f := range frames {
+		if _, dup := s.labels[f.Label]; dup {
+			for _, g := range frames[:i] {
+				delete(s.labels, g.Label)
+			}
+			s.mu.Unlock()
+			return nil, api.Errorf(api.CodeBadRequest, "label %d already exists", f.Label)
+		}
+		s.labels[f.Label] = struct{}{}
+	}
+	s.mu.Unlock()
+	unreserve := func() {
+		s.mu.Lock()
+		for _, f := range frames {
+			delete(s.labels, f.Label)
+		}
+		s.mu.Unlock()
+	}
+
+	// Compress outside the lock: concurrent batches overlap here, and
+	// the per-frame assigner keeps tune-style spec tables live.
+	recs := make([]walRecord, 0, len(frames))
+	assign := func(label int, frame *tensor.Tensor) (codec.Coder, error) {
+		if spec, ok := specByLabel[label]; ok {
+			return lookupCoder(spec)
+		}
+		if s.opts.Assign != nil {
+			return s.opts.Assign(label, frame)
+		}
+		return s.defaultCoder, nil
+	}
+	sink := func(label int, coder codec.Coder, c codec.Compressed) error {
+		payload, err := coder.Encode(c)
+		if err != nil {
+			return err
+		}
+		spec := coder.Spec()
+		canon, err := codec.Canonical(spec)
+		if err != nil {
+			return err
+		}
+		if canon == s.defaultCanon {
+			spec = "" // default codec: spec id 0, nothing to intern
+		}
+		recs = append(recs, walRecord{label: label, spec: spec, payload: payload})
+		return nil
+	}
+	p := series.NewAssignedPipeline(assign, sink, s.opts.Workers)
+	for _, f := range frames {
+		t := tensor.New(f.Shape...)
+		copy(t.Data(), f.Data)
+		p.Submit(f.Label, t)
+	}
+	if err := p.Wait(); err != nil {
+		unreserve()
+		return nil, api.FromError(err)
+	}
+	if err := ctx.Err(); err != nil {
+		unreserve()
+		return nil, api.FromError(err)
+	}
+
+	// Accept: one WAL write, one fsync, then the batch is durable.
+	var buf []byte
+	for _, rec := range recs {
+		buf = appendWALRecord(buf, rec)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		for _, f := range frames {
+			delete(s.labels, f.Label)
+		}
+		return nil, api.Errorf(api.CodeUnavailable, "ingest store is closed")
+	}
+	if err := s.wal.append(buf); err != nil {
+		for _, f := range frames {
+			delete(s.labels, f.Label)
+		}
+		return nil, api.FromError(err)
+	}
+	s.pending = append(s.pending, recs...)
+	s.pendingBytes += walPayloadBytes(recs)
+	framesTotal.Add(uint64(len(recs)))
+	batchesTotal.Inc()
+	pendingFrames.Set(int64(len(s.pending)))
+	pendingBytes.Set(s.pendingBytes)
+
+	res := &api.IngestResult{Accepted: len(recs)}
+	if (s.opts.CommitFrames > 0 && len(s.pending) >= s.opts.CommitFrames) ||
+		(s.opts.CommitBytes > 0 && s.pendingBytes >= s.opts.CommitBytes) {
+		if err := s.commitLocked(ctx); err != nil {
+			// The batch is durable in the WAL; the commit retries on the
+			// next trigger. Report it uncommitted rather than failing.
+			res.Pending = len(s.pending)
+			res.Frames = len(s.entries)
+			return res, nil
+		}
+		res.Committed = true
+	}
+	res.Pending = len(s.pending)
+	res.Frames = len(s.entries)
+	return res, nil
+}
+
+func walPayloadBytes(recs []walRecord) int64 {
+	var n int64
+	for _, rec := range recs {
+		n += int64(len(rec.payload))
+	}
+	return n
+}
+
+// Commit folds every pending frame into the store under a fresh footer
+// and swaps the read view. A no-op with nothing pending.
+func (s *Store) Commit(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("ingest: store is closed")
+	}
+	if len(s.pending) == 0 {
+		return nil
+	}
+	return s.commitLocked(ctx)
+}
+
+// commitLocked runs the commit sequence: append pending payloads after
+// the current trailer, fsync, write the new footer + trailer, fsync,
+// truncate the WAL. The previous commit's bytes are never touched, so
+// a crash anywhere in the sequence loses nothing: before the new
+// trailer is durable, recovery lands on the old commit and replays the
+// WAL; after, the new commit stands and the stale WAL dedups away.
+func (s *Store) commitLocked(ctx context.Context) error {
+	_, span := obs.DefaultTracer.Start(ctx, "ingest.commit")
+	defer span.End()
+	span.SetDetail("%d frames, %d bytes", len(s.pending), s.pendingBytes)
+
+	writeOff := s.committedSize
+	var data []byte
+	newEntries := s.entries
+	for _, rec := range s.pending {
+		id, err := s.internSpecLocked(rec.spec)
+		if err != nil {
+			return err
+		}
+		newEntries = append(newEntries, store.FrameInfo{
+			Label:  rec.label,
+			Offset: writeOff + int64(len(data)),
+			Length: int64(len(rec.payload)),
+			CRC32:  crc32.ChecksumIEEE(rec.payload),
+			SpecID: id,
+		})
+		data = append(data, rec.payload...)
+	}
+	if _, err := s.f.WriteAt(data, writeOff); err != nil {
+		return fmt.Errorf("ingest: appending frames: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: syncing frames: %w", err)
+	}
+	footerOff := writeOff + int64(len(data))
+	footer := store.EncodeFooter(nil, s.extraSpecs, newEntries, footerOff)
+	if _, err := s.f.WriteAt(footer, footerOff); err != nil {
+		return fmt.Errorf("ingest: writing footer: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: syncing footer: %w", err)
+	}
+
+	// The new trailer is durable: this is the commit point. The old
+	// footer (committedSize − footerOff of the previous generation) is
+	// now dead weight inside the data region.
+	s.deadBytes += s.committedSize - s.footerOff
+	s.committedSize = footerOff + int64(len(footer))
+	s.footerOff = footerOff
+	s.entries = newEntries
+	s.pending = nil
+	s.pendingBytes = 0
+	commitsTotal.Inc()
+	pendingFrames.Set(0)
+	pendingBytes.Set(0)
+
+	if err := s.wal.reset(); err != nil {
+		// Frames are safely committed; a stale WAL only costs label
+		// dedup on the next open.
+		return err
+	}
+	return s.swapViewLocked()
+}
+
+// internSpecLocked resolves a WAL record's spec to a footer spec id,
+// interning new specs into the table.
+func (s *Store) internSpecLocked(spec string) (int, error) {
+	if spec == "" {
+		return 0, nil
+	}
+	canon, err := codec.Canonical(spec)
+	if err != nil {
+		return 0, fmt.Errorf("ingest: %w", err)
+	}
+	if id, ok := s.specIDs[canon]; ok {
+		return id, nil
+	}
+	s.extraSpecs = append(s.extraSpecs, spec)
+	id := len(s.extraSpecs)
+	s.specIDs[canon] = id
+	return id, nil
+}
+
+// swapViewLocked opens a fresh memory-mapped reader over the current
+// commit and publishes it as the read view, releasing the store's
+// reference on the previous generation (whose reader closes once its
+// last in-flight query finishes).
+func (s *Store) swapViewLocked() error {
+	r, err := store.OpenReaderMmap(s.path)
+	if err != nil {
+		return fmt.Errorf("ingest: reopening store after commit: %w", err)
+	}
+	v := &view{r: r, local: api.NewLocal(r, query.New(r, query.Options{Cache: s.cache}))}
+	v.refs.Store(1)
+	if old := s.cur.Swap(v); old != nil {
+		old.release()
+	}
+	return nil
+}
+
+// acquireView pins the current read generation for one operation.
+func (s *Store) acquireView() (*view, error) {
+	for {
+		v := s.cur.Load()
+		if v == nil {
+			return nil, api.Errorf(api.CodeUnavailable, "ingest store is closed")
+		}
+		if v.acquire() {
+			return v, nil
+		}
+	}
+}
+
+// Compact rewrites the store with only live bytes — payloads and one
+// footer — reclaiming the dead footers successive commits leave
+// behind. Readers on older generations keep the pre-compaction inode
+// alive until their queries finish.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("ingest: store is closed")
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	dir := filepath.Dir(s.path)
+	tmpf, err := os.CreateTemp(dir, ".goblaz-ingest-*")
+	if err != nil {
+		return err
+	}
+	tmp := tmpf.Name()
+	fail := func(err error) error {
+		tmpf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	w, err := store.NewWriter(tmpf, s.defaultCoder.Spec())
+	if err != nil {
+		return fail(err)
+	}
+	payload := make([]byte, 0, 1<<16)
+	for i, e := range s.entries {
+		if cap(payload) < int(e.Length) {
+			payload = make([]byte, e.Length)
+		}
+		payload = payload[:e.Length]
+		if _, err := s.f.ReadAt(payload, e.Offset); err != nil {
+			return fail(fmt.Errorf("ingest: compacting frame %d: %w", i, err))
+		}
+		if got := crc32.ChecksumIEEE(payload); got != e.CRC32 {
+			return fail(fmt.Errorf("ingest: compacting frame %d (label %d): CRC %08x, index says %08x",
+				i, e.Label, got, e.CRC32))
+		}
+		spec := ""
+		if e.SpecID > 0 {
+			spec = s.extraSpecs[e.SpecID-1]
+		}
+		if err := w.WriteFrameWithSpec(e.Label, payload, spec); err != nil {
+			return fail(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		return fail(err)
+	}
+	if err := tmpf.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := store.FsyncDir(dir); err != nil {
+		return err
+	}
+
+	// Swap the data handle to the new inode and rebuild the index from
+	// what was actually written — offsets moved, spec ids may have too.
+	nf, err := os.OpenFile(s.path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	st, err := nf.Stat()
+	if err != nil {
+		nf.Close()
+		return err
+	}
+	r, err := store.NewReader(nf, st.Size())
+	if err != nil {
+		nf.Close()
+		return fmt.Errorf("ingest: compacted store does not parse: %w", err)
+	}
+	s.f.Close()
+	s.f = nf
+	s.committedSize = st.Size()
+	s.entries = r.Frames()
+	specs := r.Specs()
+	s.extraSpecs = nil
+	s.specIDs = map[string]int{s.defaultCanon: 0}
+	for id, spec := range specs[1:] {
+		canon, err := codec.Canonical(spec)
+		if err != nil {
+			return err
+		}
+		s.extraSpecs = append(s.extraSpecs, spec)
+		s.specIDs[canon] = id + 1
+	}
+	s.footerOff = s.headerEnd
+	for _, e := range s.entries {
+		if end := e.Offset + e.Length; end > s.footerOff {
+			s.footerOff = end
+		}
+	}
+	s.deadBytes = 0
+	compactionsTotal.Inc()
+	return s.swapViewLocked()
+}
+
+// DeadBytes reports the bytes superseded footers occupy — the
+// compaction trigger's input.
+func (s *Store) DeadBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deadBytes
+}
+
+// Pending reports accepted-but-uncommitted frames.
+func (s *Store) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Close commits pending frames, stops the background committer, and
+// releases every handle. In-flight queries finish against their
+// pinned view.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	var err error
+	if len(s.pending) > 0 {
+		err = s.commitLocked(context.Background())
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.bg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if werr := s.wal.Close(); err == nil {
+		err = werr
+	}
+	if ferr := s.f.Close(); err == nil {
+		err = ferr
+	}
+	if old := s.cur.Swap(nil); old != nil {
+		old.release()
+	}
+	return err
+}
+
+// Abort drops every handle without committing — the crash seam for
+// recovery tests: the files on disk are left exactly as a power cut
+// at this instant would, WAL tail and all.
+func (s *Store) Abort() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.bg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal.Close()
+	s.f.Close()
+	if old := s.cur.Swap(nil); old != nil {
+		old.release()
+	}
+}

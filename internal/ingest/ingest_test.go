@@ -1,0 +1,152 @@
+package ingest
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/store"
+)
+
+const testSpec = "goblaz:block=4x4,float=float64,index=int16"
+
+func testFrame(label, rows, cols int) api.IngestFrame {
+	data := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = math.Sin(float64(i)/7+float64(label)) + 0.3*float64(label)
+	}
+	return api.IngestFrame{Label: label, Shape: []int{rows, cols}, Data: data}
+}
+
+func TestIngestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "live.gbz")
+	s, err := Create(path, Options{Spec: testSpec, CommitFrames: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// First batch stays pending (under the commit threshold) but is
+	// immediately durable and counted.
+	res, err := s.Ingest(ctx, []api.IngestFrame{testFrame(0, 16, 16), testFrame(1, 16, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 2 || res.Committed || res.Pending != 2 || res.Frames != 0 {
+		t.Fatalf("first batch result = %+v", res)
+	}
+	// Queries see only committed frames.
+	if info, err := s.Spec(ctx); err != nil || info.Frames != 0 {
+		t.Fatalf("Spec before commit = %+v, %v", info, err)
+	}
+
+	// Second batch crosses the threshold: everything commits.
+	res, err = s.Ingest(ctx, []api.IngestFrame{testFrame(2, 16, 16), testFrame(3, 16, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed || res.Pending != 0 || res.Frames != 4 {
+		t.Fatalf("second batch result = %+v", res)
+	}
+	for label := 0; label < 4; label++ {
+		fr, err := s.Frame(ctx, label)
+		if err != nil {
+			t.Fatalf("Frame(%d): %v", label, err)
+		}
+		want := testFrame(label, 16, 16)
+		for i := range want.Data {
+			if math.Abs(fr.Data[i]-want.Data[i]) > 1e-3 { // codec is lossy
+				t.Fatalf("frame %d sample %d = %g, want ~%g", label, i, fr.Data[i], want.Data[i])
+			}
+		}
+	}
+
+	// Duplicate labels are rejected atomically.
+	if _, err := s.Ingest(ctx, []api.IngestFrame{testFrame(3, 8, 8)}); api.CodeOf(err) != api.CodeBadRequest {
+		t.Fatalf("duplicate label error = %v", err)
+	}
+
+	// A third partial batch survives Close (committed on the way out)…
+	if _, err := s.Ingest(ctx, []api.IngestFrame{testFrame(4, 16, 16)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// …and the file on disk is a plain store any reader opens.
+	r, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 5 {
+		t.Fatalf("reopened store has %d frames, want 5", r.Len())
+	}
+
+	// Reopen through ingest and keep appending.
+	s2, err := Open(path, Options{CommitFrames: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if res, err := s2.Ingest(ctx, []api.IngestFrame{testFrame(5, 16, 16)}); err != nil || !res.Committed || res.Frames != 6 {
+		t.Fatalf("append after reopen = %+v, %v", res, err)
+	}
+}
+
+func TestIngestPerFrameSpecAndCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mixed.gbz")
+	s, err := Create(path, Options{Spec: testSpec, CommitFrames: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	alt := "goblaz:block=8x8,float=float32,index=int16"
+	f := testFrame(0, 16, 16)
+	f.Spec = alt
+	for i, fr := range []api.IngestFrame{f, testFrame(1, 16, 16), testFrame(2, 16, 16)} {
+		if _, err := s.Ingest(ctx, []api.IngestFrame{fr}); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	// Three commits → two superseded footers.
+	if s.DeadBytes() == 0 {
+		t.Fatal("successive commits left no dead bytes?")
+	}
+	info, err := s.Spec(ctx)
+	if err != nil || len(info.Specs) != 2 {
+		t.Fatalf("Spec = %+v, %v (want 2 specs)", info, err)
+	}
+	before, err := s.Frame(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.DeadBytes() != 0 {
+		t.Fatalf("DeadBytes after compact = %d", s.DeadBytes())
+	}
+	after, err := s.Frame(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatalf("compaction changed frame 0 at %d: %g vs %g", i, before.Data[i], after.Data[i])
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.MixedCodec() || r.Len() != 3 {
+		t.Fatalf("compacted store: mixed=%v len=%d", r.MixedCodec(), r.Len())
+	}
+}

@@ -1,0 +1,30 @@
+package ingest
+
+import "repro/internal/obs"
+
+// Ingest metrics, registered on the default registry so they ride the
+// serving stack's /metrics exposition. The WAL fsync histogram is the
+// one to watch: every accepted batch pays exactly one fsync before the
+// 200, so its tail is the ingest latency floor.
+var (
+	framesTotal = obs.NewCounter("goblaz_ingest_frames_total",
+		"Frames accepted into the write-ahead log.")
+	batchesTotal = obs.NewCounter("goblaz_ingest_batches_total",
+		"Ingest batches accepted (one WAL fsync each).")
+	commitsTotal = obs.NewCounter("goblaz_ingest_commits_total",
+		"Footer commits folding WAL frames into the store.")
+	walFsyncSeconds = obs.NewHistogram("goblaz_ingest_wal_fsync_seconds",
+		"Latency of WAL fsyncs (one per accepted batch).", nil)
+	walBytesTotal = obs.NewCounter("goblaz_ingest_wal_bytes_total",
+		"Bytes appended to the write-ahead log.")
+	replayedTotal = obs.NewCounter("goblaz_ingest_wal_replayed_frames_total",
+		"WAL frames replayed into the store on recovery.")
+	discardedTotal = obs.NewCounter("goblaz_ingest_wal_discarded_frames_total",
+		"WAL frames dropped on recovery: torn tail records or frames the last commit already covers.")
+	compactionsTotal = obs.NewCounter("goblaz_ingest_compactions_total",
+		"Store rewrites reclaiming dead bytes left by superseded footers.")
+	pendingFrames = obs.NewGauge("goblaz_ingest_pending_frames",
+		"Accepted frames not yet folded into a committed footer.")
+	pendingBytes = obs.NewGauge("goblaz_ingest_pending_bytes",
+		"Payload bytes awaiting the next commit.")
+)

@@ -1,0 +1,187 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+)
+
+// The write-ahead log sits next to the store file ("<store>.wal") and
+// holds every accepted-but-uncommitted frame as a self-delimiting
+// record:
+//
+//	length  uint32  // body length
+//	crc32   uint32  // CRC32 (IEEE) of body
+//	body:
+//	  label    int64
+//	  spec len uint16
+//	  spec     bytes  // codec spec; empty = assigned at commit
+//	  payload  bytes  // encoded (compressed) frame
+//
+// All integers are big-endian, matching the store format. Appends are
+// fsynced before the ingest call returns — the WAL is the durability
+// point of the 200 response. Replay accepts the longest prefix of
+// intact records: a record cut short by a crash, or whose CRC does not
+// match (a torn in-place write), ends the log, and everything after it
+// is discarded. Commit truncates the file to zero once the frames are
+// durable under a store footer.
+
+const walHeaderSize = 4 + 4 // length + crc32
+
+// walRecord is one replayed or pending frame.
+type walRecord struct {
+	label   int
+	spec    string // "" = commit under the store's assignment
+	payload []byte
+}
+
+// encodedLen returns the record's full on-disk length.
+func (r *walRecord) encodedLen() int {
+	return walHeaderSize + 8 + 2 + len(r.spec) + len(r.payload)
+}
+
+// appendWALRecord appends the record's on-disk encoding to buf.
+func appendWALRecord(buf []byte, r walRecord) []byte {
+	body := 8 + 2 + len(r.spec) + len(r.payload)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(body))
+	at := len(buf) + 4 // body starts after the CRC word
+	buf = binary.BigEndian.AppendUint32(buf, 0)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(r.label)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.spec)))
+	buf = append(buf, r.spec...)
+	buf = append(buf, r.payload...)
+	binary.BigEndian.PutUint32(buf[at-4:], crc32.ChecksumIEEE(buf[at:]))
+	return buf
+}
+
+// parseWALRecord decodes one record from the front of buf, returning
+// the record and the bytes consumed. An incomplete or corrupt record
+// returns an error — replay treats it as the end of the log.
+func parseWALRecord(buf []byte) (walRecord, int, error) {
+	if len(buf) < walHeaderSize {
+		return walRecord{}, 0, errTornRecord
+	}
+	body := int(binary.BigEndian.Uint32(buf))
+	sum := binary.BigEndian.Uint32(buf[4:])
+	if body < 8+2 || len(buf) < walHeaderSize+body {
+		return walRecord{}, 0, errTornRecord
+	}
+	blob := buf[walHeaderSize : walHeaderSize+body]
+	if crc32.ChecksumIEEE(blob) != sum {
+		return walRecord{}, 0, errTornRecord
+	}
+	label := int(int64(binary.BigEndian.Uint64(blob)))
+	specLen := int(binary.BigEndian.Uint16(blob[8:]))
+	if 8+2+specLen > body {
+		return walRecord{}, 0, errTornRecord
+	}
+	rec := walRecord{
+		label:   label,
+		spec:    string(blob[10 : 10+specLen]),
+		payload: append([]byte(nil), blob[10+specLen:]...),
+	}
+	return rec, walHeaderSize + body, nil
+}
+
+var errTornRecord = errors.New("ingest: torn WAL record")
+
+// replayWAL reads the log at path and returns its intact record prefix
+// plus that prefix's byte length. A missing file is an empty log. Torn
+// or corrupt trailing bytes are reported via the tornBytes count, not
+// an error — they are the expected residue of a crash mid-append.
+func replayWAL(path string) (recs []walRecord, validLen int64, tornBytes int64, err error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, 0, nil
+		}
+		return nil, 0, 0, fmt.Errorf("ingest: reading WAL %s: %w", path, err)
+	}
+	rest := blob
+	for len(rest) > 0 {
+		rec, n, err := parseWALRecord(rest)
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		validLen += int64(n)
+		rest = rest[n:]
+	}
+	return recs, validLen, int64(len(rest)), nil
+}
+
+// wal owns the log file handle and its append position.
+type wal struct {
+	f   *os.File
+	off int64
+}
+
+// openWAL opens (creating if needed) the log at path and truncates any
+// torn tail past validLen, so a later crash cannot resurrect records
+// this recovery already rejected.
+func openWAL(path string, validLen int64) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() > validLen {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &wal{f: f, off: validLen}, nil
+}
+
+// append writes buf (one or more whole records) at the log's tail and
+// fsyncs, making the records durable before the caller acknowledges
+// them. The fsync latency lands in the WAL fsync histogram.
+func (w *wal) append(buf []byte) error {
+	if _, err := w.f.WriteAt(buf, w.off); err != nil {
+		return fmt.Errorf("ingest: appending WAL: %w", err)
+	}
+	if err := syncTimed(w.f); err != nil {
+		return fmt.Errorf("ingest: syncing WAL: %w", err)
+	}
+	w.off += int64(len(buf))
+	walBytesTotal.Add(uint64(len(buf)))
+	return nil
+}
+
+// reset empties the log after a commit made its frames durable in the
+// store, and fsyncs the truncation so a crash cannot replay frames the
+// footer already covers (replay dedups by label regardless — this just
+// keeps the window where that matters to one commit).
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("ingest: truncating WAL: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: syncing WAL truncate: %w", err)
+	}
+	w.off = 0
+	return nil
+}
+
+func (w *wal) Close() error { return w.f.Close() }
+
+// syncTimed fsyncs f and records the latency in the WAL fsync
+// histogram.
+func syncTimed(f interface{ Sync() error }) error {
+	start := time.Now()
+	err := f.Sync()
+	walFsyncSeconds.ObserveDuration(time.Since(start))
+	return err
+}

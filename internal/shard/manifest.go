@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/store"
 )
 
 // The manifest format versions. Version 1 describes codec-uniform
@@ -139,7 +141,10 @@ func LoadManifest(path string) (*Manifest, error) {
 
 // Write validates and writes the manifest as indented JSON, via a temp
 // file and rename so a failure mid-write cannot truncate a previously
-// valid manifest.
+// valid manifest. The temp file is fsynced before the rename and the
+// parent directory after it: a rename alone is only durable once the
+// directory entry is, so without the directory sync a crash shortly
+// after Write returned could lose the manifest entirely.
 func (m *Manifest) Write(path string) error {
 	if err := m.Validate(); err != nil {
 		return err
@@ -158,6 +163,11 @@ func (m *Manifest) Write(path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
@@ -166,7 +176,7 @@ func (m *Manifest) Write(path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	return store.FsyncDir(filepath.Dir(path))
 }
 
 // IsManifest sniffs whether the file at path is a dataset manifest

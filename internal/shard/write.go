@@ -112,7 +112,11 @@ func writeDataset(path string, coder codec.Coder, assign AssignFunc, labels []in
 	}
 
 	// Every shard compressed cleanly; move them into place, then commit
-	// the manifest.
+	// the manifest. The directory fsync after the renames makes the new
+	// names durable before the manifest references them — otherwise a
+	// crash could persist a manifest pointing at shard files whose
+	// directory entries were lost (Manifest.Write syncs the directory
+	// again for its own rename).
 	for i, tmp := range tmps {
 		if err := os.Rename(tmp, finals[i]); err != nil {
 			return nil, err
@@ -120,6 +124,9 @@ func writeDataset(path string, coder codec.Coder, assign AssignFunc, labels []in
 		tmps[i] = ""
 	}
 	tmps = nil
+	if err := store.FsyncDir(dir); err != nil {
+		return nil, err
+	}
 	if err := man.Write(path); err != nil {
 		return nil, err
 	}

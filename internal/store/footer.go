@@ -1,0 +1,84 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// EncodeFooter appends a version-2 footer (spec table + frame index)
+// and trailer to buf for a store whose data region ends at footerOff —
+// the byte image Writer.Close emits, exported so an appendable store
+// (internal/ingest) can commit a new footer after frames appended past
+// a previous one. extraSpecs is the interned spec table (ids 1..n; the
+// default spec lives in the header and is not repeated here), entries
+// the full frame index in commit order.
+func EncodeFooter(buf []byte, extraSpecs []string, entries []FrameInfo, footerOff int64) []byte {
+	start := len(buf)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(extraSpecs)))
+	for _, spec := range extraSpecs {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(spec)))
+		buf = append(buf, spec...)
+	}
+	for _, e := range entries {
+		buf = appendEntry(buf, e)
+	}
+	footerCRC := crc32.ChecksumIEEE(buf[start:])
+	buf = binary.BigEndian.AppendUint64(buf, uint64(footerOff))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(entries)))
+	buf = binary.BigEndian.AppendUint32(buf, footerCRC)
+	buf = append(buf, trailerMagic...)
+	return buf
+}
+
+// RecoverCommittedSize finds the largest prefix of a possibly
+// crash-torn store image that parses as a complete store: the commit
+// procedure of an appendable store only ever appends (frames, then a
+// new footer and trailer) after the last durable commit, so a crash at
+// any byte offset leaves the previous commit's bytes intact — just no
+// longer at EOF. The scan walks backward from size looking for trailer
+// magic and validates each candidate by fully parsing the prefix it
+// would terminate (trailer fields, footer CRC, frame bounds), so a
+// payload that happens to contain the magic bytes cannot be mistaken
+// for a commit. It returns the committed prefix length and its parsed
+// Reader; an image with no valid commit at all returns an error.
+func RecoverCommittedSize(r io.ReaderAt, size int64) (int64, *Reader, error) {
+	// A valid store is at least a minimal header + empty footer + trailer.
+	minSize := headerSize("x") + 2 + trailerSize
+	const chunk = 64 << 10
+	magic := []byte(trailerMagic)
+	// Candidate ends are positions where the magic's last byte sits at
+	// end-1. Chunks overlap by len(magic)-1 bytes so a magic spanning a
+	// chunk boundary is still seen.
+	hi := size
+	for hi >= minSize {
+		lo := hi - chunk
+		if lo < 0 {
+			lo = 0
+		}
+		buf := make([]byte, hi-lo)
+		if _, err := r.ReadAt(buf, lo); err != nil {
+			return 0, nil, fmt.Errorf("store: recovery scan read at %d: %w", lo, err)
+		}
+		for at := len(buf); at >= len(magic); {
+			idx := bytes.LastIndex(buf[:at], magic)
+			if idx < 0 {
+				break
+			}
+			end := lo + int64(idx) + int64(len(magic))
+			if end >= minSize {
+				if rd, err := NewReader(r, end); err == nil {
+					return end, rd, nil
+				}
+			}
+			at = idx + len(magic) - 1
+		}
+		if lo == 0 {
+			break
+		}
+		hi = lo + int64(len(magic)) - 1
+	}
+	return 0, nil, fmt.Errorf("store: no valid commit found in %d bytes", size)
+}

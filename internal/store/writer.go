@@ -153,20 +153,7 @@ func (w *Writer) Close() error {
 			return w.err
 		}
 	}
-	buf := make([]byte, 0, 2+len(w.entries)*entrySize+trailerSize)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(w.specs)))
-	for _, spec := range w.specs {
-		buf = binary.BigEndian.AppendUint16(buf, uint16(len(spec)))
-		buf = append(buf, spec...)
-	}
-	for _, e := range w.entries {
-		buf = appendEntry(buf, e)
-	}
-	footerCRC := crc32.ChecksumIEEE(buf)
-	buf = binary.BigEndian.AppendUint64(buf, uint64(w.off))
-	buf = binary.BigEndian.AppendUint64(buf, uint64(len(w.entries)))
-	buf = binary.BigEndian.AppendUint32(buf, footerCRC)
-	buf = append(buf, trailerMagic...)
+	buf := EncodeFooter(make([]byte, 0, 2+len(w.entries)*entrySize+trailerSize), w.specs, w.entries, w.off)
 	if _, err := w.w.Write(buf); err != nil {
 		w.err = fmt.Errorf("store: writing footer: %w", err)
 		return w.err
