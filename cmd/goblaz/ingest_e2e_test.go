@@ -99,10 +99,10 @@ func TestServeIngestEndToEnd(t *testing.T) {
 		}
 	}
 
-	// Duplicate labels are rejected with a deterministic client error —
+	// Duplicate labels are rejected with a deterministic conflict —
 	// this is what makes SDK retry replays safe.
-	if _, err := c.Ingest(ctx, []api.IngestFrame{ingestTestFrame(0, 8, 8)}); api.CodeOf(err) != api.CodeBadRequest {
-		t.Fatalf("duplicate label error = %v (%s), want %s", err, api.CodeOf(err), api.CodeBadRequest)
+	if _, err := c.Ingest(ctx, []api.IngestFrame{ingestTestFrame(0, 8, 8)}); api.CodeOf(err) != api.CodeConflict {
+		t.Fatalf("duplicate label error = %v (%s), want %s", err, api.CodeOf(err), api.CodeConflict)
 	}
 
 	// An explicit commit surfaces the pending frame to queries.

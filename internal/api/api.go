@@ -42,6 +42,13 @@ const (
 	// CodeCanceled marks work abandoned because the caller's context
 	// was canceled or its deadline expired.
 	CodeCanceled Code = "canceled"
+	// CodeConflict marks writes that collide with existing state, e.g.
+	// an ingest frame whose label the store already holds. The code is
+	// distinct from bad_request because a replayed batch (a retry after
+	// a transport error on a request the server had in fact accepted)
+	// surfaces this way — clients can recognize it and verify rather
+	// than fail hard on data that is safely stored.
+	CodeConflict Code = "conflict"
 	// CodeOverloaded marks requests shed by admission control: the
 	// backend's concurrency limit and wait queue are both full, or the
 	// request waited longer than the queue allows. The request was not
@@ -114,6 +121,8 @@ func HTTPStatus(code Code) int {
 		return http.StatusNotImplemented
 	case CodeCanceled:
 		return StatusClientClosedRequest
+	case CodeConflict:
+		return http.StatusConflict
 	case CodeOverloaded:
 		return http.StatusTooManyRequests
 	case CodeUnavailable:
@@ -132,6 +141,8 @@ func codeOfStatus(status int) Code {
 		return CodeNotSupported
 	case status == StatusClientClosedRequest:
 		return CodeCanceled
+	case status == http.StatusConflict:
+		return CodeConflict
 	case status == http.StatusTooManyRequests:
 		return CodeOverloaded
 	case status == http.StatusServiceUnavailable:
@@ -145,6 +156,11 @@ func codeOfStatus(status int) Code {
 // ErrNotFound marks lookups of frames or stores that do not exist;
 // FromError classifies anything wrapping it as CodeNotFound.
 var ErrNotFound = errors.New("api: not found")
+
+// ErrConflict marks writes that collide with existing state (e.g. an
+// already-taken ingest label); FromError classifies anything wrapping
+// it as CodeConflict.
+var ErrConflict = errors.New("api: conflict")
 
 // ErrOverloaded marks requests shed by admission control; FromError
 // classifies anything wrapping it as CodeOverloaded.
@@ -180,6 +196,8 @@ func FromError(err error) *Error {
 		return classify(CodeNotFound)
 	case errors.Is(err, codec.ErrNotSupported):
 		return classify(CodeNotSupported)
+	case errors.Is(err, ErrConflict):
+		return classify(CodeConflict)
 	case errors.Is(err, ErrOverloaded):
 		return classify(CodeOverloaded)
 	case errors.Is(err, ErrUnavailable):
@@ -202,6 +220,8 @@ func sentinelOf(code Code) error {
 		return codec.ErrNotSupported
 	case CodeCanceled:
 		return context.Canceled
+	case CodeConflict:
+		return ErrConflict
 	case CodeOverloaded:
 		return ErrOverloaded
 	case CodeUnavailable:

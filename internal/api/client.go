@@ -174,39 +174,47 @@ func backoffDelay(base time.Duration, attempt int) time.Duration {
 // the caller owns resp.Body; on failure the returned error is already
 // classified (*Error).
 func (c *Client) do(ctx context.Context, method, path string, q url.Values, body []byte) (*http.Response, error) {
-	return c.doWith(ctx, method, path, q, body, "application/json")
+	resp, _, err := c.doWith(ctx, method, path, q, body, "application/json")
+	return resp, err
 }
 
 // doWith is do with an explicit request Content-Type (the ingest route
-// takes NDJSON).
-func (c *Client) doWith(ctx context.Context, method, path string, q url.Values, body []byte, contentType string) (*http.Response, error) {
+// takes NDJSON). The replayed result reports whether any attempt after
+// a transport error was issued: a transport error leaves the server's
+// outcome unknown, so a later attempt may be a replay of a request the
+// server already executed — Ingest uses this to tell a replayed
+// duplicate from a genuine one.
+func (c *Client) doWith(ctx context.Context, method, path string, q url.Values, body []byte, contentType string) (resp *http.Response, replayed bool, _ error) {
 	u := c.base + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
 	var lastErr error
+	sawTransportErr := false
 	for attempt := 0; ; attempt++ {
+		replayed = replayed || sawTransportErr
 		var retryAfter time.Duration
 		resp, err := c.attempt(ctx, method, u, body, contentType)
 		switch {
 		case err == nil && resp.StatusCode < 400:
-			return resp, nil
+			return resp, replayed, nil
 		case err == nil:
 			apiErr := decodeErrorResponse(resp)
 			retryAfter = retryAfterOf(resp)
 			resp.Body.Close()
 			if !retryableStatus(resp.StatusCode) {
-				return nil, apiErr
+				return nil, replayed, apiErr
 			}
 			lastErr = apiErr
 		case ctx.Err() != nil:
 			// The caller's context ended; its error, not the transport's.
-			return nil, FromError(ctx.Err())
+			return nil, replayed, FromError(ctx.Err())
 		default:
+			sawTransportErr = true
 			lastErr = &Error{Code: CodeInternal, Message: fmt.Sprintf("%s %s: %v", method, path, err), err: err}
 		}
 		if attempt >= c.retries {
-			return nil, lastErr
+			return nil, replayed, lastErr
 		}
 		// Honor a server-requested Retry-After when it asks for a longer
 		// pause than the client's own exponential backoff.
@@ -216,7 +224,7 @@ func (c *Client) doWith(ctx context.Context, method, path string, q url.Values, 
 		}
 		select {
 		case <-ctx.Done():
-			return nil, FromError(ctx.Err())
+			return nil, replayed, FromError(ctx.Err())
 		case <-time.After(delay):
 		}
 	}
@@ -427,9 +435,16 @@ func (c *Client) Query(ctx context.Context, req *query.Request) (*query.Result, 
 // a producer pointed at a URL ingests exactly like one holding the
 // store. A successful return carries the server's durability promise:
 // the batch is fsynced in the write-ahead log. Retries are safe for
-// shed requests (429/503: the server never executed them); a transport
-// error after the server accepted the batch may replay it, which the
-// server rejects per duplicate label.
+// shed requests (429/503: the server never executed them). A transport
+// error leaves the first attempt's outcome unknown, so the retry may
+// replay a batch the server durably accepted; the server rejects the
+// replay per duplicate label (conflict), and the client then confirms
+// against the committed frame index — if every label of the batch is
+// present, the batch landed and Ingest reports success. A conflict
+// whose labels are not all committed yet (accepted but pending) still
+// surfaces as CodeConflict; producers seeing it after a retry should
+// treat the batch as possibly stored and verify via Frames() before
+// re-sending under fresh labels.
 func (c *Client) Ingest(ctx context.Context, frames []IngestFrame) (*IngestResult, error) {
 	var body bytes.Buffer
 	enc := json.NewEncoder(&body)
@@ -438,8 +453,13 @@ func (c *Client) Ingest(ctx context.Context, frames []IngestFrame) (*IngestResul
 			return nil, &Error{Code: CodeBadRequest, Message: fmt.Sprintf("encoding ingest frame %d: %v", f.Label, err), err: err}
 		}
 	}
-	resp, err := c.doWith(ctx, http.MethodPost, "/frames", nil, body.Bytes(), "application/x-ndjson")
+	resp, replayed, err := c.doWith(ctx, http.MethodPost, "/frames", nil, body.Bytes(), "application/x-ndjson")
 	if err != nil {
+		if replayed && CodeOf(err) == CodeConflict {
+			if res, ok := c.confirmIngested(ctx, frames); ok {
+				return res, nil
+			}
+		}
 		return nil, err
 	}
 	defer resp.Body.Close()
@@ -448,6 +468,28 @@ func (c *Client) Ingest(ctx context.Context, frames []IngestFrame) (*IngestResul
 		return nil, &Error{Code: CodeInternal, Message: fmt.Sprintf("decoding ingest response: %v", err), err: err}
 	}
 	return &res, nil
+}
+
+// confirmIngested checks a replayed-and-rejected batch against the
+// server's committed frame index: when every label is present, the
+// rejected replay was of a batch a prior (transport-errored) attempt
+// delivered, and the synthesized result restores the durability promise
+// the lost response carried.
+func (c *Client) confirmIngested(ctx context.Context, frames []IngestFrame) (*IngestResult, bool) {
+	infos, err := c.Frames(ctx)
+	if err != nil {
+		return nil, false
+	}
+	have := make(map[int]struct{}, len(infos))
+	for _, fi := range infos {
+		have[fi.Label] = struct{}{}
+	}
+	for _, f := range frames {
+		if _, ok := have[f.Label]; !ok {
+			return nil, false
+		}
+	}
+	return &IngestResult{Accepted: len(frames), Committed: true, Frames: len(infos)}, true
 }
 
 func joinInts(vals []int) string {

@@ -1,0 +1,141 @@
+package api_test
+
+// Regression tests for the replayed-ingest ambiguity: a transport error
+// leaves the server's outcome unknown, so the SDK's automatic retry can
+// replay a batch the server durably accepted. The replay is rejected
+// per duplicate label (409 conflict) — the client must not surface that
+// as a hard error when the frame index proves the batch landed.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+const conflictEnvelope = `{"error":{"code":"conflict","message":"label 7 already exists"}}`
+
+// hijackClose kills the connection without writing a response, so the
+// client sees a transport error for a request the server "executed".
+func hijackClose(t *testing.T, w http.ResponseWriter) {
+	t.Helper()
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		t.Fatal("test server does not support hijacking")
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+}
+
+func TestClientIngestReplayedDuplicateConfirms(t *testing.T) {
+	var posts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch {
+		case req.Method == http.MethodPost && req.URL.Path == "/v1/frames":
+			if posts.Add(1) == 1 {
+				// First attempt: the server accepts the batch but the
+				// response is lost in transit.
+				hijackClose(t, w)
+				return
+			}
+			// The replay collides with the accepted batch.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			io.WriteString(w, conflictEnvelope)
+		case req.Method == http.MethodGet && req.URL.Path == "/v1/frames":
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, `[{"index":0,"label":7,"offset":11,"length":3,"crc32":"a1b2c3d4"}]`)
+		default:
+			http.NotFound(w, req)
+		}
+	}))
+	defer srv.Close()
+	c, err := api.NewClient(srv.URL, api.ClientOptions{Retries: 2, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Ingest(context.Background(), []api.IngestFrame{{Label: 7, Shape: []int{1}, Data: []float64{1}}})
+	if err != nil {
+		t.Fatalf("replayed ingest of a stored batch failed: %v", err)
+	}
+	if res.Accepted != 1 || !res.Committed || res.Frames != 1 {
+		t.Fatalf("confirmed replay result = %+v", res)
+	}
+	if posts.Load() != 2 {
+		t.Errorf("made %d POSTs, want 2 (lost response + replay)", posts.Load())
+	}
+}
+
+func TestClientIngestGenuineConflictSurfaces(t *testing.T) {
+	// Without a transport error there is no replay ambiguity: a conflict
+	// is the producer's bug and must fail even though the label exists
+	// server-side.
+	var posts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch {
+		case req.Method == http.MethodPost && req.URL.Path == "/v1/frames":
+			posts.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			io.WriteString(w, conflictEnvelope)
+		case req.Method == http.MethodGet && req.URL.Path == "/v1/frames":
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, `[{"index":0,"label":7,"offset":11,"length":3,"crc32":"a1b2c3d4"}]`)
+		default:
+			http.NotFound(w, req)
+		}
+	}))
+	defer srv.Close()
+	c, err := api.NewClient(srv.URL, api.ClientOptions{Retries: 2, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Ingest(context.Background(), []api.IngestFrame{{Label: 7, Shape: []int{1}, Data: []float64{1}}})
+	if api.CodeOf(err) != api.CodeConflict {
+		t.Fatalf("genuine duplicate = %v (%s), want %s", err, api.CodeOf(err), api.CodeConflict)
+	}
+	if posts.Load() != 1 {
+		t.Errorf("conflict retried: %d POSTs", posts.Load())
+	}
+}
+
+func TestClientIngestReplayedConflictWithoutProofFails(t *testing.T) {
+	// A replayed conflict whose labels are NOT all in the committed
+	// index (still pending server-side, or a real collision) must keep
+	// surfacing the conflict rather than claim success.
+	var posts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch {
+		case req.Method == http.MethodPost && req.URL.Path == "/v1/frames":
+			if posts.Add(1) == 1 {
+				hijackClose(t, w)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			io.WriteString(w, conflictEnvelope)
+		case req.Method == http.MethodGet && req.URL.Path == "/v1/frames":
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, `[]`)
+		default:
+			http.NotFound(w, req)
+		}
+	}))
+	defer srv.Close()
+	c, err := api.NewClient(srv.URL, api.ClientOptions{Retries: 2, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Ingest(context.Background(), []api.IngestFrame{{Label: 7, Shape: []int{1}, Data: []float64{1}}})
+	if api.CodeOf(err) != api.CodeConflict {
+		t.Fatalf("unproven replay = %v (%s), want %s", err, api.CodeOf(err), api.CodeConflict)
+	}
+}

@@ -226,6 +226,14 @@ func openLocked(f *os.File, path string, opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
+	// Commits append v2 footers (spec table + 30-byte entries); on a
+	// version-1 file the header byte would still say 1, so the next
+	// reader would parse the new footer with v1 entry sizes and fail —
+	// after the WAL was already truncated. Refuse up front.
+	if r.Version() != 2 {
+		return nil, fmt.Errorf("ingest: %s is a version-%d store; rewrite it with `goblaz pack` before ingesting",
+			path, r.Version())
+	}
 	specs := r.Specs()
 	if opts.Spec != "" {
 		// Compare through constructed coders so a shorthand spec matches
@@ -329,9 +337,15 @@ func openLocked(f *os.File, path string, opts Options) (*Store, error) {
 			s.wal.Close()
 			return nil, err
 		}
-	} else if err := s.swapViewLocked(); err != nil {
-		s.wal.Close()
-		return nil, err
+	}
+	// commitLocked tolerates a failed view swap (queries just stay on
+	// the previous generation), but Open has no previous generation —
+	// retry here and fail the open if the store still will not map.
+	if s.cur.Load() == nil {
+		if err := s.swapViewLocked(); err != nil {
+			s.wal.Close()
+			return nil, err
+		}
 	}
 	pendingFrames.Set(int64(len(s.pending)))
 	pendingBytes.Set(s.pendingBytes)
@@ -383,7 +397,7 @@ func (s *Store) background() {
 				err = s.compactLocked()
 			}
 			s.mu.Unlock()
-			_ = err // surfaced via metrics; the next trigger retries
+			_ = err // counted in goblaz_ingest_{commit,compaction}_failures_total; the next trigger retries
 		}
 	}
 }
@@ -434,7 +448,7 @@ func (s *Store) Ingest(ctx context.Context, frames []api.IngestFrame) (*api.Inge
 				delete(s.labels, g.Label)
 			}
 			s.mu.Unlock()
-			return nil, api.Errorf(api.CodeBadRequest, "label %d already exists", f.Label)
+			return nil, api.Errorf(api.CodeConflict, "label %d already exists", f.Label)
 		}
 		s.labels[f.Label] = struct{}{}
 	}
@@ -566,13 +580,20 @@ func (s *Store) commitLocked(ctx context.Context) error {
 	defer span.End()
 	span.SetDetail("%d frames, %d bytes", len(s.pending), s.pendingBytes)
 
+	// Failures before the trailer fsync leave the previous commit intact
+	// and the pending set untouched; the next trigger retries. They are
+	// invisible to callers of the timer path, so count them.
+	fail := func(err error) error {
+		commitFailures.Inc()
+		return err
+	}
 	writeOff := s.committedSize
 	var data []byte
 	newEntries := s.entries
 	for _, rec := range s.pending {
 		id, err := s.internSpecLocked(rec.spec)
 		if err != nil {
-			return err
+			return fail(err)
 		}
 		newEntries = append(newEntries, store.FrameInfo{
 			Label:  rec.label,
@@ -584,18 +605,18 @@ func (s *Store) commitLocked(ctx context.Context) error {
 		data = append(data, rec.payload...)
 	}
 	if _, err := s.f.WriteAt(data, writeOff); err != nil {
-		return fmt.Errorf("ingest: appending frames: %w", err)
+		return fail(fmt.Errorf("ingest: appending frames: %w", err))
 	}
 	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("ingest: syncing frames: %w", err)
+		return fail(fmt.Errorf("ingest: syncing frames: %w", err))
 	}
 	footerOff := writeOff + int64(len(data))
 	footer := store.EncodeFooter(nil, s.extraSpecs, newEntries, footerOff)
 	if _, err := s.f.WriteAt(footer, footerOff); err != nil {
-		return fmt.Errorf("ingest: writing footer: %w", err)
+		return fail(fmt.Errorf("ingest: writing footer: %w", err))
 	}
 	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("ingest: syncing footer: %w", err)
+		return fail(fmt.Errorf("ingest: syncing footer: %w", err))
 	}
 
 	// The new trailer is durable: this is the commit point. The old
@@ -611,12 +632,20 @@ func (s *Store) commitLocked(ctx context.Context) error {
 	pendingFrames.Set(0)
 	pendingBytes.Set(0)
 
+	// Past the commit point, failures are cleanup failures, not commit
+	// failures: reporting them as errors would tell an Ingest caller the
+	// batch is uncommitted (and Close would surface an error) for frames
+	// that are durable under the new trailer. Count them and succeed — a
+	// stale WAL only costs label dedup on the next open, and a failed
+	// view swap leaves queries on the previous generation until the next
+	// commit (or openLocked) retries the swap.
 	if err := s.wal.reset(); err != nil {
-		// Frames are safely committed; a stale WAL only costs label
-		// dedup on the next open.
-		return err
+		cleanupFailures.Inc()
 	}
-	return s.swapViewLocked()
+	if err := s.swapViewLocked(); err != nil {
+		cleanupFailures.Inc()
+	}
+	return nil
 }
 
 // internSpecLocked resolves a WAL record's spec to a footer spec id,
@@ -685,10 +714,14 @@ func (s *Store) compactLocked() error {
 	dir := filepath.Dir(s.path)
 	tmpf, err := os.CreateTemp(dir, ".goblaz-ingest-*")
 	if err != nil {
+		compactionFailures.Inc()
 		return err
 	}
 	tmp := tmpf.Name()
+	// Failures before the rename are harmless: discard the temp file and
+	// keep serving from the untouched store.
 	fail := func(err error) error {
+		compactionFailures.Inc()
 		tmpf.Close()
 		os.Remove(tmp)
 		return err
@@ -722,32 +755,36 @@ func (s *Store) compactLocked() error {
 		return fail(err)
 	}
 	if err := tmpf.Close(); err != nil {
-		os.Remove(tmp)
-		return err
+		return fail(err)
 	}
 	if err := os.Rename(tmp, s.path); err != nil {
 		os.Remove(tmp)
+		compactionFailures.Inc()
 		return err
 	}
+	// The rename retired the old inode: s.f now points at an unlinked
+	// file no reopen will ever see. Any failure from here on poisons the
+	// store — continuing to commit against the stale handle would
+	// acknowledge batches that silently vanish on restart.
 	if err := store.FsyncDir(dir); err != nil {
-		return err
+		return s.failLocked(err)
 	}
 
 	// Swap the data handle to the new inode and rebuild the index from
 	// what was actually written — offsets moved, spec ids may have too.
 	nf, err := os.OpenFile(s.path, os.O_RDWR, 0)
 	if err != nil {
-		return err
+		return s.failLocked(err)
 	}
 	st, err := nf.Stat()
 	if err != nil {
 		nf.Close()
-		return err
+		return s.failLocked(err)
 	}
 	r, err := store.NewReader(nf, st.Size())
 	if err != nil {
 		nf.Close()
-		return fmt.Errorf("ingest: compacted store does not parse: %w", err)
+		return s.failLocked(fmt.Errorf("ingest: compacted store does not parse: %w", err))
 	}
 	s.f.Close()
 	s.f = nf
@@ -759,7 +796,7 @@ func (s *Store) compactLocked() error {
 	for id, spec := range specs[1:] {
 		canon, err := codec.Canonical(spec)
 		if err != nil {
-			return err
+			return s.failLocked(err)
 		}
 		s.extraSpecs = append(s.extraSpecs, spec)
 		s.specIDs[canon] = id + 1
@@ -772,7 +809,32 @@ func (s *Store) compactLocked() error {
 	}
 	s.deadBytes = 0
 	compactionsTotal.Inc()
-	return s.swapViewLocked()
+	if err := s.swapViewLocked(); err != nil {
+		// The rewrite stands and s.f serves the new inode; queries stay
+		// on the pre-compaction view (same frames) until the next commit
+		// retries the swap.
+		cleanupFailures.Inc()
+	}
+	return nil
+}
+
+// failLocked poisons the store after a failure that leaves the open
+// handle unusable — compaction renamed the new image into place but the
+// swap to it failed, so s.f points at an unlinked inode whose writes no
+// reopen can see. Further Ingest/Commit/Compact calls are refused
+// (reporting closed) instead of acknowledging batches that would vanish
+// on restart; reopening the path recovers the on-disk state. Callers on
+// the background goroutine rely on this not waiting for it.
+func (s *Store) failLocked(err error) error {
+	compactionFailures.Inc()
+	s.closed = true
+	close(s.stop)
+	s.wal.Close()
+	s.f.Close()
+	if old := s.cur.Swap(nil); old != nil {
+		old.release()
+	}
+	return fmt.Errorf("ingest: store failed after compaction rename (reopen to recover): %w", err)
 }
 
 // DeadBytes reports the bytes superseded footers occupy — the

@@ -1,9 +1,14 @@
 package ingest
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
+	"hash/crc32"
 	"math"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/api"
@@ -63,8 +68,9 @@ func TestIngestRoundTrip(t *testing.T) {
 		}
 	}
 
-	// Duplicate labels are rejected atomically.
-	if _, err := s.Ingest(ctx, []api.IngestFrame{testFrame(3, 8, 8)}); api.CodeOf(err) != api.CodeBadRequest {
+	// Duplicate labels are rejected atomically, as a conflict (so a
+	// client replaying an accepted batch can tell it from bad input).
+	if _, err := s.Ingest(ctx, []api.IngestFrame{testFrame(3, 8, 8)}); api.CodeOf(err) != api.CodeConflict {
 		t.Fatalf("duplicate label error = %v", err)
 	}
 
@@ -148,5 +154,89 @@ func TestIngestPerFrameSpecAndCompaction(t *testing.T) {
 	defer r.Close()
 	if !r.MixedCodec() || r.Len() != 3 {
 		t.Fatalf("compacted store: mixed=%v len=%d", r.MixedCodec(), r.Len())
+	}
+}
+
+// writeV1Image handcrafts a frameless version-1 store file — the
+// pre-spec-table format the ingest path must refuse, since its commits
+// would append v2 footers under a header byte that still says 1.
+func writeV1Image(t *testing.T, path, spec string) {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString("GBZS")
+	buf.WriteByte(1)
+	var lb [2]byte
+	binary.BigEndian.PutUint16(lb[:], uint16(len(spec)))
+	buf.Write(lb[:])
+	buf.WriteString(spec)
+	footerOff := buf.Len() // zero frames: empty footer
+	var tr [24]byte
+	binary.BigEndian.PutUint64(tr[0:], uint64(footerOff))
+	binary.BigEndian.PutUint64(tr[8:], 0)
+	binary.BigEndian.PutUint32(tr[16:], crc32.ChecksumIEEE(nil))
+	copy(tr[20:], "GBZE")
+	buf.Write(tr[:])
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsV1Store(t *testing.T) {
+	// Opening a v1 store must fail up front: if it succeeded, the first
+	// commit would write a v2 footer the next reader parses with v1
+	// entry sizes — after the WAL was already truncated — silently
+	// losing acknowledged frames.
+	path := filepath.Join(t.TempDir(), "old.gbz")
+	writeV1Image(t, path, testSpec)
+	if r, err := store.Open(path); err != nil || r.Version() != 1 {
+		t.Fatalf("handcrafted v1 image does not read back as v1: %v", err)
+	} else {
+		r.Close()
+	}
+	if s, err := Open(path, Options{}); err == nil {
+		s.Close()
+		t.Fatal("Open accepted a version-1 store")
+	} else if !strings.Contains(err.Error(), "version-1") {
+		t.Fatalf("Open error = %v, want a version-1 rejection", err)
+	}
+}
+
+func TestCommitCleanupFailureStillCommits(t *testing.T) {
+	// Once the trailer fsync lands, the commit stands; a failure in the
+	// cleanup that follows (here: the WAL truncate, forced by yanking
+	// its fd) must not be reported as a failed commit — and the stale
+	// WAL records must dedup away on the next open.
+	path := filepath.Join(t.TempDir(), "cleanup.gbz")
+	s, err := Create(path, Options{Spec: testSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Ingest(ctx, []api.IngestFrame{testFrame(0, 8, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.wal.f.Close() // wal.reset will now fail after the commit point
+	s.mu.Unlock()
+	if err := s.Commit(ctx); err != nil {
+		t.Fatalf("Commit reported failure for a landed commit: %v", err)
+	}
+	if fr, err := s.Frame(ctx, 0); err != nil || len(fr.Data) != 64 {
+		t.Fatalf("committed frame not queryable: %v", err)
+	}
+	s.Abort() // the wal handle is already dead; skip Close's error
+
+	// The WAL still holds the committed record; reopen must drop it by
+	// label instead of double-appending.
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, err := s2.Frames(ctx); err != nil || len(got) != 1 {
+		t.Fatalf("after reopen: %d frames, %v (want 1)", len(got), err)
+	}
+	if s2.Pending() != 0 {
+		t.Fatalf("stale WAL record replayed as pending: %d", s2.Pending())
 	}
 }

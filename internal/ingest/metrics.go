@@ -13,6 +13,10 @@ var (
 		"Ingest batches accepted (one WAL fsync each).")
 	commitsTotal = obs.NewCounter("goblaz_ingest_commits_total",
 		"Footer commits folding WAL frames into the store.")
+	commitFailures = obs.NewCounter("goblaz_ingest_commit_failures_total",
+		"Commit attempts that failed before the commit point (retried on the next trigger; pending frames stay in the WAL).")
+	cleanupFailures = obs.NewCounter("goblaz_ingest_commit_cleanup_failures_total",
+		"Post-commit-point cleanup failures (WAL truncate, read-view swap); the commit itself stood.")
 	walFsyncSeconds = obs.NewHistogram("goblaz_ingest_wal_fsync_seconds",
 		"Latency of WAL fsyncs (one per accepted batch).", nil)
 	walBytesTotal = obs.NewCounter("goblaz_ingest_wal_bytes_total",
@@ -23,6 +27,8 @@ var (
 		"WAL frames dropped on recovery: torn tail records or frames the last commit already covers.")
 	compactionsTotal = obs.NewCounter("goblaz_ingest_compactions_total",
 		"Store rewrites reclaiming dead bytes left by superseded footers.")
+	compactionFailures = obs.NewCounter("goblaz_ingest_compaction_failures_total",
+		"Store compactions that failed; a post-rename failure also poisons the store until reopen.")
 	pendingFrames = obs.NewGauge("goblaz_ingest_pending_frames",
 		"Accepted frames not yet folded into a committed footer.")
 	pendingBytes = obs.NewGauge("goblaz_ingest_pending_bytes",
